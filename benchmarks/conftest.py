@@ -1,0 +1,77 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper table or figure: the timed callable
+builds the data series, and the rendered output is written to
+``benchmarks/out/<name>.txt`` (and printed when run with ``-s``), so the
+bench output *is* the artifact.  EXPERIMENTS.md summarizes paper-reported
+vs measured values for every experiment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import FAEConfig
+from repro.data import SyntheticClickLog, SyntheticConfig, dataset_by_name
+from repro.hw import characterize
+from repro.models import WORKLOADS
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Writer for rendered tables/figures: emit(name, text)."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def paper_workloads():
+    """Paper-scale workload characters for all three Table I rows."""
+    return {name: characterize(spec) for name, spec in WORKLOADS.items()}
+
+
+@pytest.fixture(scope="session")
+def kaggle_small_log():
+    schema = dataset_by_name("criteo-kaggle", "small")
+    return SyntheticClickLog(schema, SyntheticConfig(num_samples=60_000, seed=42))
+
+
+@pytest.fixture(scope="session")
+def kaggle_medium_log():
+    """A larger log for the profiling-latency benches (Fig 7/8/10/11)."""
+    schema = dataset_by_name("criteo-kaggle", "medium")
+    return SyntheticClickLog(schema, SyntheticConfig(num_samples=400_000, seed=42))
+
+
+@pytest.fixture(scope="session")
+def small_fae_config():
+    """FAE config with cutoffs scaled to the 1/1000 datasets.
+
+    The budget scales like the tables (256 MB / 1000 ~ 256 KB) so the
+    calibration dynamics mirror the paper-scale run.
+    """
+    return FAEConfig(
+        gpu_memory_budget=256 * 1024,
+        large_table_min_bytes=1024,
+        chunk_size=64,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_fae_config():
+    return FAEConfig(
+        gpu_memory_budget=int(2.56 * 2**20),
+        large_table_min_bytes=10 * 1024,
+        chunk_size=256,
+        seed=7,
+    )

@@ -1,0 +1,51 @@
+"""Ablation: GPU memory budget L vs hot coverage and speedup.
+
+The paper fixes L = 256 MB ("suffices and caters to all types of GPUs").
+This sweep shows the diminishing returns: hot-input coverage and FAE
+speedup saturate well before the V100's 16 GB.
+"""
+
+from repro.analysis import series_table
+from repro.data import dataset_by_name
+from repro.hw import Cluster, TrainingSimulator, characterize
+from repro.hw.workload import analytic_hot_stats
+from repro.models import workload_by_name
+
+BUDGETS_MB = (16, 64, 256, 1024, 4096)
+
+
+def run_sweep():
+    schema = dataset_by_name("criteo-terabyte", "paper")
+    spec = workload_by_name("RMC3")
+    coverage = []
+    speedups = []
+    for budget_mb in BUDGETS_MB:
+        budget = budget_mb * 2**20
+        fraction, _bytes = analytic_hot_stats(schema, budget)
+        coverage.append(100 * fraction)
+        workload = characterize(spec, gpu_memory_budget=budget)
+        speedups.append(TrainingSimulator(Cluster(num_gpus=4), workload).speedup())
+    return coverage, speedups
+
+
+def test_abl_memory_budget(benchmark, emit):
+    coverage, speedups = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = series_table(
+        "budget (MB)",
+        ["hot inputs (%)", "4-GPU speedup"],
+        BUDGETS_MB,
+        [coverage, speedups],
+    )
+    emit("abl_memory_budget", "Ablation - GPU memory budget L (Terabyte)\n" + table)
+
+    # Coverage and speedup grow with the budget...
+    assert coverage == sorted(coverage)
+    assert speedups == sorted(speedups)
+    # ...but with diminishing returns: the 256 MB -> 4 GB gain is small
+    # relative to the 16 MB -> 256 MB gain (the paper's L=256MB claim).
+    i16, i256, i4096 = 0, BUDGETS_MB.index(256), len(BUDGETS_MB) - 1
+    early_gain = coverage[i256] - coverage[i16]
+    late_gain = coverage[i4096] - coverage[i256]
+    assert late_gain < early_gain / 2
+    assert speedups[i256] > 0.8 * speedups[i4096]

@@ -1,0 +1,62 @@
+"""Ablation: adaptive shuffle rate (Eq. 7) vs fixed rates.
+
+Trade-off: R(100) (all cold then all hot) minimizes sync events but risks
+accuracy; R(1) maximizes interleaving but pays a sync per segment pair.
+The adaptive scheduler should land near fixed-R(50) accuracy with far
+fewer syncs than R(1).
+"""
+
+from dataclasses import replace
+
+from repro.analysis import format_table
+from repro.core import fae_preprocess
+from repro.data import train_test_split
+from repro.models.dlrm import DLRM, DLRMConfig
+from repro.train import FAETrainer
+
+RATES = (1, 50, 100)
+
+
+def run_ablation(log, config):
+    train, test = train_test_split(log, 0.15, seed=5)
+    results = {}
+
+    def train_with(cfg, label):
+        plan = fae_preprocess(train, cfg, batch_size=256)
+        model = DLRM(log.schema, DLRMConfig("13-64-32-16", "64-1", seed=4))
+        result = FAETrainer(model, plan, lr=0.15).train(train, test, epochs=2)
+        results[label] = result
+
+    for rate in RATES:
+        fixed = replace(config, scheduler_initial_rate=rate, scheduler_strip_length=10_000)
+        train_with(fixed, f"fixed R({rate})")
+    train_with(replace(config, scheduler_initial_rate=50), "adaptive (Eq. 7)")
+    return results
+
+
+def test_abl_scheduler(benchmark, emit, kaggle_small_log, small_fae_config):
+    results = benchmark.pedantic(
+        run_ablation, args=(kaggle_small_log, small_fae_config), rounds=1, iterations=1
+    )
+
+    table = format_table(
+        ["schedule", "test acc %", "sync events"],
+        [
+            [label, f"{100 * r.final_test_accuracy:.2f}", str(r.sync_events)]
+            for label, r in results.items()
+        ],
+        title="Ablation - shuffle-scheduler rate",
+    )
+    emit("abl_scheduler", table)
+
+    # Finer interleaving costs more syncs.
+    assert results["fixed R(1)"].sync_events > results["fixed R(50)"].sync_events
+    assert results["fixed R(50)"].sync_events >= results["fixed R(100)"].sync_events
+    # The adaptive schedule stays within noise of the best fixed schedule.
+    best = max(r.final_test_accuracy for r in results.values())
+    assert results["adaptive (Eq. 7)"].final_test_accuracy >= best - 0.025
+    # And uses far fewer syncs than R(1).
+    assert (
+        results["adaptive (Eq. 7)"].sync_events
+        < results["fixed R(1)"].sync_events / 2
+    )

@@ -1,0 +1,59 @@
+"""Fig 2: embedding table sizes vs hot-portion sizes.
+
+Paper: full embedding tables are 0.3 GB (Taobao), ~2 GB (Kaggle), and
+~61 GB (Terabyte), yet the hot portions are all under 256 MB while
+capturing the large majority of accesses.
+"""
+
+from repro.analysis import format_table
+from repro.data import dataset_by_name
+from repro.hw.workload import analytic_hot_stats
+
+BUDGET = 256 * 2**20
+
+
+def build_rows():
+    rows = []
+    for name in ("taobao", "criteo-kaggle", "criteo-terabyte"):
+        schema = dataset_by_name(name, "paper")
+        hot_fraction, hot_bytes = analytic_hot_stats(schema, BUDGET)
+        rows.append(
+            {
+                "dataset": name,
+                "total_gb": schema.total_embedding_bytes / 1e9,
+                "hot_mb": hot_bytes / 2**20,
+                "hot_input_pct": 100 * hot_fraction,
+            }
+        )
+    return rows
+
+
+def test_fig02_hot_embedding_sizes(benchmark, emit):
+    rows = benchmark(build_rows)
+
+    table = format_table(
+        ["dataset", "total emb (GB)", "hot portion (MB)", "hot inputs (%)"],
+        [
+            [
+                r["dataset"],
+                f"{r['total_gb']:.2f}",
+                f"{r['hot_mb']:.1f}",
+                f"{r['hot_input_pct']:.1f}",
+            ]
+            for r in rows
+        ],
+        title="Fig 2 - embedding sizes vs hot portions (budget 256 MB)",
+    )
+    emit("fig02_hot_sizes", table)
+
+    by_name = {r["dataset"]: r for r in rows}
+    # Paper: totals ~0.3 / 2 / 61 GB.
+    assert 0.25 < by_name["taobao"]["total_gb"] < 0.40
+    assert 1.8 < by_name["criteo-kaggle"]["total_gb"] < 2.4
+    assert 55 < by_name["criteo-terabyte"]["total_gb"] < 67
+    # Paper: hot portions always fit under 256 MB.
+    for r in rows:
+        assert r["hot_mb"] <= 256 * 1.01
+    # Paper: hot inputs are the large majority (75-92% band, loosened).
+    for r in rows:
+        assert r["hot_input_pct"] > 60

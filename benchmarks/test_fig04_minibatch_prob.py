@@ -1,0 +1,50 @@
+"""Fig 4: probability a naive random mini-batch is entirely hot.
+
+Paper: even with 99% hot inputs, the all-hot probability collapses as the
+mini-batch grows — the motivation for explicit pure-batch packing.
+"""
+
+import numpy as np
+
+from repro.analysis import series_table
+from repro.core import all_hot_batch_probability
+
+BATCH_SIZES = (1, 8, 32, 128, 512, 1024, 4096)
+HOT_FRACTIONS = (0.96, 0.98, 0.99)
+
+
+def build_series():
+    analytic = {
+        p: [all_hot_batch_probability(p, b) for b in BATCH_SIZES] for p in HOT_FRACTIONS
+    }
+    # Monte Carlo cross-check at p = 0.99.
+    rng = np.random.default_rng(0)
+    monte_carlo = []
+    for b in BATCH_SIZES:
+        draws = rng.random((4000, b)) < 0.99
+        monte_carlo.append(float(draws.all(axis=1).mean()))
+    return analytic, monte_carlo
+
+
+def test_fig04_all_hot_probability(benchmark, emit):
+    analytic, monte_carlo = benchmark(build_series)
+
+    table = series_table(
+        "batch",
+        [f"p={p}" for p in HOT_FRACTIONS] + ["p=0.99 (MC)"],
+        BATCH_SIZES,
+        [analytic[p] for p in HOT_FRACTIONS] + [monte_carlo],
+    )
+    emit("fig04_minibatch_prob", "Fig 4 - P(all-hot mini-batch)\n" + table)
+
+    # Collapse: near-certain at B=1, negligible at B=1024 (paper's point).
+    assert analytic[0.99][0] > 0.98
+    assert analytic[0.99][BATCH_SIZES.index(1024)] < 1e-4
+    # Analytic matches simulation where MC has resolution.
+    for b, mc in zip(BATCH_SIZES, monte_carlo):
+        expected = all_hot_batch_probability(0.99, b)
+        if expected > 0.01:
+            assert abs(mc - expected) < 0.05
+    # Lower hot fractions collapse faster.
+    for i, _b in enumerate(BATCH_SIZES):
+        assert analytic[0.96][i] <= analytic[0.99][i]

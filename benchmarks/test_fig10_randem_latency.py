@@ -1,0 +1,66 @@
+"""Fig 10: per-iteration latency reduction from the Rand-Em Box.
+
+Paper: scanning 35 x 1024 sampled rows instead of the whole table cuts
+the per-threshold estimation latency 14.5-61x; total per-iteration scan
+time stays under 25 seconds.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import FAEConfig, RandEmBox
+from repro.core.access_profile import TableProfile
+
+
+def measure(repeats=5):
+    rng = np.random.default_rng(2)
+    counts = rng.zipf(1.4, size=4_000_000).astype(np.int64)
+    profile = TableProfile("big", counts, dim=16)
+    config = FAEConfig(chunk_size=1024, num_chunks=35)
+    box = RandEmBox(config, seed=3)
+    min_count = 4
+
+    full_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        profile.hot_row_count(min_count)  # the naive full scan
+        full_best = min(full_best, time.perf_counter() - start)
+
+    sampled_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        box.estimate(profile, min_count)
+        sampled_best = min(sampled_best, time.perf_counter() - start)
+
+    return full_best, sampled_best, box.scan_reduction(profile)
+
+
+def test_fig10_randem_latency(benchmark, emit):
+    full_seconds, sampled_seconds, scan_reduction = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    reduction = full_seconds / sampled_seconds
+
+    table = format_table(
+        ["mode", "seconds", "rows scanned", "latency reduction"],
+        [
+            ["full scan", f"{full_seconds:.5f}", "4,000,000", "1.0x"],
+            [
+                "Rand-Em Box",
+                f"{sampled_seconds:.5f}",
+                "35,840",
+                f"{reduction:.1f}x",
+            ],
+        ],
+        title=(
+            "Fig 10 - per-iteration estimation latency "
+            f"(scan reduction {scan_reduction:.0f}x; paper: 14.5-61x)"
+        ),
+    )
+    emit("fig10_randem_latency", table)
+
+    assert scan_reduction > 14.0
+    assert reduction > 3.0  # wall-clock benefit at our table size
+    assert sampled_seconds < 25.0  # paper: under 25 s per iteration

@@ -1,0 +1,59 @@
+"""Fig 11: input-processor classification latency vs access threshold.
+
+Paper: classifying every sparse input as hot or cold takes at most ~110
+seconds on their 45-80M-input datasets, even for very low thresholds.
+The operation is one vectorized membership pass per table, so latency is
+essentially threshold-independent; at our 1/100 scale it must stay well
+under a second.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import series_table
+from repro.core import EmbeddingClassifier, EmbeddingLogger, InputProcessor
+
+THRESHOLDS = (1e-2, 1e-3, 1e-4, 1e-5)
+
+
+def measure(log, config):
+    profile = EmbeddingLogger(config).profile(log, np.arange(len(log)))
+    classifier = EmbeddingClassifier(config)
+    latencies = []
+    hot_pcts = []
+    for threshold in THRESHOLDS:
+        bags = classifier.classify(profile, threshold)
+        processor = InputProcessor(bags, seed=0)
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            hot_mask = processor.classify_inputs(log)
+            best = min(best, time.perf_counter() - start)
+        latencies.append(best)
+        hot_pcts.append(100.0 * hot_mask.mean())
+    return latencies, hot_pcts
+
+
+def test_fig11_classification_latency(benchmark, emit, kaggle_medium_log, medium_fae_config):
+    latencies, hot_pcts = benchmark.pedantic(
+        measure, args=(kaggle_medium_log, medium_fae_config), rounds=1, iterations=1
+    )
+
+    table = series_table(
+        "threshold",
+        ["classify seconds", "hot inputs (%)"],
+        THRESHOLDS,
+        [latencies, hot_pcts],
+    )
+    emit(
+        "fig11_classify_latency",
+        "Fig 11 - input classification latency (400K inputs; paper <=110 s at 45-80M)\n"
+        + table,
+    )
+
+    # Latency roughly flat across thresholds and small at this scale.
+    assert max(latencies) < 2.0
+    assert max(latencies) / min(latencies) < 5.0
+    # Hot share grows as the threshold loosens.
+    assert hot_pcts == sorted(hot_pcts)

@@ -1,0 +1,53 @@
+"""Fig 15: FAE speedup vs mini-batch size.
+
+Paper: larger mini-batches amortize FAE's fixed overheads (replication,
+scheduling) faster than they help the baseline, growing the speedup to
+~4.7x at large batches.
+"""
+
+from dataclasses import replace
+
+from repro.analysis import series_table
+from repro.hw import Cluster, TrainingSimulator
+
+BATCH_SIZES = (256, 1024, 4096, 16384, 32768)
+
+
+def build_sweep(workloads):
+    sweeps = {}
+    for name, workload in workloads.items():
+        sweeps[name] = [
+            TrainingSimulator(
+                Cluster(num_gpus=1), replace(workload, base_batch_size=b)
+            ).speedup()
+            for b in BATCH_SIZES
+        ]
+    return sweeps
+
+
+def test_fig15_speedup_vs_batch_size(benchmark, emit, paper_workloads):
+    sweeps = benchmark(build_sweep, paper_workloads)
+
+    table = series_table(
+        "batch",
+        sorted(sweeps),
+        BATCH_SIZES,
+        [sweeps[name] for name in sorted(sweeps)],
+    )
+    emit(
+        "fig15_batchsize",
+        "Fig 15 - FAE speedup vs mini-batch size (paper: up to ~4.7x)\n" + table,
+    )
+
+    for name, speedups in sweeps.items():
+        # Growth with batch size up to a mild roll-off at the largest
+        # batch (amortization eventually helps the baseline too).
+        rising = speedups[:-1]
+        assert rising == sorted(rising), name
+        assert speedups[-1] >= 0.9 * max(speedups), name
+        assert max(speedups) > speedups[0] * 1.3, name
+        # Capped in the paper's ballpark (under ~6x).
+        assert max(speedups) < 6.0, name
+    # The largest-batch best speedup approaches the paper's 4.7x.
+    best = max(s[-1] for s in sweeps.values())
+    assert 2.5 < best < 6.0

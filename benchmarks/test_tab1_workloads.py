@@ -1,0 +1,63 @@
+"""Table I: model architecture parameters and dataset characteristics."""
+
+from repro.analysis import format_table
+from repro.data import dataset_by_name
+from repro.models import WORKLOADS, build_model
+
+
+def build_rows():
+    rows = []
+    for name in ("RMC1", "RMC2", "RMC3"):
+        spec = WORKLOADS[name]
+        schema = dataset_by_name(spec.dataset, "paper")
+        model = build_model(spec, scale="tiny")
+        rows.append(
+            {
+                "workload": name,
+                "model": spec.model_kind,
+                "dataset": spec.dataset,
+                "samples_m": schema.num_samples / 1e6,
+                "dense": schema.num_dense,
+                "tables": schema.num_sparse,
+                "emb_gb": schema.total_embedding_bytes / 1e9,
+                "dim": schema.tables[0].dim,
+                "largest_m": max(t.num_rows for t in schema.tables) / 1e6,
+                "bottom_mlp": spec.bottom_mlp,
+                "top_mlp": spec.top_mlp,
+                "params": model.num_parameters(),
+            }
+        )
+    return rows
+
+
+def test_tab1_workloads(benchmark, emit):
+    rows = benchmark(build_rows)
+
+    table = format_table(
+        [
+            "wl", "model", "dataset", "inputs(M)", "dense", "tables",
+            "emb(GB)", "dim", "largest(M)", "bottom MLP", "top MLP",
+        ],
+        [
+            [
+                r["workload"], r["model"], r["dataset"], f"{r['samples_m']:.0f}",
+                str(r["dense"]), str(r["tables"]), f"{r['emb_gb']:.1f}",
+                str(r["dim"]), f"{r['largest_m']:.1f}", r["bottom_mlp"], r["top_mlp"],
+            ]
+            for r in rows
+        ],
+        title="Table I - workloads",
+    )
+    emit("tab1_workloads", table)
+
+    by_name = {r["workload"]: r for r in rows}
+    # Table I rows.
+    assert by_name["RMC1"]["model"] == "tbsm"
+    assert by_name["RMC1"]["dense"] == 3 and by_name["RMC1"]["tables"] == 3
+    assert by_name["RMC1"]["samples_m"] == 10
+    assert by_name["RMC2"]["dense"] == 13 and by_name["RMC2"]["tables"] == 26
+    assert by_name["RMC2"]["dim"] == 16 and by_name["RMC3"]["dim"] == 64
+    assert by_name["RMC3"]["samples_m"] == 80
+    assert abs(by_name["RMC1"]["largest_m"] - 4.1) < 0.2
+    assert abs(by_name["RMC2"]["largest_m"] - 10.1) < 0.2
+    assert abs(by_name["RMC3"]["largest_m"] - 73.1) < 0.2

@@ -1,0 +1,70 @@
+"""Extension: FAE vs model-parallel table sharding (paper SS I / SS V).
+
+The paper argues that splitting embedding tables across GPUs "just for
+memory capacity" is suboptimal: the GPU count is dictated by capacity
+rather than compute, and every batch pays GPU-GPU exchanges.  This bench
+quantifies the comparison honestly:
+
+- for Terabyte-class tables (61 GB), sharding is *infeasible* on the
+  paper's 4x16 GB server — FAE runs anywhere with a 256 MB budget;
+- for Kaggle-class tables (2 GB) sharding fits and is fast (when tables
+  fit on-device, pure GPU execution trivially wins), but it pins the
+  full table set in every configuration while FAE holds only 256 MB.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.hw import Cluster, TrainingSimulator
+
+GPUS = (1, 2, 4)
+
+
+def build_comparison(workloads):
+    rows = {}
+    for name, workload in workloads.items():
+        per_gpu = []
+        for k in GPUS:
+            sim = TrainingSimulator(Cluster(num_gpus=k), workload)
+            entry = {
+                "fae": sim.epoch("fae").minutes,
+                "baseline": sim.epoch("baseline").minutes,
+                "feasible": sim.sharded_feasible(),
+            }
+            entry["sharded"] = sim.epoch("sharded").minutes if entry["feasible"] else None
+            per_gpu.append(entry)
+        rows[name] = per_gpu
+    return rows
+
+
+def test_x2_sharded_comparison(benchmark, emit, paper_workloads):
+    rows = benchmark(build_comparison, paper_workloads)
+
+    table_rows = []
+    for name in sorted(rows):
+        for k, entry in zip(GPUS, rows[name]):
+            sharded = f"{entry['sharded']:.1f}" if entry["feasible"] else "infeasible"
+            table_rows.append(
+                [name, str(k), f"{entry['baseline']:.1f}", f"{entry['fae']:.1f}", sharded]
+            )
+    emit(
+        "x2_sharded",
+        format_table(
+            ["workload", "gpus", "baseline min", "FAE min", "sharded min"],
+            table_rows,
+            title="Extension - FAE vs model-parallel sharding (min/epoch)",
+        ),
+    )
+
+    # Terabyte (61 GB) cannot shard onto <= 4x16 GB GPUs; FAE always runs.
+    for entry in rows["RMC3"]:
+        assert not entry["feasible"]
+        assert entry["fae"] < entry["baseline"]
+    # Taobao/Kaggle tables fit on-device, where pure GPU execution
+    # naturally wins — but FAE stays within ~2x while using only a
+    # 256 MB slice of GPU memory instead of pinning whole tables.
+    for name in ("RMC1", "RMC2"):
+        for entry in rows[name]:
+            if entry["feasible"]:
+                assert entry["sharded"] < entry["baseline"]
+                assert entry["fae"] < 2.5 * entry["sharded"], name

@@ -1,0 +1,79 @@
+"""Capacity planning with the hardware simulator.
+
+A systems-engineering use of the cost model: given the paper's Table I
+workloads, how many GPUs should a training job reserve, how much GPU
+memory should FAE budget for hot embeddings, and what does each choice
+cost in wall-clock and energy?  All numbers come from the calibrated
+analytic simulator (no GPU required).
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import Cluster, PowerModel, TrainingSimulator, WORKLOADS, characterize
+from repro.analysis import format_table, series_table
+
+
+def gpu_count_sweep() -> None:
+    print("=== GPU-count sweep: 10-epoch minutes (baseline vs FAE) ===")
+    rows = []
+    for name, spec in sorted(WORKLOADS.items()):
+        workload = characterize(spec)
+        cells = [f"{name} ({spec.dataset})"]
+        for gpus in (1, 2, 4):
+            sim = TrainingSimulator(Cluster(num_gpus=gpus), workload)
+            base = sim.training_minutes("baseline", epochs=10)
+            fae = sim.training_minutes("fae", epochs=10)
+            cells.append(f"{base:6.0f}/{fae:6.0f} ({base / fae:.2f}x)")
+        rows.append(cells)
+    print(format_table(["workload", "1 GPU", "2 GPUs", "4 GPUs"], rows))
+    print()
+
+
+def memory_budget_sweep() -> None:
+    print("=== Hot-embedding budget sweep (RMC3 / Terabyte, 4 GPUs) ===")
+    budgets_mb = (32, 128, 256, 512, 2048)
+    speedups = []
+    hot_pct = []
+    for budget_mb in budgets_mb:
+        workload = characterize(WORKLOADS["RMC3"], gpu_memory_budget=budget_mb * 2**20)
+        hot_pct.append(100 * workload.hot_fraction)
+        speedups.append(TrainingSimulator(Cluster(num_gpus=4), workload).speedup())
+    print(series_table("budget MB", ["hot inputs %", "speedup"], budgets_mb, [hot_pct, speedups]))
+    print("-> the paper's L = 256 MB sits at the knee of this curve\n")
+
+
+def energy_report() -> None:
+    print("=== Energy per epoch on 4 GPUs ===")
+    pm = PowerModel()
+    rows = []
+    for name, spec in sorted(WORKLOADS.items()):
+        workload = characterize(spec)
+        sim = TrainingSimulator(Cluster(num_gpus=4), workload)
+        base, fae = sim.epoch("baseline"), sim.epoch("fae")
+        base_kj = 4 * pm.energy_joules(base) / 1e3
+        fae_kj = 4 * pm.energy_joules(fae) / 1e3
+        rows.append(
+            [
+                name,
+                f"{base_kj:8.0f}",
+                f"{fae_kj:8.0f}",
+                f"{100 * (1 - fae_kj / base_kj):5.1f}%",
+                f"{pm.reduction_percent(base, fae):4.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["workload", "base kJ", "FAE kJ", "energy saved", "avg power saved"],
+            rows,
+        )
+    )
+
+
+def main() -> None:
+    gpu_count_sweep()
+    memory_budget_sweep()
+    energy_report()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Session-based recommendation with TBSM + FAE (the Taobao workload).
+
+TBSM consumes a user-behaviour *sequence* — 21 (item, category) pairs per
+sample — so a single input performs 43 embedding lookups and is hot only
+if every one of them hits a hot row.  This example shows FAE handling the
+sequence workload: the adaptive scheduler's rate trace is printed so you
+can watch Eq. 7 react to the test loss.
+
+Run:  python examples/session_recommendation_tbsm.py
+"""
+
+from repro import (
+    BaselineTrainer,
+    FAEConfig,
+    FAETrainer,
+    SyntheticClickLog,
+    SyntheticConfig,
+    build_model,
+    fae_preprocess,
+    taobao_like,
+    train_test_split,
+    workload_by_name,
+)
+
+
+def main() -> None:
+    schema = taobao_like("small")
+    log = SyntheticClickLog(schema, SyntheticConfig(num_samples=12_000, seed=5))
+    train, test = train_test_split(log, test_fraction=0.15, seed=2)
+    print(schema.describe())
+    lookups = schema.lookups_per_sample()
+    print(f"each sample performs {lookups} embedding lookups "
+          f"(user + 21 items + 21 categories)\n")
+
+    config = FAEConfig(
+        gpu_memory_budget=256 * 1024,  # paper: 256 MB vs 0.3 GB of tables
+        large_table_min_bytes=1024,
+        chunk_size=32,
+        seed=5,
+    )
+    plan = fae_preprocess(train, config, batch_size=128)
+    print(f"FAE plan: {plan.summary()}")
+    print("note how 43 lookups/sample makes hot inputs rarer than for "
+          "DLRM at the same per-table coverage\n")
+
+    spec = workload_by_name("RMC1")
+    fae_model = build_model(spec, schema=schema, seed=9)
+    fae = FAETrainer(fae_model, plan, lr=0.1).train(train, test, epochs=2)
+
+    print("scheduler rate trace (Eq. 7):", fae.schedule_rates)
+    segments = [p.segment_kind for p in fae.history.points]
+    print("segment order:", " ".join(segments[:16]), "...")
+
+    baseline_model = build_model(spec, schema=schema, seed=9)
+    baseline = BaselineTrainer(baseline_model, lr=0.1).train(
+        train, test, epochs=2, batch_size=128
+    )
+
+    print(f"\nvalidation accuracy: baseline {baseline.final_test_accuracy:.4f}  "
+          f"FAE {fae.final_test_accuracy:.4f}")
+    print(f"hot-bag syncs: {fae.sync_events} "
+          f"({fae.sync_bytes / 1024:.0f} KiB moved)")
+
+
+if __name__ == "__main__":
+    main()

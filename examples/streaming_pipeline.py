@@ -1,0 +1,79 @@
+"""FAE as a streaming operator: calibrate and pack without materializing.
+
+A Terabyte-scale click log never fits in memory.  This example runs the
+full FAE front-end at constant memory over a chunked stream:
+
+- pass 1 — :class:`StreamingCalibrator`: Count-Min Sketches replace the
+  per-row counters, a Bernoulli sample replaces the index draw, and the
+  standard Statistical Optimizer converges on the threshold;
+- pass 2 — :class:`StreamingPacker`: each chunk is classified against
+  the hot bags and pure-hot / pure-cold mini-batches are emitted as soon
+  as they fill, feeding a trainer directly.
+
+Run:  python examples/streaming_pipeline.py
+"""
+
+import numpy as np
+
+from repro import FAEConfig, criteo_kaggle_like
+from repro.core import StreamingCalibrator, StreamingPacker
+from repro.data import SyntheticClickStream
+from repro.models.dlrm import DLRM, DLRMConfig
+from repro.nn import BCEWithLogits, SGD
+
+
+def main() -> None:
+    schema = criteo_kaggle_like("small")
+    stream = SyntheticClickStream(
+        schema, total_samples=60_000, chunk_size=4096, seed=9
+    )
+    print(f"stream: {len(stream):,} samples in {stream.num_chunks} chunks "
+          f"of {stream.chunk_size}")
+
+    config = FAEConfig(
+        gpu_memory_budget=256 * 1024,
+        large_table_min_bytes=1024,
+        chunk_size=64,
+        sample_rate=0.25,
+        seed=9,
+    )
+
+    # ---- pass 1: one-pass sketched calibration -----------------------
+    calibration = StreamingCalibrator(config, epsilon=1e-4).calibrate(stream)
+    hot_rows = sum(bag.num_hot for bag in calibration.bags.values())
+    print(f"pass 1: threshold {calibration.threshold:g}, {hot_rows:,} hot rows")
+    # Sketch memory is CONSTANT in the table size: the same ~12 MiB that
+    # looks extravagant at this 1/1000 scale replaces ~1.9 GiB of exact
+    # counters at the paper's Terabyte geometry (238M rows x 8 B).
+    paper_counters = 238e6 * 8 / 2**30
+    print(f"  sketch memory: {calibration.sketch_bytes / 2**20:.1f} MiB, "
+          f"independent of table size (exact counters at paper scale: "
+          f"{paper_counters:.1f} GiB)")
+
+    # ---- pass 2: incremental packing + online training ----------------
+    model = DLRM(schema, DLRMConfig("13-64-32-16", "64-1", seed=1))
+    loss_fn = BCEWithLogits()
+    optimizer = SGD(model.parameters(), lr=0.15)
+    packer = StreamingPacker(calibration.bags, batch_size=256)
+
+    losses = []
+    def train_on(batch):
+        logits = model.forward(batch)
+        losses.append(loss_fn.forward(logits, batch.labels))
+        model.backward(loss_fn.backward())
+        optimizer.step()
+
+    for start, chunk in stream:
+        for batch in packer.feed(start, chunk):
+            train_on(batch)
+    for batch in packer.flush():
+        train_on(batch)
+
+    print(f"pass 2: trained on {packer.emitted['hot']} hot + "
+          f"{packer.emitted['cold']} cold mini-batches as they were packed")
+    print(f"loss: first-10 avg {np.mean(losses[:10]):.4f} -> "
+          f"last-10 avg {np.mean(losses[-10:]):.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""repro: FAE — accelerating recommendation-system training via hot embeddings.
+
+A from-scratch reproduction of "Accelerating Recommendation System
+Training by Leveraging Popular Choices" (VLDB 2021).  Quickstart::
+
+    from repro import (
+        FAEConfig, fae_preprocess, build_model, workload_by_name,
+        SyntheticClickLog, SyntheticConfig, criteo_kaggle_like,
+        train_test_split, BaselineTrainer, FAETrainer,
+    )
+
+    schema = criteo_kaggle_like("small")
+    log = SyntheticClickLog(schema, SyntheticConfig(num_samples=50_000))
+    train, test = train_test_split(log)
+
+    plan = fae_preprocess(train, FAEConfig(gpu_memory_budget=256 << 10,
+                                           large_table_min_bytes=1 << 10),
+                          batch_size=512)
+    model = build_model(workload_by_name("RMC2"), schema=schema)
+    result = FAETrainer(model, plan).train(train, test, epochs=2)
+
+Subpackages: :mod:`repro.core` (the FAE framework), :mod:`repro.nn`
+(numpy neural-net substrate), :mod:`repro.models` (DLRM/TBSM),
+:mod:`repro.data` (synthetic Zipf-skewed click logs), :mod:`repro.hw`
+(hardware cost-model simulator), :mod:`repro.train` (trainers),
+:mod:`repro.analysis` (reporting).
+"""
+
+from repro.core import (
+    Calibrator,
+    EmbeddingClassifier,
+    EmbeddingReplicator,
+    FAEConfig,
+    FAEPlan,
+    InputProcessor,
+    RandEmBox,
+    ShuffleScheduler,
+    SparseInputSampler,
+    StatisticalOptimizer,
+    fae_preprocess,
+    load_fae_dataset,
+    save_fae_dataset,
+)
+from repro.data import (
+    BatchIterator,
+    DatasetSchema,
+    EmbeddingTableSpec,
+    SyntheticClickLog,
+    SyntheticConfig,
+    criteo_kaggle_like,
+    criteo_terabyte_like,
+    dataset_by_name,
+    taobao_like,
+    train_test_split,
+)
+from repro.hw import (
+    Cluster,
+    PowerModel,
+    TrainingSimulator,
+    WorkloadCharacter,
+    characterize,
+)
+from repro.models import DLRM, TBSM, WORKLOADS, build_model, workload_by_name
+from repro.train import BaselineTrainer, FAETrainer, TrainingHistory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchIterator",
+    "BaselineTrainer",
+    "Calibrator",
+    "Cluster",
+    "DLRM",
+    "DatasetSchema",
+    "EmbeddingClassifier",
+    "EmbeddingReplicator",
+    "EmbeddingTableSpec",
+    "FAEConfig",
+    "FAEPlan",
+    "FAETrainer",
+    "InputProcessor",
+    "PowerModel",
+    "RandEmBox",
+    "ShuffleScheduler",
+    "SparseInputSampler",
+    "StatisticalOptimizer",
+    "SyntheticClickLog",
+    "SyntheticConfig",
+    "TBSM",
+    "TrainingHistory",
+    "TrainingSimulator",
+    "WORKLOADS",
+    "WorkloadCharacter",
+    "build_model",
+    "characterize",
+    "criteo_kaggle_like",
+    "criteo_terabyte_like",
+    "dataset_by_name",
+    "fae_preprocess",
+    "load_fae_dataset",
+    "save_fae_dataset",
+    "taobao_like",
+    "train_test_split",
+    "workload_by_name",
+    "__version__",
+]

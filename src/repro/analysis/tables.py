@@ -1,0 +1,66 @@
+"""Plain-text table rendering for benchmark output.
+
+Benchmarks print the same rows the paper's tables report; these helpers
+keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_minutes_table"]
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> str:
+    """Render a monospace table with aligned columns.
+
+    Args:
+        headers: column names.
+        rows: cell strings; every row must match the header width.
+        title: optional title line.
+
+    Raises:
+        ValueError: on ragged rows.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} does not match {len(headers)} headers")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_minutes_table(
+    title: str,
+    row_labels: list[str],
+    columns: list[str],
+    values: dict[str, list[float]],
+    paper: dict[str, list[float]] | None = None,
+) -> str:
+    """Render a Table IV/V-style minutes table, measured vs paper.
+
+    Args:
+        title: table caption.
+        row_labels: one label per dataset/workload row.
+        columns: configuration names, e.g. ["1 GPU base", "1 GPU FAE", ...].
+        values: row label -> measured minutes per column.
+        paper: optional row label -> paper-reported minutes per column;
+            shown in parentheses next to each measured value.
+    """
+    rows = []
+    for label in row_labels:
+        cells = [label]
+        for i, value in enumerate(values[label]):
+            cell = f"{value:8.1f}"
+            if paper is not None and label in paper:
+                cell += f" ({paper[label][i]:.1f})"
+            cells.append(cell)
+        rows.append(cells)
+    return format_table(["dataset", *columns], rows, title=title)

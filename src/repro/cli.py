@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``info``        — describe a workload's dataset geometry at any scale.
+- ``preprocess``  — generate a synthetic log, run the static FAE pipeline,
+                    and persist the packed dataset in the FAE format.
+- ``train``       — train baseline or FAE on a synthetic log and report
+                    accuracy/AUC.
+- ``simulate``    — price baseline/FAE/NvOPT epochs on the paper's server.
+
+Every command is pure-library orchestration; all heavy lifting lives in
+the packages this module imports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import FAEConfig, fae_preprocess
+from repro.data import SyntheticClickLog, SyntheticConfig, dataset_by_name, train_test_split
+from repro.hw import Cluster, PowerModel, TrainingSimulator, characterize
+from repro.models import build_model, workload_by_name
+from repro.train import BaselineTrainer, FAETrainer, roc_auc
+from repro.train.metrics import evaluate_model
+
+__all__ = ["main", "build_parser"]
+
+_DATASET_CHOICES = ("criteo-kaggle", "criteo-terabyte", "taobao")
+_WORKLOAD_FOR_DATASET = {
+    "criteo-kaggle": "RMC2",
+    "criteo-terabyte": "RMC3",
+    "taobao": "RMC1",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FAE: accelerate recommendation training via hot embeddings",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="describe a dataset's geometry")
+    info.add_argument("dataset", choices=_DATASET_CHOICES)
+    info.add_argument("--scale", default="paper", help="paper|medium|small|tiny or a float")
+
+    prep = sub.add_parser("preprocess", help="run the static FAE pipeline")
+    _add_data_args(prep)
+    prep.add_argument("--batch-size", type=int, default=256)
+    prep.add_argument("--out", default=None, help="write the packed dataset here (.npz)")
+
+    train = sub.add_parser("train", help="train on a synthetic log")
+    _add_data_args(train)
+    train.add_argument("--mode", choices=("baseline", "fae", "both"), default="both")
+    train.add_argument("--epochs", type=int, default=2)
+    train.add_argument("--batch-size", type=int, default=256)
+    train.add_argument("--lr", type=float, default=0.15)
+
+    sim = sub.add_parser("simulate", help="price training on the paper's server")
+    sim.add_argument("workload", choices=("RMC1", "RMC2", "RMC3"))
+    sim.add_argument("--gpus", type=int, default=4)
+    sim.add_argument("--epochs", type=int, default=10)
+    sim.add_argument("--budget-mb", type=int, default=256)
+    sim.add_argument(
+        "--auto-budget",
+        action="store_true",
+        help="derive the hot-embedding budget from GPU memory instead of --budget-mb",
+    )
+
+    report = sub.add_parser(
+        "report", help="stitch benchmark artifacts into a markdown report"
+    )
+    report.add_argument("--artifacts", default="benchmarks/out")
+    report.add_argument("--out", default="REPORT.md")
+
+    return parser
+
+
+def _add_data_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("dataset", choices=_DATASET_CHOICES)
+    sub.add_argument("--scale", default="small")
+    sub.add_argument("--samples", type=int, default=40_000)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--budget-bytes", type=int, default=256 * 1024)
+    sub.add_argument("--large-table-min-bytes", type=int, default=1024)
+
+
+def _make_log(args) -> SyntheticClickLog:
+    schema = dataset_by_name(args.dataset, _parse_scale(args.scale))
+    return SyntheticClickLog(
+        schema, SyntheticConfig(num_samples=args.samples, seed=args.seed)
+    )
+
+
+def _parse_scale(scale: str):
+    try:
+        return float(scale)
+    except ValueError:
+        return scale
+
+
+def _make_config(args) -> FAEConfig:
+    return FAEConfig(
+        gpu_memory_budget=args.budget_bytes,
+        large_table_min_bytes=args.large_table_min_bytes,
+        chunk_size=64,
+        seed=args.seed,
+    )
+
+
+def cmd_info(args) -> int:
+    schema = dataset_by_name(args.dataset, _parse_scale(args.scale))
+    print(schema.describe())
+    print(f"  lookups/sample: {schema.lookups_per_sample()}")
+    for spec in sorted(schema.tables, key=lambda t: -t.num_rows)[:5]:
+        print(
+            f"  {spec.name}: {spec.num_rows:,} rows x {spec.dim} "
+            f"({spec.size_bytes / 2**20:.1f} MiB, zipf s={spec.zipf_exponent})"
+        )
+    return 0
+
+
+def cmd_preprocess(args) -> int:
+    log = _make_log(args)
+    plan = fae_preprocess(log, _make_config(args), batch_size=args.batch_size)
+    print(plan.summary())
+    print(
+        f"calibration: {plan.calibration.total_seconds:.3f}s "
+        f"({plan.calibration.result.iterations} thresholds evaluated), "
+        f"classification: {plan.classify_seconds:.3f}s"
+    )
+    if args.out:
+        plan.save(args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    log = _make_log(args)
+    train, test = train_test_split(log, 0.15, seed=args.seed)
+    spec = workload_by_name(_WORKLOAD_FOR_DATASET[args.dataset])
+
+    def report(label: str, model) -> None:
+        loss, accuracy = evaluate_model(model, test)
+        import numpy as np
+
+        from repro.data.loader import batch_from_log
+
+        batch = batch_from_log(test, np.arange(min(len(test), 8192)))
+        auc = roc_auc(model.forward(batch), batch.labels)
+        print(f"{label}: test loss {loss:.4f}  accuracy {accuracy:.4f}  AUC {auc:.4f}")
+
+    if args.mode in ("fae", "both"):
+        plan = fae_preprocess(train, _make_config(args), batch_size=args.batch_size)
+        print(f"FAE plan: {plan.summary()}")
+        model = build_model(spec, schema=log.schema, seed=args.seed + 1)
+        result = FAETrainer(model, plan, lr=args.lr).train(train, test, epochs=args.epochs)
+        print(f"FAE syncs: {result.sync_events}, rate trace: {result.schedule_rates}")
+        report("FAE", model)
+    if args.mode in ("baseline", "both"):
+        model = build_model(spec, schema=log.schema, seed=args.seed + 1)
+        BaselineTrainer(model, lr=args.lr).train(
+            train, test, epochs=args.epochs, batch_size=args.batch_size
+        )
+        report("baseline", model)
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    spec = workload_by_name(args.workload)
+    budget = args.budget_mb * 2**20
+    if args.auto_budget:
+        from repro.core import plan_memory_budget
+
+        sizing = characterize(spec, gpu_memory_budget=budget)
+        plan = plan_memory_budget(sizing, per_gpu_batch=spec.base_batch_size)
+        budget = plan.recommended_budget
+        print(
+            f"auto budget: {budget / 2**20:.0f} MiB of hot embeddings "
+            f"(model {plan.model_bytes / 2**20:.0f} MiB, activations "
+            f"{plan.activation_bytes / 2**20:.0f} MiB, HBM utilization "
+            f"{100 * plan.utilization():.0f}%)"
+        )
+    workload = characterize(spec, gpu_memory_budget=budget)
+    cluster = Cluster(num_gpus=args.gpus)
+    sim = TrainingSimulator(cluster, workload)
+    pm = PowerModel()
+    print(
+        f"{args.workload} on {args.gpus}x V100 "
+        f"(hot inputs {100 * workload.hot_fraction:.1f}%, "
+        f"hot bag {workload.hot_bytes / 2**20:.0f} MiB):"
+    )
+    for mode in ("baseline", "fae", "nvopt"):
+        timeline = sim.epoch(mode)
+        print(
+            f"  {mode:9}: {args.epochs * timeline.minutes:8.1f} min/{args.epochs} epochs, "
+            f"comm {args.epochs * timeline.communication_seconds() / 60:6.1f} min, "
+            f"{pm.average_watts(timeline):5.1f} W/GPU"
+        )
+    print(f"  FAE speedup over baseline: {sim.speedup():.2f}x")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis import write_report
+
+    destination = write_report(args.artifacts, args.out)
+    print(f"wrote {destination}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "preprocess": cmd_preprocess,
+        "train": cmd_train,
+        "simulate": cmd_simulate,
+        "report": cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""The FAE framework — the paper's primary contribution.
+
+Static pipeline (runs once per dataset):
+
+1. :class:`~repro.core.sampler.SparseInputSampler` — random x% input sample.
+2. :class:`~repro.core.embedding_logger.EmbeddingLogger` — access counts per
+   embedding row over the sample.
+3. :class:`~repro.core.randem_box.RandEmBox` — CLT/t-interval hot-size
+   estimation without scanning whole tables (Eq. 1-6).
+4. :class:`~repro.core.optimizer.StatisticalOptimizer` — converges on the
+   access threshold that fits the hot rows into the GPU budget ``L``.
+5. :class:`~repro.core.classifier.EmbeddingClassifier` — hot-row bags.
+6. :class:`~repro.core.input_processor.InputProcessor` — hot/cold input
+   split and pure-hot / pure-cold mini-batch packing.
+7. :mod:`~repro.core.fae_format` — persistence of the preprocessed output.
+
+Runtime components:
+
+8. :class:`~repro.core.replicator.EmbeddingReplicator` — hot bags
+   replicated per GPU, with all-reduce and CPU synchronization.
+9. :class:`~repro.core.scheduler.ShuffleScheduler` — adaptive hot/cold
+   interleaving rate (Eq. 7).
+
+:func:`~repro.core.pipeline.fae_preprocess` wires 1-7 together.
+"""
+
+from repro.core.config import FAEConfig
+from repro.core.access_profile import AccessProfile, TableProfile
+from repro.core.sampler import SparseInputSampler
+from repro.core.embedding_logger import EmbeddingLogger
+from repro.core.randem_box import RandEmBox, HotSizeEstimate
+from repro.core.optimizer import StatisticalOptimizer, CalibrationResult
+from repro.core.calibrator import Calibrator
+from repro.core.classifier import EmbeddingClassifier, HotEmbeddingBagSpec
+from repro.core.input_processor import (
+    InputProcessor,
+    FAEDataset,
+    all_hot_batch_probability,
+)
+from repro.core.fae_format import save_fae_dataset, load_fae_dataset
+from repro.core.drift import DriftDetector, DriftReport, recalibration_diff
+from repro.core.sketch import CountMinSketch, SketchLogger
+from repro.core.memory_planner import MemoryPlan, plan_memory_budget
+from repro.core.streaming import ReservoirSampler, StreamingCalibrator, StreamingPacker
+from repro.core.allocation import Allocation, greedy_product_allocation, threshold_allocation
+from repro.core.replicator import EmbeddingReplicator, HotBag, HotEmbeddingBag
+from repro.core.scheduler import ShuffleScheduler, ScheduleEvent
+from repro.core.pipeline import FAEPlan, fae_preprocess
+
+__all__ = [
+    "AccessProfile",
+    "Allocation",
+    "CalibrationResult",
+    "Calibrator",
+    "CountMinSketch",
+    "DriftDetector",
+    "DriftReport",
+    "EmbeddingClassifier",
+    "EmbeddingLogger",
+    "EmbeddingReplicator",
+    "FAEConfig",
+    "FAEDataset",
+    "FAEPlan",
+    "HotBag",
+    "HotEmbeddingBag",
+    "HotEmbeddingBagSpec",
+    "HotSizeEstimate",
+    "InputProcessor",
+    "MemoryPlan",
+    "RandEmBox",
+    "ReservoirSampler",
+    "ScheduleEvent",
+    "ShuffleScheduler",
+    "SketchLogger",
+    "SparseInputSampler",
+    "StreamingCalibrator",
+    "StreamingPacker",
+    "StatisticalOptimizer",
+    "TableProfile",
+    "all_hot_batch_probability",
+    "fae_preprocess",
+    "greedy_product_allocation",
+    "load_fae_dataset",
+    "plan_memory_budget",
+    "recalibration_diff",
+    "save_fae_dataset",
+    "threshold_allocation",
+]

@@ -1,0 +1,86 @@
+"""Calibrator: the static front half of the FAE pipeline (paper Fig 5).
+
+Chains Sparse Input Sampler -> Embedding Logger -> Statistical Optimizer
+to produce the final access threshold and the access profile the
+classifier and input processor consume.  Runs once per (dataset, model,
+system) tuple; its outputs are persisted in the FAE format.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.access_profile import AccessProfile
+from repro.core.config import FAEConfig
+from repro.core.embedding_logger import EmbeddingLogger
+from repro.core.optimizer import CalibrationResult, StatisticalOptimizer
+from repro.core.sampler import SparseInputSampler
+from repro.data.synthetic import SyntheticClickLog
+
+__all__ = ["CalibratorOutput", "Calibrator"]
+
+
+@dataclass(frozen=True)
+class CalibratorOutput:
+    """Everything the calibrator learned.
+
+    Attributes:
+        profile: sampled access profile (large tables).
+        result: threshold search outcome.
+        sampling_seconds: wall time of the input-sampling pass.
+        profiling_seconds: wall time of the access-counting pass.
+        optimize_seconds: wall time of the threshold search.
+    """
+
+    profile: AccessProfile
+    result: CalibrationResult
+    sampling_seconds: float
+    profiling_seconds: float
+    optimize_seconds: float
+
+    @property
+    def threshold(self) -> float:
+        return self.result.threshold
+
+    @property
+    def total_seconds(self) -> float:
+        return self.sampling_seconds + self.profiling_seconds + self.optimize_seconds
+
+
+class Calibrator:
+    """End-to-end static calibration.
+
+    Args:
+        config: FAE configuration.
+    """
+
+    def __init__(self, config: FAEConfig) -> None:
+        self.config = config
+
+    def calibrate(self, log: SyntheticClickLog, full_profile: bool = False) -> CalibratorOutput:
+        """Run sampling, profiling, and threshold convergence on ``log``.
+
+        Args:
+            log: the training inputs to calibrate against.
+            full_profile: bypass sampling and profile every input (the
+                naive baseline benchmarked in Fig 8; default False).
+        """
+        sampler = SparseInputSampler(self.config.sample_rate, seed=self.config.seed)
+        sample = sampler.sample_all(log) if full_profile else sampler.sample(log)
+
+        logger = EmbeddingLogger(self.config)
+        profile = logger.profile(log, sample.indices)
+
+        optimizer = StatisticalOptimizer(self.config)
+        start = time.perf_counter()
+        result = optimizer.converge(profile)
+        optimize_seconds = time.perf_counter() - start
+
+        return CalibratorOutput(
+            profile=profile,
+            result=result,
+            sampling_seconds=sample.elapsed_seconds,
+            profiling_seconds=logger.last_elapsed_seconds,
+            optimize_seconds=optimize_seconds,
+        )

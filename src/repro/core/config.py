@@ -1,0 +1,78 @@
+"""FAE framework configuration.
+
+Defaults mirror the paper's choices: L = 256 MB of GPU memory for hot
+embeddings (SS III-A.3: "our experiments show that L = 256MB suffices"),
+5% input sampling (SS III-A.1), n = 35 chunks of m = 1024 rows with a
+99.9% t-interval (t = 3.340) for the Rand-Em Box (SS III-A.3), u = 4
+consecutive-improvement strips and an initial rate of R(50) for the
+Shuffle Scheduler (SS III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FAEConfig", "DEFAULT_THRESHOLD_GRID"]
+
+#: Descending access-threshold candidates (fraction of total sampled
+#: inputs an entry must capture to be hot).  The Statistical Optimizer
+#: walks this grid from most to least selective until the estimated hot
+#: size would exceed the GPU budget.  Spans the paper's Fig 6 x-axis.
+DEFAULT_THRESHOLD_GRID: tuple[float, ...] = (
+    1e-2, 5e-3, 2e-3, 1e-3, 5e-4, 2e-4, 1e-4, 5e-5, 2e-5, 1e-5,
+    5e-6, 2e-6, 1e-6, 5e-7, 2e-7, 1e-7, 5e-8, 2e-8, 1e-8,
+)
+
+
+@dataclass(frozen=True)
+class FAEConfig:
+    """Knobs of the FAE static pipeline and runtime.
+
+    Attributes:
+        gpu_memory_budget: bytes of GPU memory allocated to hot embeddings
+            (the paper's ``L``; default 256 MB).
+        sample_rate: input-sampling fraction ``x`` for the calibrator.
+        num_chunks: Rand-Em Box sample count ``n`` (>= 30 for CLT validity).
+        chunk_size: rows per Rand-Em Box sample ``m``.
+        t_value: t-distribution critical value for the confidence interval
+            (3.340 = 99.9% two-sided at n = 35).
+        threshold_grid: descending candidate thresholds.
+        large_table_min_bytes: tables smaller than this are de-facto hot.
+        scheduler_initial_rate: starting hot/cold interleave rate R(.).
+        scheduler_strip_length: ``u`` — consecutive test-loss improvements
+            required before the rate doubles.
+        seed: master seed for all random sampling in the pipeline.
+    """
+
+    gpu_memory_budget: int = 256 * 2**20
+    sample_rate: float = 0.05
+    num_chunks: int = 35
+    chunk_size: int = 1024
+    t_value: float = 3.340
+    threshold_grid: tuple[float, ...] = DEFAULT_THRESHOLD_GRID
+    large_table_min_bytes: int = 1 << 20
+    scheduler_initial_rate: int = 50
+    scheduler_strip_length: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.gpu_memory_budget <= 0:
+            raise ValueError("gpu_memory_budget must be positive")
+        if not 0 < self.sample_rate <= 1:
+            raise ValueError(f"sample_rate must be in (0, 1], got {self.sample_rate}")
+        if self.num_chunks < 2:
+            raise ValueError("num_chunks must be at least 2")
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if self.t_value <= 0:
+            raise ValueError("t_value must be positive")
+        if not self.threshold_grid:
+            raise ValueError("threshold_grid must be non-empty")
+        if list(self.threshold_grid) != sorted(self.threshold_grid, reverse=True):
+            raise ValueError("threshold_grid must be strictly descending")
+        if any(t <= 0 for t in self.threshold_grid):
+            raise ValueError("thresholds must be positive")
+        if not 1 <= self.scheduler_initial_rate <= 100:
+            raise ValueError("scheduler_initial_rate must be in [1, 100]")
+        if self.scheduler_strip_length < 1:
+            raise ValueError("scheduler_strip_length must be >= 1")

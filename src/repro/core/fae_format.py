@@ -1,0 +1,106 @@
+"""FAE format: persistence of the preprocessed dataset (paper SS III-B).
+
+Calibration, classification, and batch packing run *once* per dataset;
+subsequent training jobs load the result directly.  The on-disk format is
+a single ``.npz`` archive carrying the hot mask, the packed batch index
+arrays, the per-table hot bags, and the calibration threshold, plus a
+format version for forward compatibility.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.classifier import HotEmbeddingBagSpec
+from repro.core.input_processor import FAEDataset
+
+__all__ = ["save_fae_dataset", "load_fae_dataset", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def save_fae_dataset(
+    path: str | Path,
+    dataset: FAEDataset,
+    bags: dict[str, HotEmbeddingBagSpec],
+    threshold: float,
+) -> None:
+    """Serialize a packed dataset and its hot bags to ``path`` (.npz).
+
+    Args:
+        path: destination file; parent directories must exist.
+        dataset: packed hot/cold batches.
+        bags: hot bag specs by table name.
+        threshold: the calibrated access threshold that produced them.
+    """
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.array(FORMAT_VERSION),
+        "threshold": np.array(threshold, dtype=np.float64),
+        "batch_size": np.array(dataset.batch_size),
+        "hot_mask": dataset.hot_mask,
+        "num_hot_batches": np.array(len(dataset.hot_batches)),
+        "num_cold_batches": np.array(len(dataset.cold_batches)),
+    }
+    for i, batch in enumerate(dataset.hot_batches):
+        payload[f"hot_batch_{i:06d}"] = batch
+    for i, batch in enumerate(dataset.cold_batches):
+        payload[f"cold_batch_{i:06d}"] = batch
+
+    names = sorted(bags)
+    payload["bag_names"] = np.array(names)
+    for name in names:
+        bag = bags[name]
+        payload[f"bag_{name}_hot_ids"] = bag.hot_ids
+        payload[f"bag_{name}_meta"] = np.array(
+            [bag.num_rows, bag.dim, int(bag.whole_table)], dtype=np.int64
+        )
+    np.savez_compressed(path, **payload)
+
+
+def load_fae_dataset(
+    path: str | Path,
+) -> tuple[FAEDataset, dict[str, HotEmbeddingBagSpec], float]:
+    """Load a dataset previously written by :func:`save_fae_dataset`.
+
+    Returns:
+        ``(dataset, bags, threshold)``.
+
+    Raises:
+        ValueError: on a format-version mismatch.
+        FileNotFoundError: if ``path`` does not exist.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"FAE format version {version} unsupported (expected {FORMAT_VERSION})"
+            )
+        threshold = float(archive["threshold"])
+        batch_size = int(archive["batch_size"])
+        hot_mask = archive["hot_mask"]
+        hot_batches = [
+            archive[f"hot_batch_{i:06d}"] for i in range(int(archive["num_hot_batches"]))
+        ]
+        cold_batches = [
+            archive[f"cold_batch_{i:06d}"] for i in range(int(archive["num_cold_batches"]))
+        ]
+        bags: dict[str, HotEmbeddingBagSpec] = {}
+        for name in archive["bag_names"]:
+            name = str(name)
+            num_rows, dim, whole = archive[f"bag_{name}_meta"]
+            bags[name] = HotEmbeddingBagSpec(
+                table_name=name,
+                hot_ids=archive[f"bag_{name}_hot_ids"],
+                num_rows=int(num_rows),
+                dim=int(dim),
+                whole_table=bool(whole),
+            )
+    dataset = FAEDataset(
+        hot_batches=hot_batches,
+        cold_batches=cold_batches,
+        hot_mask=hot_mask,
+        batch_size=batch_size,
+    )
+    return dataset, bags, threshold

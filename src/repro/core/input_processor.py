@@ -1,0 +1,143 @@
+"""Input Processor (paper SS III-B): hot/cold input split and batch packing.
+
+A sparse input is *hot* iff **every** lookup it performs — across all
+tables and all multiplicities — hits a hot embedding row; otherwise it is
+cold.  Mini-batches must be *pure*: a single cold input inside a batch
+would stall the whole batch on a CPU fetch (paper Fig 4 quantifies how
+fast the all-hot probability collapses under naive batching), so the
+processor packs hot and cold inputs into separate mini-batch streams.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classifier import HotEmbeddingBagSpec
+from repro.data.synthetic import SyntheticClickLog
+
+__all__ = ["FAEDataset", "InputProcessor", "all_hot_batch_probability"]
+
+
+def all_hot_batch_probability(hot_input_fraction: float, batch_size: int) -> float:
+    """P(an entire random mini-batch is hot) under naive batching (Fig 4).
+
+    With i.i.d. inputs of which a fraction ``p`` are hot, a random batch
+    of ``B`` inputs is all-hot with probability ``p**B`` — which collapses
+    for large ``B`` even at ``p = 0.99``, motivating explicit packing.
+    """
+    if not 0 <= hot_input_fraction <= 1:
+        raise ValueError(f"hot_input_fraction must be in [0, 1], got {hot_input_fraction}")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    return float(hot_input_fraction**batch_size)
+
+
+@dataclass
+class FAEDataset:
+    """A click log pre-packed into pure-hot and pure-cold mini-batches.
+
+    Attributes:
+        hot_batches: list of int64 index arrays, each a pure-hot batch.
+        cold_batches: list of int64 index arrays, each a pure-cold batch.
+        hot_mask: per-input hotness over the full log.
+        batch_size: packing batch size.
+    """
+
+    hot_batches: list[np.ndarray]
+    cold_batches: list[np.ndarray]
+    hot_mask: np.ndarray
+    batch_size: int
+
+    @property
+    def num_hot_inputs(self) -> int:
+        return int(np.count_nonzero(self.hot_mask))
+
+    @property
+    def num_inputs(self) -> int:
+        return int(self.hot_mask.shape[0])
+
+    @property
+    def hot_input_fraction(self) -> float:
+        return self.num_hot_inputs / self.num_inputs if self.num_inputs else 0.0
+
+    def batch_counts(self) -> tuple[int, int]:
+        return len(self.hot_batches), len(self.cold_batches)
+
+
+class InputProcessor:
+    """Classifies inputs against hot bags and packs pure mini-batches.
+
+    Args:
+        bags: hot bag specs from the :class:`EmbeddingClassifier`.
+        seed: shuffle seed for batch packing.
+    """
+
+    def __init__(self, bags: dict[str, HotEmbeddingBagSpec], seed: int = 0) -> None:
+        self.bags = bags
+        self.seed = seed
+        self.last_classify_seconds = 0.0
+        self._masks = {name: bag.hot_mask() for name, bag in bags.items()}
+
+    def classify_inputs(self, log: SyntheticClickLog) -> np.ndarray:
+        """Boolean hot mask over the log's inputs.
+
+        One vectorized pass per table: an input stays hot while every id
+        it looks up is in that table's hot bag.
+        """
+        start = time.perf_counter()
+        hot = np.ones(len(log), dtype=bool)
+        for name, ids in log.sparse.items():
+            bag = self.bags.get(name)
+            if bag is None:
+                raise KeyError(f"no hot bag for table {name!r}")
+            if bag.whole_table:
+                continue
+            hot &= self._masks[name][ids].all(axis=1)
+        self.last_classify_seconds = time.perf_counter() - start
+        return hot
+
+    def pack(
+        self,
+        log: SyntheticClickLog,
+        batch_size: int,
+        drop_last: bool = False,
+        shuffle: bool = True,
+    ) -> FAEDataset:
+        """Classify and pack ``log`` into pure hot/cold mini-batches.
+
+        Args:
+            log: the training inputs.
+            batch_size: samples per mini-batch.
+            drop_last: drop trailing short batches from each stream.
+            shuffle: shuffle within each stream before chunking.
+
+        Returns:
+            The packed :class:`FAEDataset` (persist it with
+            :func:`repro.core.fae_format.save_fae_dataset`).
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        hot_mask = self.classify_inputs(log)
+        rng = np.random.default_rng(self.seed)
+
+        def chunk(indices: np.ndarray) -> list[np.ndarray]:
+            if shuffle:
+                rng.shuffle(indices)
+            stop = (len(indices) // batch_size) * batch_size if drop_last else len(indices)
+            return [
+                indices[start : start + batch_size]
+                for start in range(0, stop, batch_size)
+                if len(indices[start : start + batch_size]) > 0
+            ]
+
+        hot_indices = np.flatnonzero(hot_mask).astype(np.int64)
+        cold_indices = np.flatnonzero(~hot_mask).astype(np.int64)
+        return FAEDataset(
+            hot_batches=chunk(hot_indices),
+            cold_batches=chunk(cold_indices),
+            hot_mask=hot_mask,
+            batch_size=batch_size,
+        )

@@ -1,0 +1,122 @@
+"""End-to-end FAE static preprocessing (paper Fig 5, left half).
+
+:func:`fae_preprocess` chains Calibrator -> Embedding Classifier ->
+Input Processor into a single call returning a :class:`FAEPlan`: the
+access threshold, the hot bags, the packed hot/cold mini-batches, and
+profiling/latency telemetry.  Training code (and the benchmarks) start
+from the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.calibrator import Calibrator, CalibratorOutput
+from repro.core.classifier import EmbeddingClassifier, HotEmbeddingBagSpec
+from repro.core.config import FAEConfig
+from repro.core.fae_format import save_fae_dataset
+from repro.core.input_processor import FAEDataset, InputProcessor
+from repro.data.synthetic import SyntheticClickLog
+
+__all__ = ["FAEPlan", "fae_preprocess"]
+
+
+@dataclass(frozen=True)
+class FAEPlan:
+    """Everything the FAE runtime needs, produced once per dataset.
+
+    Attributes:
+        config: the configuration the plan was built under.
+        calibration: calibrator telemetry (profile, threshold search).
+        bags: hot bag specs per table.
+        dataset: packed pure-hot / pure-cold mini-batches.
+        classify_seconds: input-processor classification wall time.
+    """
+
+    config: FAEConfig
+    calibration: CalibratorOutput
+    bags: dict[str, HotEmbeddingBagSpec]
+    dataset: FAEDataset
+    classify_seconds: float
+
+    @property
+    def threshold(self) -> float:
+        return self.calibration.threshold
+
+    @property
+    def hot_bytes(self) -> int:
+        return EmbeddingClassifier.total_hot_bytes(self.bags)
+
+    @property
+    def hot_input_fraction(self) -> float:
+        return self.dataset.hot_input_fraction
+
+    def save(self, path: str | Path) -> None:
+        """Persist the packed dataset + bags in the FAE format."""
+        save_fae_dataset(path, self.dataset, self.bags, self.threshold)
+
+    def summary(self) -> str:
+        """Human-readable plan overview (examples print this)."""
+        hot_mib = self.hot_bytes / 2**20
+        total_mib = self.calibration.profile.schema.total_embedding_bytes / 2**20
+        num_hot, num_cold = self.dataset.batch_counts()
+        return (
+            f"threshold={self.threshold:g}  hot embeddings {hot_mib:.1f} MiB "
+            f"(of {total_mib:.1f} MiB)  hot inputs "
+            f"{100 * self.hot_input_fraction:.1f}%  batches: {num_hot} hot / {num_cold} cold"
+        )
+
+
+def fae_preprocess(
+    log: SyntheticClickLog,
+    config: FAEConfig | None = None,
+    batch_size: int = 1024,
+    drop_last: bool = False,
+    allocation: str = "threshold",
+) -> FAEPlan:
+    """Run the complete static FAE pipeline over a click log.
+
+    Args:
+        log: training inputs.
+        config: FAE knobs; defaults to the paper's settings.
+        batch_size: mini-batch size to pack (weak-scaled by caller).
+        drop_last: drop trailing short batches.
+        allocation: how the GPU budget is split across tables —
+            ``"threshold"`` is the paper's global access threshold;
+            ``"greedy-product"`` optimizes the hot-input product directly
+            (see :mod:`repro.core.allocation`), which pays off on
+            sequence workloads with uneven lookup multiplicities.
+
+    Returns:
+        The preprocessing plan (persist with :meth:`FAEPlan.save`).
+
+    Raises:
+        ValueError: on an unknown allocation policy.
+    """
+    config = config or FAEConfig()
+    calibration = Calibrator(config).calibrate(log)
+    if allocation == "threshold":
+        bags = EmbeddingClassifier(config).classify(
+            calibration.profile, calibration.threshold
+        )
+    elif allocation == "greedy-product":
+        from repro.core.allocation import greedy_product_allocation
+
+        result = greedy_product_allocation(
+            calibration.profile, config.gpu_memory_budget
+        )
+        bags = result.to_bag_specs(calibration.profile)
+    else:
+        raise ValueError(
+            f"unknown allocation {allocation!r}; expected threshold|greedy-product"
+        )
+    processor = InputProcessor(bags, seed=config.seed)
+    dataset = processor.pack(log, batch_size=batch_size, drop_last=drop_last)
+    return FAEPlan(
+        config=config,
+        calibration=calibration,
+        bags=bags,
+        dataset=dataset,
+        classify_seconds=processor.last_classify_seconds,
+    )

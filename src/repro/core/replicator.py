@@ -1,0 +1,240 @@
+"""Embedding Replicator (paper SS III-C): hot bags on every GPU.
+
+The replicator extracts each table's hot rows into a compact *hot bag*,
+replicates the bags across the GPUs, and keeps the copies consistent:
+
+- within a hot run, data-parallel GPUs all-reduce gradients before the
+  optimizer step, so replicas evolve in lock-step;
+- at a hot -> cold transition, replica rows are written back into the CPU
+  master tables (cold inputs can touch hot rows too);
+- at a cold -> hot transition, replicas are refreshed from the masters.
+
+Because lookups arrive with *global* row ids, :class:`HotEmbeddingBag`
+remaps them to bag-local positions; this is the drop-in bag the FAE
+trainer swaps into the model for hot mini-batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.classifier import HotEmbeddingBagSpec
+from repro.nn.embedding import EmbeddingTable
+from repro.nn.parameter import Parameter
+
+__all__ = ["HotBag", "HotEmbeddingBag", "EmbeddingReplicator"]
+
+
+class HotBag:
+    """A compact, GPU-resident copy of one table's hot rows.
+
+    Args:
+        spec: which rows are hot.
+        values: ``(num_hot, dim)`` initial row values (copied).
+        replica_id: which GPU this copy lives on (diagnostic).
+    """
+
+    def __init__(self, spec: HotEmbeddingBagSpec, values: np.ndarray, replica_id: int = 0) -> None:
+        if values.shape != (spec.num_hot, spec.dim):
+            raise ValueError(
+                f"{spec.table_name}: expected values {(spec.num_hot, spec.dim)}, got {values.shape}"
+            )
+        self.spec = spec
+        self.replica_id = replica_id
+        self.weight = Parameter(f"{spec.table_name}.hot[{replica_id}]", values.copy())
+
+    @property
+    def nbytes(self) -> int:
+        return self.weight.nbytes
+
+    def to_local(self, global_ids: np.ndarray) -> np.ndarray:
+        """Map global row ids to bag-local positions.
+
+        Raises:
+            KeyError: if any id is not in the hot bag — the input
+                processor guarantees hot batches never do this, so a miss
+                indicates a misclassified input.
+        """
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        local = np.searchsorted(self.spec.hot_ids, global_ids)
+        in_range = local < self.spec.num_hot
+        ok = in_range.copy()
+        ok[in_range] = self.spec.hot_ids[local[in_range]] == global_ids[in_range]
+        if not ok.all():
+            missing = np.unique(global_ids[~ok])[:5]
+            raise KeyError(
+                f"{self.spec.table_name}: ids {missing.tolist()} are not hot — "
+                "a cold input leaked into a hot mini-batch"
+            )
+        return local
+
+    def contains(self, global_ids: np.ndarray) -> np.ndarray:
+        """Vectorized hot-membership test (no exception)."""
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        local = np.searchsorted(self.spec.hot_ids, global_ids)
+        in_range = local < self.spec.num_hot
+        result = in_range.copy()
+        result[in_range] = self.spec.hot_ids[local[in_range]] == global_ids[in_range]
+        return result
+
+
+class HotEmbeddingBag:
+    """EmbeddingBag-compatible pooled lookup over a :class:`HotBag`.
+
+    Swapping this in for the master-table bag is what moves a table's hot
+    execution onto the GPU replica.
+    """
+
+    def __init__(self, bag: HotBag, mode: str = "mean") -> None:
+        if mode not in ("mean", "sum"):
+            raise ValueError(f"mode must be 'mean' or 'sum', got {mode!r}")
+        self.bag = bag
+        self.mode = mode
+        self._local_ids: np.ndarray | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.bag.weight]
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim == 1:
+            ids = ids[:, None]
+        local = self.bag.to_local(ids.ravel()).reshape(ids.shape)
+        self._local_ids = local
+        gathered = self.bag.weight.value[local]
+        if self.mode == "mean":
+            return gathered.mean(axis=1)
+        return gathered.sum(axis=1)
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        if self._local_ids is None:
+            raise RuntimeError("backward called before forward")
+        local = self._local_ids
+        _, multiplicity = local.shape
+        scale = 1.0 / multiplicity if self.mode == "mean" else 1.0
+        row_grads = np.repeat(grad_out * scale, multiplicity, axis=0).astype(np.float32)
+        self.bag.weight.accumulate_sparse(local.ravel(), row_grads)
+        self._local_ids = None
+
+    def sequence_forward(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim != 2:
+            raise ValueError("sequence_forward expects (B, m) ids")
+        local = self.bag.to_local(ids.ravel()).reshape(ids.shape)
+        self._local_ids = local
+        return self.bag.weight.value[local]
+
+    def sequence_backward(self, grad_out: np.ndarray) -> None:
+        if self._local_ids is None:
+            raise RuntimeError("backward called before forward")
+        local = self._local_ids
+        flat = grad_out.reshape(-1, self.bag.spec.dim).astype(np.float32)
+        self.bag.weight.accumulate_sparse(local.ravel(), flat)
+        self._local_ids = None
+
+
+class EmbeddingReplicator:
+    """Creates and synchronizes per-GPU hot-bag replicas.
+
+    Args:
+        tables: CPU master tables by name.
+        bag_specs: hot bag specs from the classifier.
+        num_replicas: number of GPUs holding a copy.
+        pooling: bag pooling mode matching the model.
+    """
+
+    def __init__(
+        self,
+        tables: dict[str, EmbeddingTable],
+        bag_specs: dict[str, HotEmbeddingBagSpec],
+        num_replicas: int = 1,
+        pooling: str = "mean",
+    ) -> None:
+        if num_replicas <= 0:
+            raise ValueError(f"num_replicas must be positive, got {num_replicas}")
+        missing = set(bag_specs) - set(tables)
+        if missing:
+            raise KeyError(f"bag specs without master tables: {sorted(missing)}")
+        self.tables = tables
+        self.bag_specs = bag_specs
+        self.num_replicas = num_replicas
+        self.pooling = pooling
+        self.replicas: list[dict[str, HotBag]] = []
+        self.sync_events = 0
+        self.replicate()
+
+    def replicate(self) -> None:
+        """(Re)build every replica from the CPU master tables."""
+        self.replicas = [
+            {
+                name: HotBag(spec, self.tables[name].subset(spec.hot_ids), replica_id=r)
+                for name, spec in self.bag_specs.items()
+            }
+            for r in range(self.num_replicas)
+        ]
+
+    def bags_for_replica(self, replica_id: int) -> dict[str, HotEmbeddingBag]:
+        """Model-facing pooled bags for one GPU's replica."""
+        return {
+            name: HotEmbeddingBag(bag, mode=self.pooling)
+            for name, bag in self.replicas[replica_id].items()
+        }
+
+    def all_reduce_gradients(self) -> None:
+        """Sum sparse gradients across replicas and share the result.
+
+        Mirrors the paper's single fused all-reduce over embedding and
+        neural-network gradients (SS II-B(3)): after this call every
+        replica holds identical gradient state, so identical optimizer
+        steps keep the copies bit-equal.
+        """
+        for name in self.bag_specs:
+            combined: list = []
+            for replica in self.replicas:
+                combined.extend(replica[name].weight.sparse_grads)
+            for replica in self.replicas:
+                replica[name].weight.sparse_grads = [
+                    type(g)(ids=g.ids.copy(), values=g.values.copy()) for g in combined
+                ]
+
+    def sync_to_master(self) -> int:
+        """Write replica-0 hot rows into the CPU master tables.
+
+        Called on a hot -> cold transition.  Returns bytes moved (one
+        direction), which the hardware simulator charges to the PCIe link.
+        """
+        moved = 0
+        for name, spec in self.bag_specs.items():
+            bag = self.replicas[0][name]
+            self.tables[name].write_rows(spec.hot_ids, bag.weight.value)
+            moved += bag.nbytes
+        self.sync_events += 1
+        return moved
+
+    def sync_from_master(self) -> int:
+        """Refresh every replica's rows from the CPU master tables.
+
+        Called on a cold -> hot transition.  Returns bytes moved per GPU.
+        """
+        moved = 0
+        for name, spec in self.bag_specs.items():
+            fresh = self.tables[name].subset(spec.hot_ids)
+            for replica in self.replicas:
+                replica[name].weight.value[...] = fresh
+            moved += fresh.nbytes
+        self.sync_events += 1
+        return moved
+
+    def max_replica_divergence(self) -> float:
+        """Largest absolute difference between any two replicas (should be 0)."""
+        worst = 0.0
+        for name in self.bag_specs:
+            reference = self.replicas[0][name].weight.value
+            for replica in self.replicas[1:]:
+                diff = np.abs(replica[name].weight.value - reference).max(initial=0.0)
+                worst = max(worst, float(diff))
+        return worst
+
+    def total_hot_bytes(self) -> int:
+        """Per-GPU footprint of one full replica."""
+        return sum(bag.nbytes for bag in self.replicas[0].values())

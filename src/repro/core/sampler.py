@@ -1,0 +1,85 @@
+"""Sparse Input Sampler (paper SS III-A.1).
+
+Profiling every input of a 45-80M-sample dataset is the dominant cost of
+a naive calibrator.  The sampler instead draws a uniform random x% subset
+of input positions; because inputs are i.i.d. draws from the underlying
+popularity distribution, the sampled access profile converges to the full
+profile (paper Fig 7 shows 5% suffices), at a 19-55x latency saving
+(Fig 8).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticClickLog
+
+__all__ = ["SparseInputSampler", "SampleResult"]
+
+
+@dataclass(frozen=True)
+class SampleResult:
+    """Outcome of one sampling pass.
+
+    Attributes:
+        indices: sorted int64 positions of the sampled inputs.
+        num_total_inputs: size of the full input set.
+        elapsed_seconds: wall time of the sampling pass itself.
+    """
+
+    indices: np.ndarray
+    num_total_inputs: int
+    elapsed_seconds: float
+
+    @property
+    def num_sampled(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def rate(self) -> float:
+        return self.num_sampled / self.num_total_inputs
+
+
+class SparseInputSampler:
+    """Uniform random sampler over input positions.
+
+    Args:
+        sample_rate: fraction ``x`` of inputs to keep, in ``(0, 1]``.
+        seed: sampling seed.
+    """
+
+    def __init__(self, sample_rate: float, seed: int = 0) -> None:
+        if not 0 < sample_rate <= 1:
+            raise ValueError(f"sample_rate must be in (0, 1], got {sample_rate}")
+        self.sample_rate = sample_rate
+        self.seed = seed
+
+    def sample(self, log: SyntheticClickLog) -> SampleResult:
+        """Draw the sample from ``log``.
+
+        At least one input is always kept so downstream stages never see
+        an empty profile.
+        """
+        start = time.perf_counter()
+        total = len(log)
+        keep = max(1, int(round(total * self.sample_rate)))
+        rng = np.random.default_rng(self.seed)
+        indices = np.sort(rng.choice(total, size=keep, replace=False)).astype(np.int64)
+        return SampleResult(
+            indices=indices,
+            num_total_inputs=total,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def sample_all(self, log: SyntheticClickLog) -> SampleResult:
+        """The naive full-dataset "sample" (baseline for Fig 8)."""
+        start = time.perf_counter()
+        total = len(log)
+        return SampleResult(
+            indices=np.arange(total, dtype=np.int64),
+            num_total_inputs=total,
+            elapsed_seconds=time.perf_counter() - start,
+        )

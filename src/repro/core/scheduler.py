@@ -1,0 +1,158 @@
+"""Shuffle Scheduler (paper SS III-C, Eq. 7): adaptive hot/cold interleaving.
+
+Training only on hot mini-batches for long stretches updates only the hot
+rows and hurts convergence; swapping every batch maximizes randomness but
+pays a hot-bag synchronization per swap.  The scheduler balances the two
+with a *rate* ``r`` in [1, 100]: each segment issues ``r%`` of the cold
+pool, then ``r%`` of the hot pool, and so on (cold first — cold inputs
+touch the widest range of rows).  After every completed segment the
+caller reports the test loss and the rate adapts:
+
+- test loss **increased** -> halve ``r`` (more interleaving), floor R(1);
+- test loss improved ``u`` consecutive times -> double ``r`` (fewer
+  syncs), cap R(100);
+- otherwise ``r`` is unchanged.
+
+The paper starts at R(50) and uses ``u = 4`` (after Prechelt's
+early-stopping strip heuristic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ScheduleEvent", "ShuffleScheduler"]
+
+
+@dataclass(frozen=True)
+class ScheduleEvent:
+    """One completed segment of the schedule.
+
+    Attributes:
+        kind: ``"hot"`` or ``"cold"``.
+        num_batches: mini-batches issued in the segment.
+        rate: the rate in force when the segment was planned.
+        test_loss: loss reported after the segment (None until recorded).
+    """
+
+    kind: str
+    num_batches: int
+    rate: int
+    test_loss: float | None = None
+
+
+class ShuffleScheduler:
+    """Plans hot/cold segments and adapts the rate from test loss.
+
+    Args:
+        num_hot_batches: size of the hot mini-batch pool.
+        num_cold_batches: size of the cold mini-batch pool.
+        initial_rate: starting rate R(.), paper default 50.
+        strip_length: ``u`` consecutive improvements before doubling.
+    """
+
+    MIN_RATE = 1
+    MAX_RATE = 100
+
+    def __init__(
+        self,
+        num_hot_batches: int,
+        num_cold_batches: int,
+        initial_rate: int = 50,
+        strip_length: int = 4,
+    ) -> None:
+        if num_hot_batches < 0 or num_cold_batches < 0:
+            raise ValueError("batch pool sizes must be non-negative")
+        if not self.MIN_RATE <= initial_rate <= self.MAX_RATE:
+            raise ValueError(f"initial_rate must be in [1, 100], got {initial_rate}")
+        if strip_length < 1:
+            raise ValueError("strip_length must be >= 1")
+        self.total_hot = num_hot_batches
+        self.total_cold = num_cold_batches
+        self.remaining_hot = num_hot_batches
+        self.remaining_cold = num_cold_batches
+        self.rate = initial_rate
+        self.strip_length = strip_length
+        self.history: list[ScheduleEvent] = []
+        self.transitions = 0
+        self._improvement_streak = 0
+        self._last_loss: float | None = None
+        self._next_kind = "cold"  # the scheduler always begins with cold
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def _segment_size(self, kind: str) -> int:
+        pool = self.total_cold if kind == "cold" else self.total_hot
+        return max(1, round(pool * self.rate / 100))
+
+    def next_segment(self) -> ScheduleEvent | None:
+        """Plan the next segment, or None when both pools are drained."""
+        if self.remaining_hot == 0 and self.remaining_cold == 0:
+            return None
+
+        kind = self._next_kind
+        if kind == "cold" and self.remaining_cold == 0:
+            kind = "hot"
+        elif kind == "hot" and self.remaining_hot == 0:
+            kind = "cold"
+
+        available = self.remaining_cold if kind == "cold" else self.remaining_hot
+        count = min(self._segment_size(kind), available)
+
+        if kind == "cold":
+            self.remaining_cold -= count
+        else:
+            self.remaining_hot -= count
+
+        if self.history and self.history[-1].kind != kind:
+            self.transitions += 1
+        event = ScheduleEvent(kind=kind, num_batches=count, rate=self.rate)
+        self.history.append(event)
+        self._next_kind = "hot" if kind == "cold" else "cold"
+        return event
+
+    def segments(self):
+        """Iterate all remaining segments (rate still adapts mid-flight)."""
+        while True:
+            segment = self.next_segment()
+            if segment is None:
+                return
+            yield segment
+
+    # ------------------------------------------------------------------
+    # Rate adaptation (Eq. 7)
+    # ------------------------------------------------------------------
+
+    def record_test_loss(self, loss: float) -> None:
+        """Report the post-segment test loss and adapt the rate."""
+        if self.history:
+            last = self.history[-1]
+            self.history[-1] = ScheduleEvent(
+                kind=last.kind, num_batches=last.num_batches, rate=last.rate, test_loss=loss
+            )
+        if self._last_loss is not None:
+            if loss > self._last_loss:
+                self.rate = max(self.MIN_RATE, self.rate // 2)
+                self._improvement_streak = 0
+            else:
+                self._improvement_streak += 1
+                if self._improvement_streak >= self.strip_length:
+                    self.rate = min(self.MAX_RATE, self.rate * 2)
+                    self._improvement_streak = 0
+        self._last_loss = loss
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining_hot == 0 and self.remaining_cold == 0
+
+    def reset_epoch(self) -> None:
+        """Refill both pools for the next epoch; rate and history persist."""
+        self.remaining_hot = self.total_hot
+        self.remaining_cold = self.total_cold
+        self._next_kind = "cold"

@@ -1,0 +1,143 @@
+"""Streaming access counting with a Count-Min Sketch.
+
+The Embedding Logger keeps one exact counter per embedding row — cheap at
+Kaggle scale, but a Terabyte-class deployment profiling many models
+concurrently may not want 26 x 73M counters per job.  A Count-Min Sketch
+bounds memory at a fixed ``width x depth`` grid with a one-sided error
+guarantee: estimates never undercount, and overcount by at most
+``epsilon * total`` with probability ``1 - delta`` for
+``width = ceil(e / epsilon)``, ``depth = ceil(ln(1/delta))``.
+
+Overcounting is the *safe* direction for FAE: a row whose count is
+inflated gets classified hot (wasting a few bytes of GPU memory), never
+cold (which would poison pure-hot batches).  :class:`SketchLogger` is a
+drop-in alternative to :class:`~repro.core.embedding_logger.EmbeddingLogger`
+that produces the same :class:`~repro.core.access_profile.AccessProfile`
+surface from sketched counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.access_profile import AccessProfile, TableProfile
+from repro.core.config import FAEConfig
+from repro.data.synthetic import SyntheticClickLog
+
+__all__ = ["CountMinSketch", "SketchLogger"]
+
+
+class CountMinSketch:
+    """Count-Min Sketch over non-negative integer item ids.
+
+    Args:
+        width: counters per row (error scale ~ total/width).
+        depth: independent hash rows (failure probability ~ exp(-depth)).
+        seed: hash-parameter seed.
+    """
+
+    #: A large Mersenne prime for universal hashing.
+    _PRIME = (1 << 61) - 1
+
+    def __init__(self, width: int, depth: int, seed: int = 0) -> None:
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        rng = np.random.default_rng(seed)
+        self._a = rng.integers(1, self._PRIME, size=depth, dtype=np.int64)
+        self._b = rng.integers(0, self._PRIME, size=depth, dtype=np.int64)
+        self.table = np.zeros((depth, width), dtype=np.int64)
+        self.total = 0
+
+    @classmethod
+    def from_error_bounds(cls, epsilon: float, delta: float, seed: int = 0) -> "CountMinSketch":
+        """Size a sketch for overcount <= ``epsilon * total`` w.p. ``1 - delta``."""
+        if not 0 < epsilon < 1 or not 0 < delta < 1:
+            raise ValueError("epsilon and delta must be in (0, 1)")
+        width = int(np.ceil(np.e / epsilon))
+        depth = int(np.ceil(np.log(1.0 / delta)))
+        return cls(width=width, depth=max(1, depth), seed=seed)
+
+    def _buckets(self, ids: np.ndarray) -> np.ndarray:
+        """(depth, n) bucket indices via universal hashing."""
+        ids = np.asarray(ids, dtype=np.int64)
+        # ((a*x + b) mod p) mod width, row-wise.
+        hashed = (self._a[:, None] * ids[None, :] + self._b[:, None]) % self._PRIME
+        return (hashed % self.width).astype(np.int64)
+
+    def add(self, ids: np.ndarray) -> None:
+        """Count one access for every id in ``ids`` (duplicates counted)."""
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        if ids.size == 0:
+            return
+        buckets = self._buckets(ids)
+        for row in range(self.depth):
+            np.add.at(self.table[row], buckets[row], 1)
+        self.total += int(ids.size)
+
+    def query(self, ids: np.ndarray) -> np.ndarray:
+        """Estimated counts (never below the true counts)."""
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        if ids.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        buckets = self._buckets(ids)
+        estimates = np.min(
+            np.stack([self.table[row, buckets[row]] for row in range(self.depth)]),
+            axis=0,
+        )
+        return estimates.astype(np.int64)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.table.nbytes)
+
+
+class SketchLogger:
+    """Access profiling through Count-Min Sketches (one per large table).
+
+    Args:
+        config: FAE configuration (large-table cutoff).
+        epsilon: relative overcount bound per sketch.
+        delta: failure probability per sketch.
+    """
+
+    def __init__(self, config: FAEConfig, epsilon: float = 1e-4, delta: float = 1e-3) -> None:
+        self.config = config
+        self.epsilon = epsilon
+        self.delta = delta
+        self.last_sketch_bytes = 0
+
+    def profile(self, log: SyntheticClickLog, sample_indices: np.ndarray) -> AccessProfile:
+        """Sketch-based counterpart of ``EmbeddingLogger.profile``.
+
+        The returned profile materializes per-row *estimates* by querying
+        the sketch for every row id — still smaller than exact counting
+        in streaming settings because the counting state is bounded while
+        the stream flows.
+        """
+        sample_indices = np.asarray(sample_indices, dtype=np.int64)
+        if sample_indices.size == 0:
+            raise ValueError("sample_indices must be non-empty")
+
+        tables: dict[str, TableProfile] = {}
+        self.last_sketch_bytes = 0
+        for spec in log.schema.large_tables(self.config.large_table_min_bytes):
+            sketch = CountMinSketch.from_error_bounds(
+                self.epsilon, self.delta, seed=self.config.seed
+            )
+            sketch.add(log.sparse[spec.name][sample_indices])
+            self.last_sketch_bytes += sketch.nbytes
+            counts = sketch.query(np.arange(spec.num_rows))
+            # Rows never touched can still alias to non-empty buckets;
+            # exact-zero traffic is recoverable because CMS never
+            # undercounts: a row with estimate 0 truly has count 0, and
+            # rows that alias keep their (safe) overcount.
+            tables[spec.name] = TableProfile(name=spec.name, counts=counts, dim=spec.dim)
+
+        return AccessProfile(
+            schema=log.schema,
+            tables=tables,
+            num_sampled_inputs=int(sample_indices.shape[0]),
+            num_total_inputs=len(log),
+        )

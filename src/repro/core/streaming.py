@@ -1,0 +1,250 @@
+"""Streaming FAE: calibration and pure-batch packing over chunked input.
+
+The static pipeline in :mod:`repro.core.pipeline` assumes the training
+log fits in memory.  Terabyte-scale deployments stream instead; this
+module provides the single-pass equivalents:
+
+- :class:`ReservoirSampler` — a uniform random sample of a stream of
+  unknown length (Vitter's Algorithm R), replacing the Sparse Input
+  Sampler's random-index draw.
+- :class:`StreamingCalibrator` — one pass over the stream: reservoir-
+  samples inputs while feeding per-table Count-Min Sketches, then runs
+  the standard Statistical Optimizer on the sketched profile.
+- :class:`StreamingPacker` — classifies each incoming chunk against the
+  hot bags and incrementally emits pure-hot / pure-cold mini-batches at
+  constant memory (two partial-batch buffers).
+
+Together they make the FAE front-end a true streaming operator:
+``stream -> calibrate (pass 1) -> classify+pack (pass 2) -> trainer``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.access_profile import AccessProfile, TableProfile
+from repro.core.classifier import EmbeddingClassifier, HotEmbeddingBagSpec
+from repro.core.config import FAEConfig
+from repro.core.optimizer import CalibrationResult, StatisticalOptimizer
+from repro.core.sketch import CountMinSketch
+from repro.data.loader import MiniBatch
+from repro.data.log import ClickLog
+
+__all__ = ["ReservoirSampler", "StreamingCalibrator", "StreamingPacker"]
+
+
+class ReservoirSampler:
+    """Uniform sample of ``capacity`` items from a stream (Algorithm R).
+
+    Items are arbitrary objects (we store row payloads); after observing
+    ``n >= capacity`` items, every observed item is in the reservoir with
+    probability ``capacity / n``.
+    """
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.items: list = []
+        self.observed = 0
+        self._rng = np.random.default_rng(seed)
+
+    def offer(self, item) -> None:
+        """Observe one stream item."""
+        self.observed += 1
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            return
+        slot = int(self._rng.integers(0, self.observed))
+        if slot < self.capacity:
+            self.items[slot] = item
+
+    def offer_many(self, items) -> None:
+        for item in items:
+            self.offer(item)
+
+    @property
+    def is_uniform_yet(self) -> bool:
+        """True once the reservoir has cycled at least once."""
+        return self.observed >= self.capacity
+
+
+@dataclass(frozen=True)
+class StreamingCalibration:
+    """Outcome of a one-pass streaming calibration.
+
+    Attributes:
+        profile: sketched access profile (large tables).
+        result: threshold search outcome.
+        bags: hot bags classified from the sketched profile.
+        observed_samples: stream length consumed.
+        sketch_bytes: total sketch memory used.
+    """
+
+    profile: AccessProfile
+    result: CalibrationResult
+    bags: dict[str, HotEmbeddingBagSpec]
+    observed_samples: int
+    sketch_bytes: int
+
+    @property
+    def threshold(self) -> float:
+        return self.result.threshold
+
+
+class StreamingCalibrator:
+    """Single-pass calibration over a chunked stream.
+
+    Args:
+        config: FAE configuration.  ``sample_rate`` governs how much of
+            the stream feeds the sketches (per-chunk Bernoulli draws keep
+            the pass single and the sample unbiased).
+        epsilon: Count-Min relative-overcount bound.
+        delta: Count-Min failure probability.
+    """
+
+    def __init__(self, config: FAEConfig, epsilon: float = 1e-4, delta: float = 1e-3) -> None:
+        self.config = config
+        self.epsilon = epsilon
+        self.delta = delta
+
+    def calibrate(self, stream) -> StreamingCalibration:
+        """Consume the stream once and produce threshold + hot bags.
+
+        Args:
+            stream: an iterable of ``(start_index, ClickLog)`` chunks
+                (e.g. :class:`~repro.data.stream.SyntheticClickStream`).
+        """
+        rng = np.random.default_rng(self.config.seed)
+        sketches: dict[str, CountMinSketch] = {}
+        schema = None
+        sampled = 0
+        observed = 0
+
+        for _start, chunk in stream:
+            if schema is None:
+                schema = chunk.schema
+                for spec in schema.large_tables(self.config.large_table_min_bytes):
+                    sketches[spec.name] = CountMinSketch.from_error_bounds(
+                        self.epsilon, self.delta, seed=self.config.seed
+                    )
+            observed += len(chunk)
+            keep = rng.random(len(chunk)) < self.config.sample_rate
+            count = int(keep.sum())
+            if count == 0:
+                continue
+            sampled += count
+            for name, sketch in sketches.items():
+                sketch.add(chunk.sparse[name][keep])
+
+        if schema is None or sampled == 0:
+            raise ValueError("stream produced no sampled inputs")
+
+        tables = {
+            name: TableProfile(
+                name=name,
+                counts=sketch.query(np.arange(schema.table(name).num_rows)),
+                dim=schema.table(name).dim,
+            )
+            for name, sketch in sketches.items()
+        }
+        profile = AccessProfile(
+            schema=schema,
+            tables=tables,
+            num_sampled_inputs=sampled,
+            num_total_inputs=observed,
+        )
+        result = StatisticalOptimizer(self.config).converge(profile)
+        bags = EmbeddingClassifier(self.config).classify(profile, result.threshold)
+        return StreamingCalibration(
+            profile=profile,
+            result=result,
+            bags=bags,
+            observed_samples=observed,
+            sketch_bytes=sum(s.nbytes for s in sketches.values()),
+        )
+
+
+class StreamingPacker:
+    """Incremental pure-batch packing over a chunked stream.
+
+    Feeds chunks, classifies every input against the hot bags, buffers
+    hot and cold rows separately, and emits a full :class:`MiniBatch`
+    whenever a buffer reaches ``batch_size`` — constant memory regardless
+    of stream length.
+
+    Args:
+        bags: hot bag specs from (streaming or static) calibration.
+        batch_size: emitted mini-batch size.
+    """
+
+    def __init__(self, bags: dict[str, HotEmbeddingBagSpec], batch_size: int) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.bags = bags
+        self.batch_size = batch_size
+        self._masks = {name: bag.hot_mask() for name, bag in bags.items()}
+        self._buffers = {True: [], False: []}  # hot -> list of row dicts
+        self.emitted = {"hot": 0, "cold": 0}
+
+    def _classify(self, chunk: ClickLog) -> np.ndarray:
+        hot = np.ones(len(chunk), dtype=bool)
+        for name, ids in chunk.sparse.items():
+            bag = self.bags.get(name)
+            if bag is None:
+                raise KeyError(f"no hot bag for table {name!r}")
+            if bag.whole_table:
+                continue
+            hot &= self._masks[name][ids].all(axis=1)
+        return hot
+
+    def _emit_from(self, hot: bool) -> Iterator[MiniBatch]:
+        buffer = self._buffers[hot]
+        while len(buffer) >= self.batch_size:
+            rows, self._buffers[hot] = buffer[: self.batch_size], buffer[self.batch_size :]
+            buffer = self._buffers[hot]
+            yield self._materialize(rows, hot)
+
+    def _materialize(self, rows: list[dict], hot: bool) -> MiniBatch:
+        kind = "hot" if hot else "cold"
+        self.emitted[kind] += 1
+        return MiniBatch(
+            dense=np.stack([r["dense"] for r in rows]),
+            sparse={
+                name: np.stack([r["sparse"][name] for r in rows])
+                for name in rows[0]["sparse"]
+            },
+            labels=np.array([r["label"] for r in rows], dtype=np.float32),
+            indices=np.array([r["index"] for r in rows], dtype=np.int64),
+            hot=hot,
+        )
+
+    def feed(self, start_index: int, chunk: ClickLog) -> Iterator[MiniBatch]:
+        """Ingest one chunk; yield any completed pure mini-batches."""
+        hot_mask = self._classify(chunk)
+        for i in range(len(chunk)):
+            self._buffers[bool(hot_mask[i])].append(
+                {
+                    "dense": chunk.dense[i],
+                    "sparse": {name: ids[i] for name, ids in chunk.sparse.items()},
+                    "label": float(chunk.labels[i]),
+                    "index": start_index + i,
+                }
+            )
+        yield from self._emit_from(True)
+        yield from self._emit_from(False)
+
+    def flush(self) -> Iterator[MiniBatch]:
+        """Emit the remaining partial batches (end of stream)."""
+        for hot in (True, False):
+            rows = self._buffers[hot]
+            self._buffers[hot] = []
+            if rows:
+                yield self._materialize(rows, hot)
+
+    def pending(self) -> tuple[int, int]:
+        """(buffered hot rows, buffered cold rows) awaiting a full batch."""
+        return len(self._buffers[True]), len(self._buffers[False])

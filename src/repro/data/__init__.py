@@ -1,0 +1,55 @@
+"""Dataset substrate: synthetic Zipf-skewed click logs shaped like the paper's workloads.
+
+The paper evaluates on Criteo Kaggle, Criteo Terabyte, and Taobao (Alibaba)
+click logs.  Those raw logs are not redistributable, so this package builds
+synthetic equivalents whose *access distributions* (the only property the
+FAE framework depends on) match the measured skew the paper reports: for
+example, the top 6.8% of Criteo Kaggle embedding rows receive >=76% of all
+accesses.
+"""
+
+from repro.data.zipf import (
+    ZipfSampler,
+    fit_zipf_exponent,
+    zipf_head_share,
+    zipf_probabilities,
+)
+from repro.data.schema import DatasetSchema, EmbeddingTableSpec
+from repro.data.synthetic import SyntheticClickLog, SyntheticConfig
+from repro.data.datasets import (
+    criteo_kaggle_like,
+    criteo_terabyte_like,
+    dataset_by_name,
+    taobao_like,
+)
+from repro.data.loader import BatchIterator, MiniBatch, train_test_split
+from repro.data.log import ClickLog
+from repro.data.stream import SyntheticClickStream
+from repro.data.formats import (
+    criteo_tsv_lines,
+    parse_criteo_tsv,
+    parse_taobao_events,
+)
+
+__all__ = [
+    "BatchIterator",
+    "ClickLog",
+    "criteo_tsv_lines",
+    "parse_criteo_tsv",
+    "parse_taobao_events",
+    "DatasetSchema",
+    "EmbeddingTableSpec",
+    "MiniBatch",
+    "SyntheticClickLog",
+    "SyntheticClickStream",
+    "SyntheticConfig",
+    "ZipfSampler",
+    "criteo_kaggle_like",
+    "criteo_terabyte_like",
+    "dataset_by_name",
+    "fit_zipf_exponent",
+    "taobao_like",
+    "train_test_split",
+    "zipf_head_share",
+    "zipf_probabilities",
+]

@@ -1,0 +1,289 @@
+"""Parsers for the paper's real dataset formats.
+
+The evaluation datasets themselves are not redistributable, but their
+file formats are public; these parsers let users with the real data run
+the full pipeline on it.
+
+**Criteo click logs** (Kaggle and Terabyte share the format): one sample
+per line, tab-separated::
+
+    <label> \t <int_1> ... <int_13> \t <cat_1> ... <cat_26>
+
+Integer features may be empty or negative; categorical features are
+8-hex-digit hashes and may be empty.  Following the open-source DLRM
+preprocessing, integers are ``log(1+max(x,0))``-transformed and
+categoricals are hashed into fixed-cardinality buckets.
+
+**Taobao user-behaviour logs**: one event per line, comma-separated::
+
+    <user_id>,<item_id>,<category_id>,<behavior>,<timestamp>
+
+with behaviors in {pv, cart, fav, buy}.  Events are grouped per user and
+ordered by time; each sliding window of ``seq_len`` events becomes one
+TBSM sample whose label is whether the *next* event is a purchase.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.data.log import ClickLog
+from repro.data.schema import DatasetSchema, EmbeddingTableSpec
+
+__all__ = [
+    "parse_criteo_tsv",
+    "parse_taobao_events",
+    "criteo_tsv_lines",
+    "NUM_CRITEO_INTS",
+    "NUM_CRITEO_CATS",
+]
+
+NUM_CRITEO_INTS = 13
+NUM_CRITEO_CATS = 26
+
+#: Taobao behaviours; "buy" is the positive label.
+_TAOBAO_BEHAVIORS = ("pv", "cart", "fav", "buy")
+
+
+def _stable_hash(token: str, buckets: int) -> int:
+    """Deterministic string -> bucket hash (stable across processes).
+
+    Python's builtin ``hash`` is salted per process, which would make
+    preprocessed FAE datasets irreproducible; md5 is stable.
+    """
+    digest = hashlib.md5(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") % buckets
+
+
+def parse_criteo_tsv(
+    source: str | Path | Iterable[str],
+    hash_buckets: int | list[int] = 100_000,
+    dim: int = 16,
+    max_rows: int | None = None,
+    name: str = "criteo-parsed",
+) -> ClickLog:
+    """Parse Criteo-format TSV into a :class:`ClickLog`.
+
+    Args:
+        source: a path to a TSV file, or an iterable of lines.
+        hash_buckets: per-table cardinality for categorical hashing —
+            a single int applied to all 26 tables, or one int per table.
+        dim: embedding dimension recorded in the derived schema.
+        max_rows: stop after this many samples.
+        name: schema name.
+
+    Returns:
+        A ClickLog whose schema has 13 dense features and 26 tables.
+
+    Raises:
+        ValueError: on malformed lines (wrong column count).
+    """
+    if isinstance(hash_buckets, int):
+        buckets = [hash_buckets] * NUM_CRITEO_CATS
+    else:
+        buckets = list(hash_buckets)
+        if len(buckets) != NUM_CRITEO_CATS:
+            raise ValueError(
+                f"hash_buckets must have {NUM_CRITEO_CATS} entries, got {len(buckets)}"
+            )
+    if any(b <= 0 for b in buckets):
+        raise ValueError("hash bucket counts must be positive")
+
+    if isinstance(source, (str, Path)):
+        lines: Iterable[str] = Path(source).read_text().splitlines()
+    else:
+        lines = source
+
+    labels: list[float] = []
+    dense_rows: list[list[float]] = []
+    cat_rows: list[list[int]] = []
+    expected_cols = 1 + NUM_CRITEO_INTS + NUM_CRITEO_CATS
+
+    for line_no, line in enumerate(lines, start=1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        fields = line.split("\t")
+        if len(fields) != expected_cols:
+            raise ValueError(
+                f"line {line_no}: expected {expected_cols} tab-separated fields, "
+                f"got {len(fields)}"
+            )
+        labels.append(float(int(fields[0])))
+        dense_rows.append(
+            [
+                float(np.log1p(max(int(v), 0))) if v else 0.0
+                for v in fields[1 : 1 + NUM_CRITEO_INTS]
+            ]
+        )
+        cat_rows.append(
+            [
+                _stable_hash(token if token else "<missing>", buckets[i])
+                for i, token in enumerate(fields[1 + NUM_CRITEO_INTS :])
+            ]
+        )
+        if max_rows is not None and len(labels) >= max_rows:
+            break
+
+    if not labels:
+        raise ValueError("no samples parsed")
+
+    schema = DatasetSchema(
+        name=name,
+        num_dense=NUM_CRITEO_INTS,
+        tables=tuple(
+            EmbeddingTableSpec(f"table_{i:02d}", num_rows=buckets[i], dim=dim)
+            for i in range(NUM_CRITEO_CATS)
+        ),
+        num_samples=len(labels),
+    )
+    cats = np.asarray(cat_rows, dtype=np.int64)
+    sparse = {
+        f"table_{i:02d}": cats[:, i : i + 1] for i in range(NUM_CRITEO_CATS)
+    }
+    return ClickLog(
+        schema=schema,
+        dense=np.asarray(dense_rows, dtype=np.float32),
+        sparse=sparse,
+        labels=np.asarray(labels, dtype=np.float32),
+    )
+
+
+def criteo_tsv_lines(log, max_rows: int | None = None) -> Iterable[str]:
+    """Render a (synthetic) click log in Criteo TSV format.
+
+    Useful for round-trip tests and for exporting synthetic data to tools
+    that expect the original format.  Dense features are exponentiated
+    back to non-negative integers; categorical ids are rendered as hex.
+    """
+    n = len(log) if max_rows is None else min(len(log), max_rows)
+    table_names = log.schema.table_names
+    for i in range(n):
+        ints = [
+            str(int(round(np.expm1(max(float(v), 0.0)))))
+            for v in log.dense[i][:NUM_CRITEO_INTS]
+        ]
+        ints += ["0"] * (NUM_CRITEO_INTS - len(ints))
+        cats = [f"{int(log.sparse[name][i, 0]):08x}" for name in table_names[:NUM_CRITEO_CATS]]
+        cats += ["00000000"] * (NUM_CRITEO_CATS - len(cats))
+        yield "\t".join([str(int(log.labels[i])), *ints, *cats])
+
+
+def parse_taobao_events(
+    source: str | Path | Iterable[str],
+    seq_len: int = 21,
+    dim: int = 16,
+    max_samples: int | None = None,
+    name: str = "taobao-parsed",
+) -> ClickLog:
+    """Parse a Taobao behaviour CSV into TBSM-shaped samples.
+
+    Args:
+        source: a path or an iterable of ``user,item,category,behavior,ts``
+            lines.
+        seq_len: behaviour-window length per sample (Table I: 21).
+        dim: embedding dimension for the derived schema.
+        max_samples: cap on emitted samples.
+        name: schema name.
+
+    Returns:
+        A ClickLog with 3 dense features (log window span, distinct
+        categories, positive-behaviour share) and 3 tables (user, item
+        sequence, category sequence).  The label marks windows whose next
+        event is a purchase.
+
+    Raises:
+        ValueError: on malformed lines or unknown behaviours.
+    """
+    if seq_len <= 0:
+        raise ValueError("seq_len must be positive")
+    if isinstance(source, (str, Path)):
+        lines: Iterable[str] = Path(source).read_text().splitlines()
+    else:
+        lines = source
+
+    events_by_user: dict[str, list[tuple[int, str, str, str]]] = defaultdict(list)
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        fields = line.split(",")
+        if len(fields) != 5:
+            raise ValueError(f"line {line_no}: expected 5 comma-separated fields")
+        user, item, category, behavior, timestamp = fields
+        if behavior not in _TAOBAO_BEHAVIORS:
+            raise ValueError(f"line {line_no}: unknown behavior {behavior!r}")
+        events_by_user[user].append((int(timestamp), item, category, behavior))
+
+    user_vocab: dict[str, int] = {}
+    item_vocab: dict[str, int] = {}
+    cat_vocab: dict[str, int] = {}
+
+    def intern(vocab: dict[str, int], token: str) -> int:
+        if token not in vocab:
+            vocab[token] = len(vocab)
+        return vocab[token]
+
+    dense_rows: list[list[float]] = []
+    users: list[int] = []
+    item_seqs: list[list[int]] = []
+    cat_seqs: list[list[int]] = []
+    labels: list[float] = []
+
+    for user in sorted(events_by_user):
+        events = sorted(events_by_user[user])
+        if len(events) < seq_len + 1:
+            continue
+        user_id = intern(user_vocab, user)
+        for start in range(len(events) - seq_len):
+            window = events[start : start + seq_len]
+            nxt = events[start + seq_len]
+            item_seqs.append([intern(item_vocab, e[1]) for e in window])
+            cat_seqs.append([intern(cat_vocab, e[2]) for e in window])
+            users.append(user_id)
+            span = window[-1][0] - window[0][0]
+            distinct_cats = len({e[2] for e in window})
+            active_share = sum(e[3] != "pv" for e in window) / seq_len
+            dense_rows.append(
+                [float(np.log1p(span)), float(distinct_cats), float(active_share)]
+            )
+            labels.append(1.0 if nxt[3] == "buy" else 0.0)
+            if max_samples is not None and len(labels) >= max_samples:
+                break
+        if max_samples is not None and len(labels) >= max_samples:
+            break
+
+    if not labels:
+        raise ValueError(
+            f"no samples: need users with more than seq_len={seq_len} events"
+        )
+
+    schema = DatasetSchema(
+        name=name,
+        num_dense=3,
+        tables=(
+            EmbeddingTableSpec("table_00", num_rows=max(1, len(user_vocab)), dim=dim),
+            EmbeddingTableSpec(
+                "table_01", num_rows=max(1, len(item_vocab)), dim=dim, multiplicity=seq_len
+            ),
+            EmbeddingTableSpec(
+                "table_02", num_rows=max(1, len(cat_vocab)), dim=dim, multiplicity=seq_len
+            ),
+        ),
+        num_samples=len(labels),
+    )
+    return ClickLog(
+        schema=schema,
+        dense=np.asarray(dense_rows, dtype=np.float32),
+        sparse={
+            "table_00": np.asarray(users, dtype=np.int64)[:, None],
+            "table_01": np.asarray(item_seqs, dtype=np.int64),
+            "table_02": np.asarray(cat_seqs, dtype=np.int64),
+        },
+        labels=np.asarray(labels, dtype=np.float32),
+    )

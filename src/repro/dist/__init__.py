@@ -1,0 +1,27 @@
+"""Distributed-training substrate: simulated multi-device data parallelism.
+
+The paper trains data-parallel across up to four GPUs with NCCL
+collectives over NVLink.  This package reproduces those semantics in
+process (numpy): a :class:`ProcessGroup` of ranks with all-reduce /
+broadcast / all-gather collectives, a :class:`DataParallelTrainer` that
+shards each global mini-batch across model replicas and keeps them in
+lock-step, and a :class:`DistributedFAETrainer` that runs the full FAE
+execution model — per-GPU hot-bag replicas, shared CPU master tables for
+cold batches, a fused all-reduce over dense and hot-embedding gradients.
+
+The invariant everything here is tested against: *distributed training is
+bit-for-bit a reordering of single-device training* (identical updates,
+identical final parameters, up to float32 reduction order).
+"""
+
+from repro.dist.collectives import ProcessGroup, ReduceOp
+from repro.dist.parallel import DataParallelTrainer, shard_batch
+from repro.dist.fae_parallel import DistributedFAETrainer
+
+__all__ = [
+    "DataParallelTrainer",
+    "DistributedFAETrainer",
+    "ProcessGroup",
+    "ReduceOp",
+    "shard_batch",
+]

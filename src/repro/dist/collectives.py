@@ -1,0 +1,159 @@
+"""Collective communication primitives over simulated ranks.
+
+Semantically faithful numpy implementations of the NCCL collectives the
+paper's training uses (all-reduce, broadcast, all-gather, reduce-scatter),
+plus traffic accounting so the hardware simulator can price what a run
+actually communicated.  A :class:`ProcessGroup` owns ``world_size`` ranks;
+collectives take one array per rank and return one array per rank.
+
+The all-reduce is computed as a literal ring reduce-scatter +
+all-gather, so the byte accounting matches the ``2 (k-1)/k`` volume the
+cost model charges.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ReduceOp", "ProcessGroup"]
+
+
+class ReduceOp(enum.Enum):
+    """Reduction operator for all-reduce / reduce-scatter."""
+
+    SUM = "sum"
+    MEAN = "mean"
+    MAX = "max"
+
+
+@dataclass
+class ProcessGroup:
+    """A group of simulated ranks with collective operations.
+
+    Attributes:
+        world_size: number of participating ranks.
+        bytes_communicated: total per-rank bytes sent by collectives so
+            far (ring accounting), for the cost model.
+        collective_calls: number of collective invocations.
+    """
+
+    world_size: int
+    bytes_communicated: float = 0.0
+    collective_calls: int = 0
+    _rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0), repr=False)
+
+    def __post_init__(self) -> None:
+        if self.world_size <= 0:
+            raise ValueError(f"world_size must be positive, got {self.world_size}")
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+
+    def _check_inputs(self, per_rank: list[np.ndarray]) -> None:
+        if len(per_rank) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} rank buffers, got {len(per_rank)}"
+            )
+        shapes = {a.shape for a in per_rank}
+        if len(shapes) != 1:
+            raise ValueError(f"rank buffers must share a shape, got {shapes}")
+
+    def _account(self, buffer_bytes: float, volume_factor: float, calls: int = 1) -> None:
+        self.bytes_communicated += buffer_bytes * volume_factor
+        self.collective_calls += calls
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+
+    def all_reduce(
+        self, per_rank: list[np.ndarray], op: ReduceOp = ReduceOp.SUM
+    ) -> list[np.ndarray]:
+        """Reduce across ranks; every rank receives the full result.
+
+        Implemented as ring reduce-scatter + ring all-gather so reduction
+        order (and hence float rounding) is deterministic and identical
+        for every rank.
+        """
+        self._check_inputs(per_rank)
+        k = self.world_size
+        if k == 1:
+            result = per_rank[0].copy()
+            if op is ReduceOp.MEAN:
+                result = result / 1.0
+            return [result]
+
+        # Explicit copies: the ring mutates its working buffers, and
+        # ascontiguousarray aliases already-contiguous float64 inputs.
+        flat = [np.array(a, dtype=np.float64, copy=True).ravel() for a in per_rank]
+        chunks = [np.array_split(f, k) for f in flat]  # chunks[rank][segment]
+
+        # Ring reduce-scatter: after k-1 steps, rank r owns the fully
+        # reduced segment (r+1) mod k.
+        for step in range(k - 1):
+            transfers = []
+            for rank in range(k):
+                send_seg = (rank - step) % k
+                dest = (rank + 1) % k
+                transfers.append((dest, send_seg, chunks[rank][send_seg].copy()))
+            for dest, seg, payload in transfers:
+                if op is ReduceOp.MAX:
+                    np.maximum(chunks[dest][seg], payload, out=chunks[dest][seg])
+                else:
+                    chunks[dest][seg] += payload
+
+        # Ring all-gather: broadcast each reduced segment around the ring.
+        owner_of = {(rank + 1) % k: rank for rank in range(k)}
+        for seg in range(k):
+            reduced = chunks[owner_of[seg]][seg]
+            for rank in range(k):
+                chunks[rank][seg] = reduced.copy()
+
+        buffer_bytes = per_rank[0].nbytes
+        self._account(buffer_bytes, 2.0 * (k - 1) / k)
+
+        results = []
+        for rank in range(k):
+            merged = np.concatenate(chunks[rank]).reshape(per_rank[0].shape)
+            if op is ReduceOp.MEAN:
+                merged = merged / k
+            results.append(merged.astype(per_rank[0].dtype))
+        return results
+
+    def broadcast(self, value: np.ndarray, root: int = 0) -> list[np.ndarray]:
+        """Every rank receives a copy of ``value`` from ``root``."""
+        if not 0 <= root < self.world_size:
+            raise ValueError(f"root {root} out of range")
+        self._account(value.nbytes, float(self.world_size - 1))
+        return [value.copy() for _ in range(self.world_size)]
+
+    def all_gather(self, per_rank: list[np.ndarray]) -> list[np.ndarray]:
+        """Every rank receives the concatenation of all rank buffers."""
+        self._check_inputs(per_rank)
+        gathered = np.concatenate([a[None] for a in per_rank], axis=0)
+        self._account(per_rank[0].nbytes, float(self.world_size - 1))
+        return [gathered.copy() for _ in range(self.world_size)]
+
+    def reduce_scatter(
+        self, per_rank: list[np.ndarray], op: ReduceOp = ReduceOp.SUM
+    ) -> list[np.ndarray]:
+        """Reduce across ranks; rank r receives the r-th shard of the result."""
+        self._check_inputs(per_rank)
+        stacked = np.stack([a.astype(np.float64) for a in per_rank])
+        if op is ReduceOp.MAX:
+            reduced = stacked.max(axis=0)
+        else:
+            reduced = stacked.sum(axis=0)
+            if op is ReduceOp.MEAN:
+                reduced /= self.world_size
+        shards = np.array_split(reduced.ravel(), self.world_size)
+        self._account(per_rank[0].nbytes, (self.world_size - 1) / self.world_size)
+        return [s.astype(per_rank[0].dtype) for s in shards]
+
+    def barrier(self) -> None:
+        """Synchronization point (bookkeeping only in simulation)."""
+        self.collective_calls += 1

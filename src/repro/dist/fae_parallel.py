@@ -1,0 +1,295 @@
+"""Distributed FAE: the paper's full multi-GPU execution model.
+
+Per mini-batch, ``k`` model replicas ("GPUs") each process a ``1/k``
+shard.  The embedding path depends on the batch's temperature:
+
+- **cold** — every replica's lookups route to the *shared CPU master
+  tables* (the hybrid baseline path); MLP gradients are all-reduced
+  across replicas, embedding gradients accumulate on the masters and a
+  single "CPU" optimizer applies them.
+- **hot** — every replica looks up its *own hot-bag replica*; a fused
+  all-reduce covers MLP and hot-embedding gradients, and identical
+  optimizer steps keep the replicas bit-equal (paper SS II-B(3)).
+
+Hot<->cold transitions synchronize the hot rows through the
+:class:`~repro.core.replicator.EmbeddingReplicator`, exactly like the
+single-device :class:`~repro.train.trainer.FAETrainer` — which this
+trainer is provably equivalent to (see tests/test_dist.py).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import FAEPlan
+from repro.core.replicator import EmbeddingReplicator
+from repro.core.scheduler import ShuffleScheduler
+from repro.data.loader import batch_from_log
+from repro.data.synthetic import SyntheticClickLog
+from repro.dist.collectives import ProcessGroup, ReduceOp
+from repro.dist.parallel import shard_batch
+from repro.models.base import RecModel
+from repro.nn.embedding import EmbeddingBag
+from repro.nn.losses import BCEWithLogits
+from repro.nn.optim import SGD
+from repro.train.history import HistoryPoint, TrainingHistory
+from repro.train.trainer import TrainResult, evaluate_with_master_bags
+
+__all__ = ["DistributedFAETrainer"]
+
+
+class DistributedFAETrainer:
+    """FAE training across ``k`` simulated GPUs.
+
+    Args:
+        replicas: identically-initialized model replicas, one per GPU.
+            Replica 0's embedding tables serve as the CPU masters; the
+            other replicas' own tables are never touched (their lookups
+            are swapped to shared-master or hot-bag views), mirroring the
+            real system where GPUs never hold full tables.
+        plan: FAE preprocessing output.
+        lr: SGD learning rate.
+        pooling: embedding pooling mode, matching the models.
+    """
+
+    def __init__(
+        self,
+        replicas: list[RecModel],
+        plan: FAEPlan,
+        lr: float = 0.1,
+        pooling: str = "mean",
+    ) -> None:
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self.replicas = replicas
+        self.plan = plan
+        self.lr = lr
+        self.pooling = pooling
+        self.group = ProcessGroup(world_size=len(replicas))
+
+        self.master_tables = replicas[0].tables
+        self.replicator = EmbeddingReplicator(
+            tables=self.master_tables,
+            bag_specs=plan.bags,
+            num_replicas=len(replicas),
+            pooling=pooling,
+        )
+        # Cold-path bags: one EmbeddingBag per (replica, table), all backed
+        # by the shared master tables ("CPU memory").
+        self._cold_bags = [
+            {name: EmbeddingBag(table, mode=pooling) for name, table in self.master_tables.items()}
+            for _ in replicas
+        ]
+        self._loss = BCEWithLogits()
+        #: Inputs dropped to keep shards equal (trailing short batches).
+        self.skipped_inputs = 0
+
+    @property
+    def world_size(self) -> int:
+        return self.group.world_size
+
+    # ------------------------------------------------------------------
+    # Mode switching
+    # ------------------------------------------------------------------
+
+    def _install_cold(self) -> int:
+        moved = self.replicator.sync_to_master()
+        for model, bags in zip(self.replicas, self._cold_bags):
+            for name, bag in bags.items():
+                model.set_bag(name, bag)
+        return moved
+
+    def _install_hot(self) -> int:
+        moved = self.replicator.sync_from_master()
+        for rank, model in enumerate(self.replicas):
+            for name, bag in self.replicator.bags_for_replica(rank).items():
+                model.set_bag(name, bag)
+        return moved
+
+    # ------------------------------------------------------------------
+    # Steps
+    # ------------------------------------------------------------------
+
+    def _dense_all_reduce(self) -> None:
+        """Sum-all-reduce the MLP/attention gradients across replicas."""
+        all_dense = [m.dense_parameters() for m in self.replicas]
+        for index in range(len(all_dense[0])):
+            rank_params = [params[index] for params in all_dense]
+            buffers = [
+                p.grad if p.grad is not None else np.zeros_like(p.value)
+                for p in rank_params
+            ]
+            combined = self.group.all_reduce(buffers, ReduceOp.SUM)
+            for p, g in zip(rank_params, combined):
+                p.grad = g
+
+    def _step_cold(self, batch, dense_optimizers, master_optimizer) -> float:
+        shards = shard_batch(batch, self.world_size)
+        losses = []
+        for model, shard in zip(self.replicas, shards):
+            logits = model.forward(shard)
+            losses.append(self._loss.forward(logits, shard.labels))
+            model.backward(self._loss.backward() / self.world_size)
+        self._dense_all_reduce()
+        for optimizer in dense_optimizers:
+            optimizer.step()
+        # Sparse grads from every replica accumulated on the shared
+        # masters; one "CPU" step applies them (the hybrid path).
+        master_optimizer.step()
+        return float(np.mean(losses))
+
+    def _step_hot(self, batch, dense_optimizers, replica_optimizers) -> float:
+        shards = shard_batch(batch, self.world_size)
+        losses = []
+        for model, shard in zip(self.replicas, shards):
+            logits = model.forward(shard)
+            losses.append(self._loss.forward(logits, shard.labels))
+            model.backward(self._loss.backward() / self.world_size)
+        # Fused all-reduce: dense buffers + hot-bag sparse grads.
+        self._dense_all_reduce()
+        self.replicator.all_reduce_gradients()
+        for optimizer in dense_optimizers:
+            optimizer.step()
+        for optimizer in replica_optimizers:
+            optimizer.step()
+        return float(np.mean(losses))
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+
+    def train(
+        self,
+        train_log: SyntheticClickLog,
+        test_log: SyntheticClickLog,
+        epochs: int = 1,
+        eval_samples: int = 4096,
+    ) -> TrainResult:
+        """Train over the plan's hot/cold batches; mirrors FAETrainer."""
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        dataset = self.plan.dataset
+        scheduler = ShuffleScheduler(
+            num_hot_batches=len(dataset.hot_batches),
+            num_cold_batches=len(dataset.cold_batches),
+            initial_rate=self.plan.config.scheduler_initial_rate,
+            strip_length=self.plan.config.scheduler_strip_length,
+        )
+        dense_optimizers = [SGD(m.dense_parameters(), lr=self.lr) for m in self.replicas]
+        master_optimizer = SGD(
+            [t.weight for t in self.master_tables.values()], lr=self.lr
+        )
+        history = TrainingHistory()
+        master_bags = self._cold_bags[0]
+
+        for model, bags in zip(self.replicas, self._cold_bags):
+            for name, bag in bags.items():
+                model.set_bag(name, bag)
+
+        mode = "cold"
+        iteration = 0
+        sync_bytes = 0
+        rates: list[int] = []
+        last_loss = 0.0
+        last_acc = 0.0
+
+        for _epoch in range(epochs):
+            scheduler.reset_epoch()
+            cursors = {"hot": 0, "cold": 0}
+            for segment in scheduler.segments():
+                if segment.kind != mode:
+                    sync_bytes += (
+                        self._install_hot() if segment.kind == "hot" else self._install_cold()
+                    )
+                    mode = segment.kind
+
+                if segment.kind == "hot":
+                    replica_optimizers = [
+                        SGD([bag.weight for bag in replica.values()], lr=self.lr)
+                        for replica in self.replicator.replicas
+                    ]
+                pool = dataset.hot_batches if segment.kind == "hot" else dataset.cold_batches
+
+                losses = []
+                accs = []
+                start = cursors[segment.kind]
+                for index_array in pool[start : start + segment.num_batches]:
+                    # Data parallelism needs equal shards: trim trailing
+                    # short batches to a world-size multiple (real DDP
+                    # runs drop the remainder the same way).
+                    usable = (len(index_array) // self.world_size) * self.world_size
+                    if usable == 0:
+                        self.skipped_inputs += len(index_array)
+                        continue
+                    self.skipped_inputs += len(index_array) - usable
+                    batch = batch_from_log(
+                        train_log, index_array[:usable], hot=segment.kind == "hot"
+                    )
+                    if segment.kind == "hot":
+                        loss = self._step_hot(batch, dense_optimizers, replica_optimizers)
+                    else:
+                        loss = self._step_cold(batch, dense_optimizers, master_optimizer)
+                    iteration += 1
+                    losses.append(loss)
+                cursors[segment.kind] = start + segment.num_batches
+
+                if mode == "hot":
+                    sync_bytes += self.replicator.sync_to_master()
+                test_loss, test_acc = evaluate_with_master_bags(
+                    self.replicas[0], master_bags, test_log, eval_samples
+                )
+                scheduler.record_test_loss(test_loss)
+                rates.append(scheduler.rate)
+                last_loss = float(np.mean(losses)) if losses else last_loss
+                history.record(
+                    HistoryPoint(
+                        iteration=iteration,
+                        train_loss=last_loss,
+                        test_loss=test_loss,
+                        test_accuracy=test_acc,
+                        train_accuracy=last_acc,
+                        segment_kind=segment.kind,
+                    )
+                )
+
+        if mode == "hot":
+            sync_bytes += self._install_cold()
+        from repro.train.metrics import evaluate_model
+
+        final_loss, final_acc = evaluate_model(self.replicas[0], test_log)
+        _l, train_acc = evaluate_model(self.replicas[0], train_log, max_samples=4 * eval_samples)
+        history.record(
+            HistoryPoint(
+                iteration=iteration,
+                train_loss=last_loss,
+                test_loss=final_loss,
+                test_accuracy=final_acc,
+                train_accuracy=train_acc,
+                segment_kind="final",
+            )
+        )
+        return TrainResult(
+            history=history,
+            final_train_accuracy=train_acc,
+            final_test_accuracy=final_acc,
+            sync_events=self.replicator.sync_events,
+            sync_bytes=sync_bytes,
+            schedule_rates=rates,
+        )
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    def max_dense_divergence(self) -> float:
+        """Largest MLP-parameter gap between any replica and rank 0."""
+        worst = 0.0
+        reference = self.replicas[0].dense_parameters()
+        for model in self.replicas[1:]:
+            for p, q in zip(reference, model.dense_parameters()):
+                worst = max(worst, float(np.abs(p.value - q.value).max(initial=0.0)))
+        return worst
+
+    def max_hot_divergence(self) -> float:
+        """Largest hot-bag gap between replicas (must stay 0)."""
+        return self.replicator.max_replica_divergence()

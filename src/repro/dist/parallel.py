@@ -1,0 +1,167 @@
+"""Data-parallel training over simulated device replicas.
+
+The baseline execution model of the paper's GPUs: every device holds a
+full model replica, each global mini-batch is split into equal per-device
+shards, gradients are all-reduced, and every replica applies the same
+optimizer step.  Because the per-shard loss is scaled by ``1/k`` before
+the sum-all-reduce, the combined update equals the single-device update
+on the full batch — the equivalence the tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.loader import MiniBatch
+from repro.dist.collectives import ProcessGroup, ReduceOp
+from repro.models.base import RecModel
+from repro.nn.losses import BCEWithLogits
+from repro.nn.optim import SGD
+
+__all__ = ["shard_batch", "DataParallelTrainer"]
+
+
+def shard_batch(batch: MiniBatch, world_size: int) -> list[MiniBatch]:
+    """Split a global mini-batch into ``world_size`` equal shards.
+
+    Raises:
+        ValueError: if the batch size is not divisible by ``world_size``
+            (the paper's weak scaling always uses divisible batches).
+    """
+    if world_size <= 0:
+        raise ValueError("world_size must be positive")
+    if len(batch) % world_size != 0:
+        raise ValueError(
+            f"batch of {len(batch)} not divisible by world size {world_size}"
+        )
+    shard_size = len(batch) // world_size
+    shards = []
+    for rank in range(world_size):
+        sl = slice(rank * shard_size, (rank + 1) * shard_size)
+        shards.append(
+            MiniBatch(
+                dense=batch.dense[sl],
+                sparse={name: ids[sl] for name, ids in batch.sparse.items()},
+                labels=batch.labels[sl],
+                indices=batch.indices[sl],
+                hot=batch.hot,
+            )
+        )
+    return shards
+
+
+@dataclass
+class StepStats:
+    """Telemetry for one data-parallel step."""
+
+    loss: float
+    grad_bytes_reduced: float
+
+
+class DataParallelTrainer:
+    """Synchronous data-parallel SGD across model replicas.
+
+    Args:
+        replicas: one model per rank.  They must be architecturally
+            identical and identically initialized (build them with the
+            same seed); this is validated at construction.
+        lr: learning rate.
+
+    The embedding tables of each replica are private (fully replicated),
+    matching a pure data-parallel run where the tables fit on-device; the
+    FAE variant in :mod:`repro.dist.fae_parallel` handles the hybrid case.
+    """
+
+    def __init__(self, replicas: list[RecModel], lr: float = 0.1) -> None:
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self.replicas = replicas
+        self.group = ProcessGroup(world_size=len(replicas))
+        self.lr = lr
+        self._optimizers = [SGD(m.parameters(), lr=lr) for m in replicas]
+        self._loss = BCEWithLogits()
+        self._validate_replicas()
+
+    def _validate_replicas(self) -> None:
+        reference = self.replicas[0].parameters()
+        for rank, model in enumerate(self.replicas[1:], start=1):
+            params = model.parameters()
+            if len(params) != len(reference):
+                raise ValueError(f"replica {rank} has a different parameter count")
+            for p, q in zip(reference, params):
+                if p.value.shape != q.value.shape:
+                    raise ValueError(
+                        f"replica {rank}: parameter {q.name} shape mismatch"
+                    )
+                if not np.array_equal(p.value, q.value):
+                    raise ValueError(
+                        f"replica {rank}: parameter {q.name} not identically initialized"
+                    )
+
+    @property
+    def world_size(self) -> int:
+        return self.group.world_size
+
+    def step(self, batch: MiniBatch) -> StepStats:
+        """One synchronous data-parallel training step on a global batch."""
+        k = self.world_size
+        shards = shard_batch(batch, k)
+
+        shard_losses = []
+        for model, shard in zip(self.replicas, shards):
+            logits = model.forward(shard)
+            shard_losses.append(self._loss.forward(logits, shard.labels))
+            # Global objective = mean over the full batch
+            #                  = (1/k) sum of shard means.
+            model.backward(self._loss.backward() / k)
+
+        grad_bytes = self._all_reduce_gradients()
+        for optimizer in self._optimizers:
+            optimizer.step()
+        return StepStats(loss=float(np.mean(shard_losses)), grad_bytes_reduced=grad_bytes)
+
+    def _all_reduce_gradients(self) -> float:
+        """Sum-all-reduce every gradient (dense buffers and sparse rows)."""
+        reduced_bytes = 0.0
+        reference = self.replicas[0].parameters()
+        all_params = [m.parameters() for m in self.replicas]
+
+        for index, ref_param in enumerate(reference):
+            rank_params = [params[index] for params in all_params]
+
+            dense_grads = [p.grad for p in rank_params]
+            if any(g is not None for g in dense_grads):
+                buffers = [
+                    g if g is not None else np.zeros_like(ref_param.value)
+                    for g in dense_grads
+                ]
+                combined = self.group.all_reduce(buffers, ReduceOp.SUM)
+                for p, g in zip(rank_params, combined):
+                    p.grad = g
+                reduced_bytes += ref_param.value.nbytes
+
+            if any(p.sparse_grads for p in rank_params):
+                # Fused sparse all-reduce: gather every rank's (ids, grads)
+                # and hand the union to every rank.  Duplicate ids coalesce
+                # inside the optimizer, so this equals a dense all-reduce.
+                merged = []
+                for p in rank_params:
+                    merged.extend(p.sparse_grads)
+                reduced_bytes += sum(r.values.nbytes for r in merged)
+                for p in rank_params:
+                    p.sparse_grads = [
+                        type(r)(ids=r.ids.copy(), values=r.values.copy()) for r in merged
+                    ]
+                self.group.collective_calls += 1
+        return reduced_bytes
+
+    def max_divergence(self) -> float:
+        """Largest parameter difference between any replica and rank 0."""
+        worst = 0.0
+        reference = self.replicas[0].parameters()
+        for model in self.replicas[1:]:
+            for p, q in zip(reference, model.parameters()):
+                worst = max(worst, float(np.abs(p.value - q.value).max(initial=0.0)))
+        return worst

@@ -1,0 +1,101 @@
+"""Cluster topology: one or more servers, each with a CPU and k GPUs.
+
+The paper evaluates a single Table II server (4x V100 on NVLink) but
+expects its insights to hold multi-server (SS IV-A.3).  Setting
+``num_nodes > 1`` models that scenario: each node contributes its own
+CPU (so host-side embedding work parallelizes across nodes) and its own
+PCIe links, while gradient all-reduce becomes hierarchical — a fast
+NVLink ring within each node plus a slower network ring across nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.spec import DeviceSpec, LinkSpec, NVLINK2, PCIE3_X16, TESLA_V100, XEON_4116
+
+__all__ = ["Cluster", "ETHERNET_100G", "INFINIBAND_HDR"]
+
+#: 100 GbE with RoCE: ~10 GB/s effective, ~12 us collective hop latency.
+ETHERNET_100G = LinkSpec(name="ethernet-100g", bandwidth=10e9, latency=12e-6)
+
+#: InfiniBand HDR (200 Gb/s): ~22 GB/s effective, ~3 us hop latency.
+INFINIBAND_HDR = LinkSpec(name="infiniband-hdr", bandwidth=22e9, latency=3e-6)
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A training cluster.
+
+    Attributes:
+        cpu: host CPU spec (one per node).
+        gpu: GPU spec (all GPUs identical).
+        num_gpus: GPUs per node.
+        pcie: CPU <-> GPU link within a node.
+        nvlink: GPU <-> GPU link within a node.
+        num_nodes: server count; 1 reproduces the paper's testbed.
+        network: inter-node link used when ``num_nodes > 1``.
+    """
+
+    cpu: DeviceSpec = XEON_4116
+    gpu: DeviceSpec = TESLA_V100
+    num_gpus: int = 4
+    pcie: LinkSpec = PCIE3_X16
+    nvlink: LinkSpec = NVLINK2
+    num_nodes: int = 1
+    network: LinkSpec = ETHERNET_100G
+
+    def __post_init__(self) -> None:
+        if self.num_gpus <= 0:
+            raise ValueError(f"num_gpus must be positive, got {self.num_gpus}")
+        if self.num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {self.num_nodes}")
+
+    @property
+    def total_gpus(self) -> int:
+        """GPUs across the whole cluster."""
+        return self.num_gpus * self.num_nodes
+
+    def with_gpus(self, num_gpus: int) -> "Cluster":
+        """Same server(s) with a different per-node GPU count (Fig 13)."""
+        return Cluster(
+            cpu=self.cpu,
+            gpu=self.gpu,
+            num_gpus=num_gpus,
+            pcie=self.pcie,
+            nvlink=self.nvlink,
+            num_nodes=self.num_nodes,
+            network=self.network,
+        )
+
+    def with_nodes(self, num_nodes: int, network: LinkSpec | None = None) -> "Cluster":
+        """Scale out to ``num_nodes`` servers."""
+        return Cluster(
+            cpu=self.cpu,
+            gpu=self.gpu,
+            num_gpus=self.num_gpus,
+            pcie=self.pcie,
+            nvlink=self.nvlink,
+            num_nodes=num_nodes,
+            network=network or self.network,
+        )
+
+    def _ring_seconds(self, link: LinkSpec, participants: int, bytes_per_rank: float) -> float:
+        if participants <= 1:
+            return 0.0
+        volume = 2.0 * (participants - 1) / participants * bytes_per_rank
+        return link.transfer_seconds(volume, num_transfers=2 * (participants - 1))
+
+    def allreduce_seconds(self, bytes_per_gpu: float) -> float:
+        """All-reduce time across every GPU in the cluster.
+
+        Single node: one NVLink ring.  Multi node: hierarchical —
+        intra-node NVLink reduce, inter-node network ring between node
+        leaders, intra-node NVLink broadcast (modeled as two NVLink ring
+        phases around the network phase).
+        """
+        intra = self._ring_seconds(self.nvlink, self.num_gpus, bytes_per_gpu)
+        if self.num_nodes == 1:
+            return intra
+        inter = self._ring_seconds(self.network, self.num_nodes, bytes_per_gpu)
+        return 2.0 * intra + inter

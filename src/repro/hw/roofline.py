@@ -1,0 +1,95 @@
+"""Roofline analysis: why embeddings belong to memory and MLPs to compute.
+
+The paper's whole design rests on a roofline argument it never draws:
+embedding ops have arithmetic intensity near zero (pure gathers — a few
+flops per byte moved), so they are memory-bound everywhere and their
+*placement* is decided by capacity and transfer costs; MLP GEMMs at
+recommendation batch sizes sit near the compute roof of a GPU but above
+the CPU's, so the GPU keeps them regardless.  This module computes those
+positions from the workload character and the device specs, giving the
+cost model a first-principles cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.spec import DeviceSpec
+from repro.hw.workload import WorkloadCharacter
+
+__all__ = ["RooflinePoint", "roofline_point", "analyze_workload"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One operator placed on a device's roofline.
+
+    Attributes:
+        name: operator label.
+        flops: floating-point operations per execution.
+        bytes_moved: bytes through the memory system per execution.
+        intensity: flops / bytes (arithmetic intensity).
+        attainable_flops: roofline value min(peak, intensity x bandwidth).
+        bound: "memory" or "compute".
+        time_seconds: execution time implied by the roofline.
+    """
+
+    name: str
+    flops: float
+    bytes_moved: float
+    intensity: float
+    attainable_flops: float
+    bound: str
+    time_seconds: float
+
+
+def roofline_point(name: str, flops: float, bytes_moved: float, device: DeviceSpec) -> RooflinePoint:
+    """Place one operator on a device's (naive) roofline.
+
+    Peak numbers only — efficiency factors belong to the cost model; the
+    roofline gives the bound's *identity*, not a calibrated time.
+    """
+    if flops < 0 or bytes_moved <= 0:
+        raise ValueError("flops must be non-negative and bytes positive")
+    intensity = flops / bytes_moved
+    ridge = device.peak_flops / device.mem_bandwidth
+    attainable = min(device.peak_flops, intensity * device.mem_bandwidth)
+    bound = "compute" if intensity >= ridge else "memory"
+    if flops > 0:
+        time = flops / attainable
+    else:
+        time = bytes_moved / device.mem_bandwidth
+    return RooflinePoint(
+        name=name,
+        flops=flops,
+        bytes_moved=bytes_moved,
+        intensity=intensity,
+        attainable_flops=attainable,
+        bound=bound,
+        time_seconds=time,
+    )
+
+
+def analyze_workload(
+    workload: WorkloadCharacter, device: DeviceSpec, batch_size: int
+) -> list[RooflinePoint]:
+    """Roofline points for a workload's two op classes on one device.
+
+    Returns points for the pooled embedding lookup and the MLP stack of
+    one ``batch_size`` mini-batch.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    lookup_bytes = batch_size * workload.lookup_bytes_per_sample
+    # A mean-pooled gather performs ~1 add per element read.
+    lookup_flops = lookup_bytes / 4.0
+
+    mlp_flops = 2.0 * workload.mlp_macs_per_sample * batch_size
+    # GEMM traffic: weights read once per batch + activations in/out; for
+    # recommendation MLPs weights dominate at small batch.
+    mlp_bytes = workload.dense_param_bytes + 8.0 * batch_size * workload.pooled_bytes_per_sample
+
+    return [
+        roofline_point("embedding_lookup", lookup_flops, lookup_bytes, device),
+        roofline_point("mlp", mlp_flops, mlp_bytes, device),
+    ]

@@ -1,0 +1,137 @@
+"""Device and interconnect specifications (paper Table II).
+
+Peak numbers come from vendor datasheets; the *efficiency* fields encode
+how much of peak real recommendation kernels achieve (small-GEMM MLPs,
+random-gather embedding lookups) and are the calibration surface of the
+cost model.  Per-operator launch overheads model framework dispatch cost,
+which dominates CPU-side embedding work at small batch sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "LinkSpec", "XEON_4116", "TESLA_V100", "PCIE3_X16", "NVLINK2"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A compute device.
+
+    Attributes:
+        name: human-readable identifier.
+        peak_flops: peak fp32 FLOP/s.
+        mem_bandwidth: peak memory bandwidth, bytes/s.
+        mem_capacity: device memory, bytes.
+        gemm_efficiency: fraction of peak FLOP/s realized on the MLP GEMMs.
+        gather_efficiency: fraction of peak bandwidth realized on random
+            row gathers (embedding lookups / optimizer scatters).
+        op_overhead: per-operator dispatch latency, seconds.
+        row_access_cost: per-row cost of random embedding-row operations,
+            seconds/row.  On CPUs this is framework-dominated (index
+            checks, cache misses: ~0.2 us/row in torch's EmbeddingBag);
+            on GPUs thousands of rows gather in parallel (~2 ns/row).
+    """
+
+    name: str
+    peak_flops: float
+    mem_bandwidth: float
+    mem_capacity: int
+    gemm_efficiency: float
+    gather_efficiency: float
+    op_overhead: float
+    row_access_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.mem_bandwidth <= 0 or self.mem_capacity <= 0:
+            raise ValueError(f"{self.name}: peak numbers must be positive")
+        if not 0 < self.gemm_efficiency <= 1 or not 0 < self.gather_efficiency <= 1:
+            raise ValueError(f"{self.name}: efficiencies must be in (0, 1]")
+        if self.op_overhead < 0:
+            raise ValueError(f"{self.name}: op_overhead must be non-negative")
+
+    def gemm_seconds(self, flops: float, num_ops: int = 1) -> float:
+        """Time to execute ``flops`` worth of GEMM across ``num_ops`` kernels."""
+        return flops / (self.peak_flops * self.gemm_efficiency) + num_ops * self.op_overhead
+
+    def gather_seconds(self, bytes_moved: float, num_ops: int = 1, rows: float = 0.0) -> float:
+        """Time for random row gathers/scatters.
+
+        Three additive terms: bandwidth (bytes through the memory system
+        at gather efficiency), per-row framework/cache-miss cost, and
+        per-operator dispatch overhead.
+        """
+        return (
+            bytes_moved / (self.mem_bandwidth * self.gather_efficiency)
+            + rows * self.row_access_cost
+            + num_ops * self.op_overhead
+        )
+
+    def stream_seconds(self, bytes_moved: float) -> float:
+        """Time for a sequential streaming access at full bandwidth."""
+        return bytes_moved / self.mem_bandwidth
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point interconnect.
+
+    Attributes:
+        name: identifier.
+        bandwidth: effective bytes/s in one direction.
+        latency: per-transfer setup latency, seconds (driver + DMA setup;
+            dominates the small, frequent transfers recommendation
+            training performs).
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError(f"{self.name}: latency must be non-negative")
+
+    def transfer_seconds(self, bytes_moved: float, num_transfers: int = 1) -> float:
+        """Time to move ``bytes_moved`` in ``num_transfers`` messages."""
+        return bytes_moved / self.bandwidth + num_transfers * self.latency
+
+
+#: Intel Xeon Silver 4116: 12C/24T Skylake-SP @ 2.1 GHz.  ~0.6 TFLOP/s
+#: effective fp32 with AVX-512 across cores; ~60 GB/s sustained DRAM
+#: bandwidth on 6 channels of DDR4-2666.  High per-op overhead reflects
+#: framework dispatch on CPU tensors.
+XEON_4116 = DeviceSpec(
+    name="xeon-silver-4116",
+    peak_flops=0.6e12,
+    mem_bandwidth=60e9,
+    mem_capacity=768 * 2**30,
+    gemm_efficiency=0.55,
+    gather_efficiency=0.18,
+    op_overhead=100e-6,
+    row_access_cost=0.13e-6,
+)
+
+#: NVIDIA Tesla V100 (SXM2 16 GB): 14 TFLOP/s fp32, 900 GB/s HBM2.
+#: Recommendation MLPs are small GEMMs (~20-30% of peak); gathers hit
+#: roughly half of HBM bandwidth; ~18 us kernel-launch overhead.
+TESLA_V100 = DeviceSpec(
+    name="tesla-v100-16gb",
+    peak_flops=14e12,
+    mem_bandwidth=900e9,
+    mem_capacity=16 * 2**30,
+    gemm_efficiency=0.28,
+    gather_efficiency=0.5,
+    op_overhead=18e-6,
+    row_access_cost=2e-9,
+)
+
+#: PCIe 3.0 x16: ~12 GB/s effective of the 15.75 GB/s raw; ~0.45 ms
+#: per-transfer setup (pinned-buffer staging + driver).
+PCIE3_X16 = LinkSpec(name="pcie3-x16", bandwidth=12e9, latency=450e-6)
+
+#: NVLink 2.0 (per V100, aggregated): ~120 GB/s effective for NCCL
+#: collectives with ~35 us ring-setup latency.
+NVLINK2 = LinkSpec(name="nvlink2", bandwidth=120e9, latency=35e-6)

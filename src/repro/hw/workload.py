@@ -1,0 +1,230 @@
+"""Workload characterization for the hardware simulator.
+
+A :class:`WorkloadCharacter` is the distilled description of a
+(model, dataset, FAE plan) triple the simulator consumes: per-sample
+compute and lookup volumes, hot-input fraction, hot-bag footprint, and
+scheduler behaviour.  :func:`characterize` derives one analytically at
+*paper scale* — the Zipf coverage math replaces generating 45-80M-sample
+logs — while :func:`characterize_from_plan` builds one from an actual
+(scaled) :class:`~repro.core.pipeline.FAEPlan` so measured and analytic
+paths share the same simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.datasets import dataset_by_name
+from repro.data.schema import DatasetSchema
+from repro.data.zipf import (
+    generalized_harmonic,
+    zipf_rows_above_probability,
+    zipf_top_k_coverage,
+)
+from repro.models.zoo import ModelSpec, build_model
+
+__all__ = ["WorkloadCharacter", "characterize", "characterize_from_plan", "analytic_hot_stats"]
+
+
+@dataclass(frozen=True)
+class WorkloadCharacter:
+    """Everything the cost model needs to price one workload.
+
+    Attributes:
+        name: workload id (e.g. "RMC2").
+        num_samples: training inputs per epoch.
+        base_batch_size: mini-batch size on 1 GPU (weak-scaled by the
+            simulator for multi-GPU runs).
+        mlp_macs_per_sample: forward multiply-accumulates per sample in
+            the neural-network portion (backward is derived).
+        num_mlp_layers: Linear layer count (per-op overhead accounting).
+        dense_param_bytes: MLP/attention parameter bytes (all-reduce and
+            GPU optimizer volume).
+        lookup_rows_per_sample: embedding rows gathered per sample.
+        lookup_bytes_per_sample: bytes of embedding rows per sample.
+        pooled_bytes_per_sample: bytes of *pooled* per-table activations a
+            sample ships between CPU and GPU in the baseline (one vector
+            per table regardless of multiplicity).
+        num_tables: embedding table count (per-op overheads).
+        hot_fraction: fraction of inputs classified hot.
+        hot_bytes: per-GPU hot-bag footprint in bytes.
+        total_embedding_bytes: full embedding size (CPU resident).
+        unique_row_factor: fraction of a batch's lookups hitting distinct
+            rows (optimizer scatter volume; duplicates coalesce).
+        dispatch_seconds: host-side framework dispatch time per mini-batch,
+            paid in every execution mode.  Small for DLRM; large for the
+            reference TBSM, whose per-timestep Python loop launches
+            hundreds of tiny ops per batch.
+        cpu_ops_per_phase: embedding-operator dispatches per CPU phase
+            (DLRM: one EmbeddingBag per table; TBSM: one per table per
+            timestep).
+        transfer_events: PCIe messages per transfer direction per batch
+            (DLRM ships one fused buffer; TBSM's sequence pipeline chunks
+            its activations).
+    """
+
+    name: str
+    num_samples: int
+    base_batch_size: int
+    mlp_macs_per_sample: float
+    num_mlp_layers: int
+    dense_param_bytes: float
+    lookup_rows_per_sample: float
+    lookup_bytes_per_sample: float
+    pooled_bytes_per_sample: float
+    num_tables: int
+    hot_fraction: float
+    hot_bytes: float
+    total_embedding_bytes: float
+    unique_row_factor: float = 0.7
+    dispatch_seconds: float = 8e-3
+    cpu_ops_per_phase: int = 1
+    transfer_events: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.hot_fraction <= 1:
+            raise ValueError(f"hot_fraction must be in [0, 1], got {self.hot_fraction}")
+        if self.num_samples <= 0 or self.base_batch_size <= 0:
+            raise ValueError("num_samples and base_batch_size must be positive")
+        if not 0 < self.unique_row_factor <= 1:
+            raise ValueError("unique_row_factor must be in (0, 1]")
+
+    def batches_per_epoch(self, num_gpus: int) -> int:
+        """Weak scaling: global batch = base * k, so batches shrink by k."""
+        return max(1, self.num_samples // (self.base_batch_size * num_gpus))
+
+
+def analytic_hot_stats(
+    schema: DatasetSchema,
+    gpu_memory_budget: int,
+    large_table_min_bytes: int = 1 << 20,
+) -> tuple[float, float]:
+    """Analytic (hot_fraction, hot_bytes) at a GPU budget.
+
+    Mirrors the calibrator's semantics on the generative model itself: a
+    common access-probability threshold ``t`` is lowered until the hot
+    rows (rows with ground-truth probability >= t, plus all small tables)
+    no longer fit the budget; the feasible threshold's coverage product
+    over tables gives the hot-input fraction.
+    """
+    small_bytes = 0
+    large = []
+    for spec in schema.tables:
+        if spec.size_bytes < large_table_min_bytes:
+            small_bytes += spec.size_bytes
+        else:
+            large.append(spec)
+    if small_bytes > gpu_memory_budget:
+        raise ValueError("small tables alone exceed the GPU budget")
+
+    def hot_bytes_at(threshold: float) -> float:
+        total = float(small_bytes)
+        for spec in large:
+            rows = zipf_rows_above_probability(spec.num_rows, spec.zipf_exponent, threshold)
+            total += rows * spec.dim * 4
+        return total
+
+    lo, hi = 1e-18, 1.0
+    for _ in range(80):
+        mid = float(np.sqrt(lo * hi))
+        if hot_bytes_at(mid) > gpu_memory_budget:
+            lo = mid
+        else:
+            hi = mid
+    threshold = hi
+
+    fraction = 1.0
+    for spec in large:
+        rows = zipf_rows_above_probability(spec.num_rows, spec.zipf_exponent, threshold)
+        coverage = zipf_top_k_coverage(spec.num_rows, spec.zipf_exponent, rows)
+        fraction *= coverage**spec.multiplicity
+    return fraction, hot_bytes_at(threshold)
+
+
+def characterize(
+    spec: ModelSpec,
+    num_gpus: int = 1,
+    gpu_memory_budget: int = 256 * 2**20,
+    hot_fraction: float | None = None,
+) -> WorkloadCharacter:
+    """Characterize a Table I workload analytically at paper scale.
+
+    Args:
+        spec: workload (RMC1/RMC2/RMC3).
+        num_gpus: unused for the character itself (batch scaling happens
+            in the simulator) but kept for API symmetry.
+        gpu_memory_budget: the FAE budget ``L``.
+        hot_fraction: override the analytic hot fraction (ablations).
+    """
+    schema = dataset_by_name(spec.dataset, "paper")
+    # A tiny instantiation provides exact MLP shapes/flops without
+    # allocating paper-scale tables.
+    tiny_schema = dataset_by_name(spec.dataset, "tiny")
+    model = build_model(spec, schema=tiny_schema)
+
+    if hot_fraction is None:
+        fraction, hot_bytes = analytic_hot_stats(schema, gpu_memory_budget)
+    else:
+        fraction = hot_fraction
+        _, hot_bytes = analytic_hot_stats(schema, gpu_memory_budget)
+
+    lookup_rows = float(schema.lookups_per_sample())
+    lookup_bytes = float(sum(t.multiplicity * t.dim * 4 for t in schema.tables))
+    pooled_bytes = float(sum(t.dim * 4 for t in schema.tables))
+    dense_param_bytes = float(sum(p.nbytes for p in model.dense_parameters()))
+    num_mlp_layers = sum(
+        1 for p in model.dense_parameters() if p.value.ndim == 2
+    )
+
+    seq_len = int(getattr(model, "seq_len", 1))
+    is_tbsm = spec.model_kind == "tbsm"
+    return WorkloadCharacter(
+        name=spec.name,
+        num_samples=schema.num_samples,
+        base_batch_size=spec.base_batch_size,
+        mlp_macs_per_sample=float(model.mlp_flops_per_sample()),
+        num_mlp_layers=num_mlp_layers,
+        dense_param_bytes=dense_param_bytes,
+        lookup_rows_per_sample=lookup_rows,
+        lookup_bytes_per_sample=lookup_bytes,
+        pooled_bytes_per_sample=pooled_bytes,
+        num_tables=schema.num_sparse,
+        hot_fraction=fraction,
+        hot_bytes=float(hot_bytes),
+        total_embedding_bytes=float(schema.total_embedding_bytes),
+        dispatch_seconds=40e-3 if is_tbsm else 8e-3,
+        cpu_ops_per_phase=schema.num_sparse * (6 * (seq_len + 1) if is_tbsm else 1),
+        transfer_events=6 if is_tbsm else 1,
+    )
+
+
+def characterize_from_plan(spec: ModelSpec, plan, schema: DatasetSchema) -> WorkloadCharacter:
+    """Characterize from a measured :class:`~repro.core.pipeline.FAEPlan`.
+
+    Used by the end-to-end examples so the simulated timing reflects the
+    plan actually computed on the (scaled) data.
+    """
+    model = build_model(spec, schema=schema)
+    lookup_bytes = float(sum(t.multiplicity * t.dim * 4 for t in schema.tables))
+    seq_len = int(getattr(model, "seq_len", 1))
+    is_tbsm = spec.model_kind == "tbsm"
+    return WorkloadCharacter(
+        name=spec.name,
+        num_samples=plan.dataset.num_inputs,
+        base_batch_size=plan.dataset.batch_size,
+        mlp_macs_per_sample=float(model.mlp_flops_per_sample()),
+        num_mlp_layers=sum(1 for p in model.dense_parameters() if p.value.ndim == 2),
+        dense_param_bytes=float(sum(p.nbytes for p in model.dense_parameters())),
+        lookup_rows_per_sample=float(schema.lookups_per_sample()),
+        lookup_bytes_per_sample=lookup_bytes,
+        pooled_bytes_per_sample=float(sum(t.dim * 4 for t in schema.tables)),
+        num_tables=schema.num_sparse,
+        hot_fraction=plan.hot_input_fraction,
+        hot_bytes=float(plan.hot_bytes),
+        total_embedding_bytes=float(schema.total_embedding_bytes),
+        dispatch_seconds=40e-3 if is_tbsm else 8e-3,
+        cpu_ops_per_phase=schema.num_sparse * (6 * (seq_len + 1) if is_tbsm else 1),
+        transfer_events=6 if is_tbsm else 1,
+    )

@@ -1,0 +1,60 @@
+"""Activation modules with cached-state backward passes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ReLU", "Sigmoid", "sigmoid"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically-stable logistic function."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out.astype(x.dtype) if x.dtype == np.float32 else out
+
+
+class ReLU:
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def parameters(self) -> list:
+        return []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0).astype(x.dtype)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        grad_in = np.where(self._mask, grad_out, 0.0).astype(grad_out.dtype)
+        self._mask = None
+        return grad_in
+
+
+class Sigmoid:
+    """Logistic activation (DLRM's output unit when not fused into the loss)."""
+
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def parameters(self) -> list:
+        return []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = sigmoid(x)
+        return self._output
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        y = self._output
+        grad_in = (grad_out * y * (1.0 - y)).astype(grad_out.dtype)
+        self._output = None
+        return grad_in

@@ -1,0 +1,78 @@
+"""TBSM-style attention over a sequence of per-timestep context vectors.
+
+TBSM runs a DLRM core per timestep of the user-behaviour sequence, then
+aggregates the resulting context vectors with an attention layer before
+the final MLP.  We implement learned-query dot attention: a trainable
+query scores each timestep, softmax normalizes the scores, and the output
+is the attention-weighted sum of the sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+__all__ = ["SequenceAttention"]
+
+
+def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+class SequenceAttention:
+    """Learned-query dot-product attention: ``(B, T, d) -> (B, d)``.
+
+    Args:
+        dim: context vector width.
+        rng: seeded generator for the query init.
+        name: parameter name prefix.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator, name: str = "attention") -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.query = Parameter(
+            f"{name}.query", rng.normal(0.0, 1.0 / np.sqrt(dim), size=dim).astype(np.float32)
+        )
+        self._sequence: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.query]
+
+    def forward(self, sequence: np.ndarray) -> np.ndarray:
+        """Attention-pool a ``(B, T, d)`` sequence into ``(B, d)``."""
+        if sequence.ndim != 3 or sequence.shape[2] != self.dim:
+            raise ValueError(f"expected (B, T, {self.dim}) sequence, got {sequence.shape}")
+        scores = sequence @ self.query.value  # (B, T)
+        weights = _softmax(scores, axis=1)
+        self._sequence = sequence
+        self._weights = weights
+        return (weights[:, :, None] * sequence).sum(axis=1).astype(np.float32)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Return the ``(B, T, d)`` gradient w.r.t. the input sequence."""
+        if self._sequence is None or self._weights is None:
+            raise RuntimeError("backward called before forward")
+        sequence, weights = self._sequence, self._weights
+
+        # Output o = sum_t a_t z_t.
+        grad_seq = weights[:, :, None] * grad_out[:, None, :]  # via z_t directly
+        grad_weights = np.einsum("btd,bd->bt", sequence, grad_out)
+
+        # Softmax backward: ds = a * (dL/da - sum_t a_t dL/da_t).
+        dot = (grad_weights * weights).sum(axis=1, keepdims=True)
+        grad_scores = weights * (grad_weights - dot)  # (B, T)
+
+        # Scores s_t = z_t . q.
+        self.query.accumulate_dense(
+            np.einsum("bt,btd->d", grad_scores, sequence).astype(np.float32)
+        )
+        grad_seq = grad_seq + grad_scores[:, :, None] * self.query.value[None, None, :]
+        self._sequence = None
+        self._weights = None
+        return grad_seq.astype(np.float32)

@@ -1,0 +1,139 @@
+"""Embedding tables and pooled embedding-bag lookups.
+
+This is the memory-bound half of a recommendation model.  An
+:class:`EmbeddingTable` owns the parameter matrix; an
+:class:`EmbeddingBag` performs ``(B, m)``-id pooled lookups against it
+with mean or sum pooling and accumulates *sparse* gradients, mirroring
+``torch.nn.EmbeddingBag`` semantics that DLRM/TBSM rely on.
+
+The FAE Embedding Replicator builds *partial* tables (hot bags) by
+slicing rows out of a table; :meth:`EmbeddingTable.subset` and
+:meth:`EmbeddingTable.write_rows` provide exactly that surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import normal_init
+from repro.nn.parameter import Parameter
+
+__all__ = ["EmbeddingTable", "EmbeddingBag"]
+
+
+class EmbeddingTable:
+    """A dense ``(num_rows, dim)`` embedding parameter matrix.
+
+    Args:
+        name: table name (matches the dataset schema's table names).
+        num_rows: cardinality.
+        dim: embedding dimension.
+        rng: seeded generator; rows are N(0, 1/sqrt(dim)) like DLRM.
+    """
+
+    def __init__(self, name: str, num_rows: int, dim: int, rng: np.random.Generator) -> None:
+        if num_rows <= 0 or dim <= 0:
+            raise ValueError("num_rows and dim must be positive")
+        self.name = name
+        self.num_rows = num_rows
+        self.dim = dim
+        std = 1.0 / np.sqrt(dim)
+        self.weight = Parameter(name, normal_init((num_rows, dim), std, rng))
+
+    @property
+    def nbytes(self) -> int:
+        return self.weight.nbytes
+
+    def rows(self, ids: np.ndarray) -> np.ndarray:
+        """Raw row gather (no pooling, no caching)."""
+        return self.weight.value[ids]
+
+    def subset(self, ids: np.ndarray) -> np.ndarray:
+        """Copy of the rows ``ids`` (the replicator ships these to GPUs)."""
+        return self.weight.value[np.asarray(ids, dtype=np.int64)].copy()
+
+    def write_rows(self, ids: np.ndarray, values: np.ndarray) -> None:
+        """Overwrite rows ``ids`` with ``values`` (hot-bag sync-back)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if values.shape != (ids.shape[0], self.dim):
+            raise ValueError(
+                f"{self.name}: expected values of shape {(ids.shape[0], self.dim)}, got {values.shape}"
+            )
+        self.weight.value[ids] = values
+
+
+class EmbeddingBag:
+    """Pooled lookup over one embedding table.
+
+    Args:
+        table: backing table.
+        mode: ``"mean"`` or ``"sum"`` pooling across the multiplicity axis.
+    """
+
+    def __init__(self, table: EmbeddingTable, mode: str = "mean") -> None:
+        if mode not in ("mean", "sum"):
+            raise ValueError(f"mode must be 'mean' or 'sum', got {mode!r}")
+        self.table = table
+        self.mode = mode
+        self._ids: np.ndarray | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.table.weight]
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        """Pooled lookup.
+
+        Args:
+            ids: int64 ``(B, m)`` row ids, ``m`` the feature multiplicity.
+
+        Returns:
+            float32 ``(B, dim)`` pooled embeddings.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim == 1:
+            ids = ids[:, None]
+        if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.table.num_rows:
+            raise IndexError(
+                f"{self.table.name}: lookup ids out of range [0, {self.table.num_rows})"
+            )
+        self._ids = ids
+        gathered = self.table.weight.value[ids]  # (B, m, dim)
+        if self.mode == "mean":
+            return gathered.mean(axis=1)
+        return gathered.sum(axis=1)
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        """Record sparse gradients for the rows this lookup touched.
+
+        Args:
+            grad_out: float32 ``(B, dim)`` gradient of the pooled output.
+        """
+        if self._ids is None:
+            raise RuntimeError("backward called before forward")
+        ids = self._ids
+        batch, multiplicity = ids.shape
+        scale = 1.0 / multiplicity if self.mode == "mean" else 1.0
+        # Each of the m looked-up rows receives the (scaled) pooled grad.
+        row_grads = np.repeat(grad_out * scale, multiplicity, axis=0).astype(np.float32)
+        self.table.weight.accumulate_sparse(ids.ravel(), row_grads)
+        self._ids = None
+
+    def sequence_forward(self, ids: np.ndarray) -> np.ndarray:
+        """Unpooled gather for sequence models: ``(B, m)`` -> ``(B, m, dim)``.
+
+        TBSM consumes per-timestep embeddings rather than a pooled bag.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim != 2:
+            raise ValueError("sequence_forward expects (B, m) ids")
+        self._ids = ids
+        return self.table.weight.value[ids]
+
+    def sequence_backward(self, grad_out: np.ndarray) -> None:
+        """Sparse grads for an unpooled gather: grad_out is ``(B, m, dim)``."""
+        if self._ids is None:
+            raise RuntimeError("backward called before forward")
+        ids = self._ids
+        flat = grad_out.reshape(-1, self.table.dim).astype(np.float32)
+        self.table.weight.accumulate_sparse(ids.ravel(), flat)
+        self._ids = None

@@ -1,0 +1,24 @@
+"""Weight initializers (seeded, numpy-native)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "normal_init"]
+
+
+def xavier_uniform(fan_out: int, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform init for a ``(fan_out, fan_in)`` weight matrix.
+
+    This matches the default initialization the open-source DLRM applies
+    to its MLP layers.
+    """
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_out, fan_in)).astype(np.float32)
+
+
+def normal_init(shape: tuple[int, ...], std: float, rng: np.random.Generator) -> np.ndarray:
+    """Zero-mean Gaussian init (DLRM initializes embedding rows this way)."""
+    if std < 0:
+        raise ValueError(f"std must be non-negative, got {std}")
+    return rng.normal(0.0, std, size=shape).astype(np.float32)

@@ -1,0 +1,58 @@
+"""Fully-connected layer with hand-derived backward pass."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import xavier_uniform
+from repro.nn.parameter import Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear:
+    """Affine layer: ``y = x @ W.T + b``.
+
+    Args:
+        in_features: input width.
+        out_features: output width.
+        rng: seeded generator for Xavier init.
+        name: parameter name prefix.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, name: str = "linear") -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature sizes must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(f"{name}.weight", xavier_uniform(out_features, in_features, rng))
+        self.bias = Parameter(f"{name}.bias", np.zeros(out_features, dtype=np.float32))
+        self._input: np.ndarray | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the affine map; caches the input for backward."""
+        if x.shape[-1] != self.in_features:
+            raise ValueError(f"expected input width {self.in_features}, got {x.shape[-1]}")
+        self._input = x
+        return x @ self.weight.value.T + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate weight/bias grads; return gradient w.r.t. the input."""
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        x = self._input
+        # Support leading batch-like dims by flattening them for the GEMMs.
+        flat_x = x.reshape(-1, self.in_features)
+        flat_g = grad_out.reshape(-1, self.out_features)
+        self.weight.accumulate_dense(flat_g.T @ flat_x)
+        self.bias.accumulate_dense(flat_g.sum(axis=0))
+        grad_in = grad_out @ self.weight.value
+        self._input = None
+        return grad_in
+
+    def flops_per_sample(self) -> int:
+        """Multiply-accumulate count for one forward sample (cost model)."""
+        return 2 * self.in_features * self.out_features

@@ -1,0 +1,103 @@
+"""Multi-layer perceptron stacks (DLRM's bottom/top MLPs).
+
+Layer sizes follow the paper's Table I notation: ``"13-512-256-64-16"``
+means a 13-wide input followed by four Linear+ReLU layers.  The final
+layer's activation is configurable because DLRM's top MLP ends in a
+logit fed to a fused sigmoid-BCE loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import ReLU, Sigmoid
+from repro.nn.linear import Linear
+from repro.nn.parameter import Parameter
+
+__all__ = ["MLP", "parse_layer_spec"]
+
+
+def parse_layer_spec(spec: str) -> tuple[int, ...]:
+    """Parse a Table I layer string like ``"13-512-256-64-16"``.
+
+    Raises:
+        ValueError: on malformed specs or non-positive widths.
+    """
+    try:
+        sizes = tuple(int(part) for part in spec.split("-"))
+    except ValueError:
+        raise ValueError(f"malformed layer spec {spec!r}") from None
+    if len(sizes) < 2:
+        raise ValueError(f"layer spec needs at least two sizes, got {spec!r}")
+    if any(s <= 0 for s in sizes):
+        raise ValueError(f"layer sizes must be positive in {spec!r}")
+    return sizes
+
+
+class MLP:
+    """A Linear(+ReLU) stack.
+
+    Args:
+        layer_sizes: widths including input, e.g. ``(13, 512, 256, 64, 16)``.
+        rng: seeded generator for weight init.
+        final_activation: ``"relu"``, ``"sigmoid"``, or ``None`` (logits).
+        name: parameter name prefix.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: tuple[int, ...] | str,
+        rng: np.random.Generator,
+        final_activation: str | None = "relu",
+        name: str = "mlp",
+    ) -> None:
+        if isinstance(layer_sizes, str):
+            layer_sizes = parse_layer_spec(layer_sizes)
+        if len(layer_sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        self.layer_sizes = tuple(layer_sizes)
+        self.layers: list = []
+        last = len(layer_sizes) - 2
+        for i, (fan_in, fan_out) in enumerate(zip(layer_sizes[:-1], layer_sizes[1:])):
+            self.layers.append(Linear(fan_in, fan_out, rng, name=f"{name}.{i}"))
+            if i < last:
+                self.layers.append(ReLU())
+            elif final_activation == "relu":
+                self.layers.append(ReLU())
+            elif final_activation == "sigmoid":
+                self.layers.append(Sigmoid())
+            elif final_activation is not None:
+                raise ValueError(f"unknown final_activation {final_activation!r}")
+
+    @property
+    def in_features(self) -> int:
+        return self.layer_sizes[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.layer_sizes[-1]
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def flops_per_sample(self) -> int:
+        """Forward multiply-accumulate count per sample (cost model input)."""
+        return sum(
+            layer.flops_per_sample() for layer in self.layers if isinstance(layer, Linear)
+        )
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())

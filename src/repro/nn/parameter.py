@@ -1,0 +1,113 @@
+"""Trainable parameters and sparse gradient records.
+
+Dense parameters (MLP weights) accumulate into a dense ``grad`` buffer.
+Embedding tables instead record :class:`SparseGrad` entries — (row ids,
+row gradients) pairs — because a mini-batch touches a vanishing fraction
+of a table and materializing a dense gradient would dominate runtime
+exactly the way the paper's CPU-side optimizer does in the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Parameter", "SparseGrad"]
+
+
+@dataclass
+class SparseGrad:
+    """Gradient contribution touching a subset of a table's rows.
+
+    Attributes:
+        ids: int64 ``(k,)`` row indices (duplicates allowed; optimizers
+            coalesce them with ``np.add.at`` semantics).
+        values: float32 ``(k, dim)`` per-row gradients aligned with ``ids``.
+    """
+
+    ids: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.ids.ndim != 1:
+            raise ValueError("SparseGrad.ids must be 1-D")
+        if self.values.ndim != 2 or self.values.shape[0] != self.ids.shape[0]:
+            raise ValueError("SparseGrad.values must be (len(ids), dim)")
+
+    def coalesced(self) -> "SparseGrad":
+        """Return an equivalent record with unique, sorted ids."""
+        unique_ids, inverse = np.unique(self.ids, return_inverse=True)
+        summed = np.zeros((unique_ids.shape[0], self.values.shape[1]), dtype=self.values.dtype)
+        np.add.at(summed, inverse, self.values)
+        return SparseGrad(ids=unique_ids, values=summed)
+
+
+class Parameter:
+    """A named trainable tensor with dense and/or sparse gradient state.
+
+    Attributes:
+        name: diagnostic identifier ("mlp_bot.0.weight", "table_03", ...).
+        value: the parameter array (mutated in place by optimizers).
+        grad: dense gradient buffer, lazily allocated on first use.
+        sparse_grads: accumulated :class:`SparseGrad` records for this step.
+    """
+
+    def __init__(self, name: str, value: np.ndarray) -> None:
+        self.name = name
+        self.value = np.ascontiguousarray(value, dtype=np.float32)
+        self.grad: np.ndarray | None = None
+        self.sparse_grads: list[SparseGrad] = []
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.value.nbytes)
+
+    def accumulate_dense(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the dense gradient buffer."""
+        if grad.shape != self.value.shape:
+            raise ValueError(
+                f"{self.name}: gradient shape {grad.shape} != parameter shape {self.value.shape}"
+            )
+        if self.grad is None:
+            self.grad = np.zeros_like(self.value)
+        self.grad += grad
+
+    def accumulate_sparse(self, ids: np.ndarray, values: np.ndarray) -> None:
+        """Record a sparse gradient touching rows ``ids``."""
+        if self.value.ndim != 2:
+            raise ValueError(f"{self.name}: sparse grads require a 2-D parameter")
+        if values.shape[1] != self.value.shape[1]:
+            raise ValueError(f"{self.name}: sparse grad dim {values.shape[1]} != {self.value.shape[1]}")
+        self.sparse_grads.append(
+            SparseGrad(ids=np.asarray(ids, dtype=np.int64).ravel(), values=values)
+        )
+
+    def zero_grad(self) -> None:
+        """Clear all accumulated gradient state."""
+        self.grad = None
+        self.sparse_grads = []
+
+    def densified_grad(self) -> np.ndarray:
+        """Materialize the total gradient densely (tests / gradient checks)."""
+        total = np.zeros_like(self.value) if self.grad is None else self.grad.copy()
+        for record in self.sparse_grads:
+            np.add.at(total, record.ids, record.values)
+        return total
+
+    def touched_rows(self) -> np.ndarray:
+        """Unique row ids with pending sparse gradients."""
+        if not self.sparse_grads:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate([r.ids for r in self.sparse_grads]))
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r}, shape={self.value.shape})"

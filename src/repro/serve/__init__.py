@@ -1,0 +1,22 @@
+"""Serving-side companion: inference with hot-resident embeddings.
+
+The paper accelerates *training*, but the same skew powers serving: a
+recommendation service scoring candidates for live requests hits the
+same hot rows, so keeping the hot bags GPU-resident removes the
+CPU-embedding fetch from most requests' critical path (the theme of the
+inference-side related work the paper cites: TensorDIMM, DeepRecSys,
+Centaur).
+
+- :class:`~repro.serve.engine.InferenceEngine` — forward-only batched
+  scoring and top-k candidate ranking over a trained model, with
+  hot/cold request classification against an FAE plan's bags.
+- :class:`~repro.serve.simulator.ServingSimulator` — request-level
+  latency simulation (Poisson arrivals, dynamic batching) comparing
+  CPU-embedding serving against hot-resident serving on the calibrated
+  cost model.
+"""
+
+from repro.serve.engine import InferenceEngine, RankedItems
+from repro.serve.simulator import LatencyStats, ServingSimulator
+
+__all__ = ["InferenceEngine", "LatencyStats", "RankedItems", "ServingSimulator"]

@@ -1,0 +1,138 @@
+"""Forward-only inference over trained recommender models.
+
+The engine wraps a :class:`~repro.models.base.RecModel` for batched
+scoring and candidate ranking.  When given the hot bags of an FAE plan it
+also classifies each request as *hot* (all its lookups are GPU-resident)
+or *cold* — the quantity the serving simulator prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classifier import HotEmbeddingBagSpec
+from repro.data.loader import MiniBatch, batch_from_log
+from repro.models.base import RecModel
+from repro.nn.activations import sigmoid
+
+__all__ = ["InferenceEngine", "RankedItems"]
+
+
+@dataclass(frozen=True)
+class RankedItems:
+    """Top-k ranking result for one request.
+
+    Attributes:
+        item_ids: candidate ids ordered best-first.
+        scores: matching click probabilities.
+    """
+
+    item_ids: np.ndarray
+    scores: np.ndarray
+
+
+class InferenceEngine:
+    """Batched scoring and ranking over a trained model.
+
+    Args:
+        model: a trained recommender (forward-only use).
+        hot_bags: optional FAE hot-bag specs for request classification.
+        batch_size: maximum scoring batch.
+    """
+
+    def __init__(
+        self,
+        model: RecModel,
+        hot_bags: dict[str, HotEmbeddingBagSpec] | None = None,
+        batch_size: int = 2048,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.model = model
+        self.batch_size = batch_size
+        self._hot_masks = (
+            {name: bag.hot_mask() for name, bag in hot_bags.items()} if hot_bags else None
+        )
+
+    def predict_proba(self, log, indices: np.ndarray | None = None) -> np.ndarray:
+        """Click probabilities for rows of a click log."""
+        indices = np.arange(len(log)) if indices is None else np.asarray(indices)
+        probs = np.empty(len(indices), dtype=np.float64)
+        for start in range(0, len(indices), self.batch_size):
+            chunk = indices[start : start + self.batch_size]
+            logits = self.model.forward(batch_from_log(log, chunk))
+            probs[start : start + len(chunk)] = sigmoid(np.asarray(logits, dtype=np.float64))
+        return probs
+
+    def predict_batch(self, batch: MiniBatch) -> np.ndarray:
+        """Click probabilities for an already-built mini-batch."""
+        logits = self.model.forward(batch)
+        return sigmoid(np.asarray(logits, dtype=np.float64))
+
+    def rank_candidates(
+        self,
+        dense: np.ndarray,
+        sparse_context: dict[str, np.ndarray],
+        candidate_table: str,
+        candidate_ids: np.ndarray,
+        top_k: int = 10,
+    ) -> RankedItems:
+        """Score one request against ``candidate_ids`` and return the top-k.
+
+        The request's context features are broadcast across candidates;
+        ``candidate_table``'s ids are replaced per candidate — the
+        standard candidate-ranking layout of a retrieval+ranking stack.
+
+        Args:
+            dense: ``(num_dense,)`` request features.
+            sparse_context: table name -> ``(multiplicity,)`` context ids
+                (must include every table, incl. the candidate table,
+                whose value is overwritten per candidate).
+            candidate_table: which table the candidates index.
+            candidate_ids: ``(C,)`` candidate row ids.
+            top_k: how many to return.
+
+        Raises:
+            KeyError: if the candidate table is unknown.
+        """
+        if candidate_table not in self.model.tables:
+            raise KeyError(f"unknown candidate table {candidate_table!r}")
+        candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+        count = len(candidate_ids)
+        if count == 0:
+            raise ValueError("need at least one candidate")
+
+        dense_block = np.tile(np.asarray(dense, dtype=np.float32), (count, 1))
+        sparse_block = {}
+        for name, ids in sparse_context.items():
+            ids = np.asarray(ids, dtype=np.int64)[None, :]
+            sparse_block[name] = np.tile(ids, (count, 1))
+        mult = sparse_block[candidate_table].shape[1]
+        sparse_block[candidate_table] = np.tile(candidate_ids[:, None], (1, mult))
+
+        batch = MiniBatch(
+            dense=dense_block,
+            sparse=sparse_block,
+            labels=np.zeros(count, dtype=np.float32),
+            indices=np.arange(count, dtype=np.int64),
+        )
+        scores = self.predict_batch(batch)
+        order = np.argsort(scores)[::-1][:top_k]
+        return RankedItems(item_ids=candidate_ids[order], scores=scores[order])
+
+    def hot_request_mask(self, log, indices: np.ndarray | None = None) -> np.ndarray:
+        """Which requests touch only hot rows (GPU-servable end to end).
+
+        Raises:
+            RuntimeError: if the engine was built without hot bags.
+        """
+        if self._hot_masks is None:
+            raise RuntimeError("engine was constructed without hot bags")
+        indices = np.arange(len(log)) if indices is None else np.asarray(indices)
+        hot = np.ones(len(indices), dtype=bool)
+        for name, ids in log.sparse.items():
+            mask = self._hot_masks[name]
+            hot &= mask[ids[indices]].all(axis=1)
+        return hot

@@ -1,0 +1,84 @@
+"""Early-stopping criteria (Prechelt, "Early Stopping — But When?").
+
+The paper justifies the Shuffle Scheduler's ``u = 4`` strips by citing
+Prechelt's convergence-check heuristics (SS III-C: "the downward trend of
+test loss curve consecutively for 4 strips shows a balance between
+redundancy, badness, and slowness").  This module implements the two
+criteria that reasoning comes from, so the choice can be studied rather
+than taken on faith:
+
+- **GL(alpha)** — stop when generalization loss (relative gap between the
+  current and the best validation loss so far) exceeds ``alpha`` percent.
+- **UP(s)** — stop after the validation loss increases across ``s``
+  consecutive strips.
+
+Both consume one validation loss per strip via :meth:`update`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["GeneralizationLoss", "ConsecutiveIncrease"]
+
+
+@dataclass
+class GeneralizationLoss:
+    """Prechelt's GL(alpha) criterion.
+
+    Attributes:
+        alpha: stop threshold in percent (GL > alpha -> stop).
+    """
+
+    alpha: float = 5.0
+    best: float = field(default=float("inf"), init=False)
+    current_gl: float = field(default=0.0, init=False)
+    stopped: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+
+    def update(self, validation_loss: float) -> bool:
+        """Feed one strip's validation loss; returns True when stopping."""
+        if validation_loss < 0:
+            raise ValueError("validation loss must be non-negative")
+        self.best = min(self.best, validation_loss)
+        if self.best == 0:
+            self.current_gl = 0.0 if validation_loss == 0 else float("inf")
+        else:
+            self.current_gl = 100.0 * (validation_loss / self.best - 1.0)
+        if self.current_gl > self.alpha:
+            self.stopped = True
+        return self.stopped
+
+
+@dataclass
+class ConsecutiveIncrease:
+    """Prechelt's UP(s) criterion: s successive validation-loss increases.
+
+    With ``strips = 4`` this is the same "4 strips" trend test the
+    paper's scheduler uses (in the improvement direction) to double its
+    rate.
+    """
+
+    strips: int = 4
+    _previous: float | None = field(default=None, init=False)
+    streak: int = field(default=0, init=False)
+    stopped: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.strips < 1:
+            raise ValueError("strips must be >= 1")
+
+    def update(self, validation_loss: float) -> bool:
+        """Feed one strip's validation loss; returns True when stopping."""
+        if self._previous is not None:
+            if validation_loss > self._previous:
+                self.streak += 1
+            else:
+                self.streak = 0
+        self._previous = validation_loss
+        if self.streak >= self.strips:
+            self.stopped = True
+        return self.stopped

@@ -1,0 +1,330 @@
+"""Baseline and FAE trainers over the numpy models.
+
+:class:`BaselineTrainer` is the paper's Fig 3 execution, functionally:
+plain shuffled mini-batches, one optimizer over every parameter (device
+placement is a performance concern simulated by :mod:`repro.hw`, not a
+math concern — both executions apply identical updates).
+
+:class:`FAETrainer` is the FAE runtime over a preprocessed
+:class:`~repro.core.pipeline.FAEPlan`:
+
+- pure-hot batches execute against per-GPU hot-bag replicas (ids remapped
+  to bag-local rows), pure-cold batches against the CPU master tables;
+- every hot<->cold transition synchronizes the hot rows (replica ->
+  master or master -> replicas), exactly as the Embedding Replicator
+  prescribes, and its cost is tallied for the hardware model;
+- the Shuffle Scheduler plans segments and adapts its rate from the test
+  loss measured after each segment (paper Eq. 7).
+
+Because syncs run at *every* transition, the FAE execution is
+mathematically a reordering of the baseline's mini-batches — which is why
+the paper (and our Table III bench) sees matching final accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pipeline import FAEPlan
+from repro.core.replicator import EmbeddingReplicator
+from repro.core.scheduler import ShuffleScheduler
+from repro.data.loader import BatchIterator, batch_from_log
+from repro.data.synthetic import SyntheticClickLog
+from repro.models.base import RecModel
+from repro.nn.losses import BCEWithLogits
+from repro.nn.optim import SGD
+from repro.train.history import HistoryPoint, TrainingHistory
+from repro.train.metrics import binary_accuracy, evaluate_model
+
+__all__ = ["TrainResult", "BaselineTrainer", "FAETrainer"]
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run.
+
+    Attributes:
+        history: evaluation snapshots over the run.
+        final_train_accuracy: accuracy over the last training segment.
+        final_test_accuracy: accuracy on the held-out log at the end.
+        sync_events: hot-bag synchronizations performed (FAE only).
+        sync_bytes: total bytes moved by those synchronizations.
+        schedule_rates: the scheduler's rate after each recorded segment
+            (FAE only; shows Eq. 7 adapting).
+    """
+
+    history: TrainingHistory
+    final_train_accuracy: float
+    final_test_accuracy: float
+    sync_events: int = 0
+    sync_bytes: int = 0
+    schedule_rates: list[int] = field(default_factory=list)
+
+
+class BaselineTrainer:
+    """Hybrid CPU-GPU training, functionally: shuffled SGD over all data.
+
+    Args:
+        model: the recommender model.
+        lr: SGD learning rate.
+        seed: batch-shuffle seed.
+    """
+
+    def __init__(self, model: RecModel, lr: float = 0.1, seed: int = 0) -> None:
+        self.model = model
+        self.lr = lr
+        self.seed = seed
+
+    def train(
+        self,
+        train_log: SyntheticClickLog,
+        test_log: SyntheticClickLog,
+        epochs: int = 1,
+        batch_size: int = 256,
+        eval_every: int = 50,
+        eval_samples: int = 4096,
+    ) -> TrainResult:
+        """Train for ``epochs`` and record periodic evaluation snapshots."""
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        optimizer = SGD(self.model.parameters(), lr=self.lr)
+        loss_fn = BCEWithLogits()
+        history = TrainingHistory()
+
+        iteration = 0
+        recent_losses: list[float] = []
+        recent_accuracy: list[float] = []
+        iterator = BatchIterator(train_log, batch_size, shuffle=True, seed=self.seed)
+        for _epoch in range(epochs):
+            for batch in iterator:
+                logits = self.model.forward(batch)
+                loss = loss_fn.forward(logits, batch.labels)
+                self.model.backward(loss_fn.backward())
+                optimizer.step()
+                iteration += 1
+                recent_losses.append(loss)
+                recent_accuracy.append(binary_accuracy(logits, batch.labels))
+                if iteration % eval_every == 0:
+                    test_loss, test_acc = evaluate_model(
+                        self.model, test_log, max_samples=eval_samples
+                    )
+                    history.record(
+                        HistoryPoint(
+                            iteration=iteration,
+                            train_loss=float(np.mean(recent_losses)),
+                            test_loss=test_loss,
+                            test_accuracy=test_acc,
+                            train_accuracy=float(np.mean(recent_accuracy)),
+                            segment_kind="mixed",
+                        )
+                    )
+                    recent_losses.clear()
+                    recent_accuracy.clear()
+
+        final_loss, final_acc = evaluate_model(self.model, test_log)
+        _train_loss, train_acc = evaluate_model(
+            self.model, train_log, max_samples=4 * eval_samples
+        )
+        history.record(
+            HistoryPoint(
+                iteration=iteration,
+                train_loss=float(np.mean(recent_losses)) if recent_losses else final_loss,
+                test_loss=final_loss,
+                test_accuracy=final_acc,
+                train_accuracy=train_acc,
+                segment_kind="mixed",
+            )
+        )
+        return TrainResult(
+            history=history,
+            final_train_accuracy=train_acc,
+            final_test_accuracy=final_acc,
+        )
+
+
+class FAETrainer:
+    """The FAE runtime: hot/cold segments, replicas, adaptive scheduling.
+
+    Args:
+        model: the recommender model (its tables are the CPU masters).
+        plan: FAE preprocessing output for the training log.
+        lr: SGD learning rate.
+        num_replicas: GPU replica count for the hot bags.
+        pooling: bag pooling mode; must match the model's bags.
+    """
+
+    def __init__(
+        self,
+        model: RecModel,
+        plan: FAEPlan,
+        lr: float = 0.1,
+        num_replicas: int = 1,
+        pooling: str = "mean",
+    ) -> None:
+        self.model = model
+        self.plan = plan
+        self.lr = lr
+        self.replicator = EmbeddingReplicator(
+            tables=model.tables,
+            bag_specs=plan.bags,
+            num_replicas=num_replicas,
+            pooling=pooling,
+        )
+        self._master_bags = {
+            name: model.get_bag(name) for name in model.tables
+        }
+
+    def _enter_hot(self) -> int:
+        """Refresh replicas from the masters and swap hot bags in."""
+        moved = self.replicator.sync_from_master()
+        for name, bag in self.replicator.bags_for_replica(0).items():
+            self.model.set_bag(name, bag)
+        return moved
+
+    def _enter_cold(self) -> int:
+        """Write hot rows back to the masters and swap master bags in."""
+        moved = self.replicator.sync_to_master()
+        for name, bag in self._master_bags.items():
+            self.model.set_bag(name, bag)
+        return moved
+
+    def train(
+        self,
+        train_log: SyntheticClickLog,
+        test_log: SyntheticClickLog,
+        epochs: int = 1,
+        eval_samples: int = 4096,
+    ) -> TrainResult:
+        """Train over the plan's hot/cold batches for ``epochs``."""
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        dataset = self.plan.dataset
+        scheduler = ShuffleScheduler(
+            num_hot_batches=len(dataset.hot_batches),
+            num_cold_batches=len(dataset.cold_batches),
+            initial_rate=self.plan.config.scheduler_initial_rate,
+            strip_length=self.plan.config.scheduler_strip_length,
+        )
+        optimizer_params = {
+            "cold": self.model.dense_parameters()
+            + [t.weight for t in self.model.tables.values()],
+        }
+        loss_fn = BCEWithLogits()
+        history = TrainingHistory()
+
+        iteration = 0
+        sync_bytes = 0
+        rates: list[int] = []
+        mode = "cold"  # the model starts with master bags installed
+        last_train_loss = 0.0
+        last_train_acc = 0.0
+
+        for _epoch in range(epochs):
+            scheduler.reset_epoch()
+            cursors = {"hot": 0, "cold": 0}
+            for segment in scheduler.segments():
+                if segment.kind == "hot" and mode != "hot":
+                    sync_bytes += self._enter_hot()
+                    mode = "hot"
+                elif segment.kind == "cold" and mode != "cold":
+                    sync_bytes += self._enter_cold()
+                    mode = "cold"
+
+                if segment.kind == "hot":
+                    dense_optimizer = SGD(self.model.dense_parameters(), lr=self.lr)
+                    replica_optimizers = [
+                        SGD([bag.weight for bag in replica.values()], lr=self.lr)
+                        for replica in self.replicator.replicas
+                    ]
+                    pool = dataset.hot_batches
+                else:
+                    optimizer = SGD(optimizer_params["cold"], lr=self.lr)
+                    pool = dataset.cold_batches
+
+                losses = []
+                accs = []
+                start = cursors[segment.kind]
+                for index_array in pool[start : start + segment.num_batches]:
+                    batch = batch_from_log(
+                        train_log, index_array, hot=segment.kind == "hot"
+                    )
+                    logits = self.model.forward(batch)
+                    loss = loss_fn.forward(logits, batch.labels)
+                    self.model.backward(loss_fn.backward())
+                    if segment.kind == "hot":
+                        # Data-parallel step: share the hot-bag gradients
+                        # with every replica, then apply identical updates.
+                        self.replicator.all_reduce_gradients()
+                        dense_optimizer.step()
+                        for replica_optimizer in replica_optimizers:
+                            replica_optimizer.step()
+                    else:
+                        optimizer.step()
+                    iteration += 1
+                    losses.append(loss)
+                    accs.append(binary_accuracy(logits, batch.labels))
+                cursors[segment.kind] = start + segment.num_batches
+
+                # Evaluation must see the freshest parameters: flush hot
+                # rows to the masters (without leaving hot mode) first.
+                if mode == "hot":
+                    sync_bytes += self.replicator.sync_to_master()
+                test_loss, test_acc = evaluate_with_master_bags(
+                    self.model, self._master_bags, test_log, eval_samples
+                )
+                scheduler.record_test_loss(test_loss)
+                rates.append(scheduler.rate)
+                last_train_loss = float(np.mean(losses)) if losses else last_train_loss
+                last_train_acc = float(np.mean(accs)) if accs else last_train_acc
+                history.record(
+                    HistoryPoint(
+                        iteration=iteration,
+                        train_loss=last_train_loss,
+                        test_loss=test_loss,
+                        test_accuracy=test_acc,
+                        train_accuracy=last_train_acc,
+                        segment_kind=segment.kind,
+                    )
+                )
+
+        if mode == "hot":
+            sync_bytes += self._enter_cold()
+        final_loss, final_acc = evaluate_model(self.model, test_log)
+        _loss, train_acc = evaluate_model(self.model, train_log, max_samples=4 * eval_samples)
+        history.record(
+            HistoryPoint(
+                iteration=iteration,
+                train_loss=last_train_loss,
+                test_loss=final_loss,
+                test_accuracy=final_acc,
+                train_accuracy=train_acc,
+                segment_kind="final",
+            )
+        )
+        return TrainResult(
+            history=history,
+            final_train_accuracy=train_acc,
+            final_test_accuracy=final_acc,
+            sync_events=self.replicator.sync_events,
+            sync_bytes=sync_bytes,
+            schedule_rates=rates,
+        )
+
+
+def evaluate_with_master_bags(model: RecModel, master_bags: dict, test_log, eval_samples: int):
+    """Evaluate using the master tables regardless of the installed bags.
+
+    Test inputs are arbitrary (they may touch cold rows), so evaluation
+    always runs against the full CPU tables; the caller is responsible
+    for flushing hot-row updates to the masters first.
+    """
+    installed = {name: model.get_bag(name) for name in master_bags}
+    for name, bag in master_bags.items():
+        model.set_bag(name, bag)
+    try:
+        return evaluate_model(model, test_log, max_samples=eval_samples)
+    finally:
+        for name, bag in installed.items():
+            model.set_bag(name, bag)

@@ -1,0 +1,160 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.train import roc_auc
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "movielens"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["info", "taobao"],
+            ["preprocess", "criteo-kaggle", "--samples", "100"],
+            ["train", "taobao", "--mode", "fae", "--epochs", "1"],
+            ["simulate", "RMC3", "--gpus", "2"],
+        ],
+    )
+    def test_accepts_valid_commands(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.command == argv[0]
+
+
+class TestInfo:
+    def test_prints_geometry(self, capsys):
+        assert main(["info", "taobao", "--scale", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "taobao" in out
+        assert "lookups/sample: 43" in out
+
+    def test_numeric_scale(self, capsys):
+        assert main(["info", "criteo-kaggle", "--scale", "0.001"]) == 0
+        assert "criteo-kaggle" in capsys.readouterr().out
+
+
+class TestPreprocess:
+    def test_runs_and_writes(self, capsys, tmp_path):
+        out_file = tmp_path / "plan.npz"
+        code = main(
+            [
+                "preprocess",
+                "criteo-kaggle",
+                "--samples",
+                "5000",
+                "--batch-size",
+                "128",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        assert out_file.exists()
+        out = capsys.readouterr().out
+        assert "threshold" in out
+        from repro.core import load_fae_dataset
+
+        dataset, _bags, _threshold = load_fae_dataset(out_file)
+        total = sum(len(b) for b in dataset.hot_batches + dataset.cold_batches)
+        assert total == 5000
+
+
+class TestTrain:
+    def test_fae_mode(self, capsys):
+        code = main(
+            [
+                "train",
+                "criteo-kaggle",
+                "--mode",
+                "fae",
+                "--samples",
+                "4000",
+                "--epochs",
+                "1",
+                "--batch-size",
+                "128",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FAE:" in out
+        assert "AUC" in out
+
+    def test_both_modes(self, capsys):
+        code = main(
+            [
+                "train",
+                "criteo-kaggle",
+                "--mode",
+                "both",
+                "--samples",
+                "3000",
+                "--epochs",
+                "1",
+                "--batch-size",
+                "128",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline:" in out and "FAE:" in out
+
+
+class TestSimulate:
+    def test_all_modes_reported(self, capsys):
+        assert main(["simulate", "RMC2", "--gpus", "2"]) == 0
+        out = capsys.readouterr().out
+        for token in ("baseline", "fae", "nvopt", "speedup"):
+            assert token in out
+
+    def test_budget_knob(self, capsys):
+        main(["simulate", "RMC3", "--gpus", "1", "--budget-mb", "64"])
+        out64 = capsys.readouterr().out
+        main(["simulate", "RMC3", "--gpus", "1", "--budget-mb", "1024"])
+        out1024 = capsys.readouterr().out
+
+        def hot_pct(text):
+            return float(text.split("hot inputs ")[1].split("%")[0])
+
+        assert hot_pct(out1024) > hot_pct(out64)
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc(np.array([3.0, 2.0, -1.0]), np.array([1, 1, 0])) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc(np.array([-3.0, 2.0]), np.array([1, 0])) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=20_000)
+        labels = rng.integers(0, 2, size=20_000)
+        assert roc_auc(logits, labels) == pytest.approx(0.5, abs=0.02)
+
+    def test_ties_averaged(self):
+        # All-equal scores -> AUC exactly 0.5 regardless of labels.
+        assert roc_auc(np.zeros(10), np.array([1, 0] * 5)) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([1.0, 2.0]), np.array([1.0, 1.0]))
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=200)
+        labels = rng.integers(0, 2, size=200).astype(float)
+        pos = logits[labels == 1]
+        neg = logits[labels == 0]
+        wins = (pos[:, None] > neg[None, :]).sum() + 0.5 * (pos[:, None] == neg[None, :]).sum()
+        expected = wins / (len(pos) * len(neg))
+        assert roc_auc(logits, labels) == pytest.approx(expected, rel=1e-9)

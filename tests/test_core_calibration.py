@@ -1,0 +1,293 @@
+"""Unit tests for the FAE calibration pipeline: sampler, logger, Rand-Em
+Box, statistical optimizer, and the Calibrator facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Calibrator,
+    EmbeddingLogger,
+    FAEConfig,
+    RandEmBox,
+    SparseInputSampler,
+    StatisticalOptimizer,
+)
+from repro.core.access_profile import AccessProfile, TableProfile
+
+
+class TestSparseInputSampler:
+    def test_sample_rate_respected(self, tiny_log):
+        result = SparseInputSampler(0.1, seed=0).sample(tiny_log)
+        assert result.num_sampled == round(0.1 * len(tiny_log))
+        assert result.rate == pytest.approx(0.1, rel=0.02)
+
+    def test_indices_sorted_unique_in_range(self, tiny_log):
+        result = SparseInputSampler(0.25, seed=1).sample(tiny_log)
+        idx = result.indices
+        assert np.all(np.diff(idx) > 0)
+        assert idx.min() >= 0 and idx.max() < len(tiny_log)
+
+    def test_deterministic(self, tiny_log):
+        a = SparseInputSampler(0.1, seed=7).sample(tiny_log).indices
+        b = SparseInputSampler(0.1, seed=7).sample(tiny_log).indices
+        np.testing.assert_array_equal(a, b)
+
+    def test_sample_all(self, tiny_log):
+        result = SparseInputSampler(0.1).sample_all(tiny_log)
+        assert result.num_sampled == len(tiny_log)
+
+    def test_at_least_one_sample(self, tiny_log):
+        result = SparseInputSampler(1e-9, seed=0).sample(tiny_log)
+        assert result.num_sampled >= 1
+
+    @pytest.mark.parametrize("rate", [0.0, 1.5, -0.1])
+    def test_rejects_bad_rate(self, rate):
+        with pytest.raises(ValueError):
+            SparseInputSampler(rate)
+
+
+class TestEmbeddingLogger:
+    def test_profiles_only_large_tables(self, tiny_log, tiny_fae_config):
+        logger = EmbeddingLogger(tiny_fae_config)
+        profile = logger.profile(tiny_log, np.arange(len(tiny_log)))
+        # table_02 (12 rows x 8 dim x 4B = 384B) is under the 1 KiB cutoff.
+        assert set(profile.tables) == {"table_00", "table_01"}
+
+    def test_counts_match_ground_truth(self, tiny_log, tiny_fae_config):
+        logger = EmbeddingLogger(tiny_fae_config)
+        profile = logger.profile(tiny_log, np.arange(len(tiny_log)))
+        np.testing.assert_array_equal(
+            profile.tables["table_00"].counts, tiny_log.access_counts("table_00")
+        )
+
+    def test_sampled_counts_subset(self, tiny_log, tiny_fae_config):
+        indices = np.arange(100)
+        profile = EmbeddingLogger(tiny_fae_config).profile(tiny_log, indices)
+        assert profile.tables["table_00"].counts.sum() == 100
+        assert profile.num_sampled_inputs == 100
+
+    def test_empty_sample_rejected(self, tiny_log, tiny_fae_config):
+        with pytest.raises(ValueError):
+            EmbeddingLogger(tiny_fae_config).profile(tiny_log, np.array([], dtype=np.int64))
+
+    def test_sampled_profile_tracks_full_profile(self, tiny_log, tiny_fae_config):
+        """Fig 7's claim: a random sample reproduces the access signature."""
+        logger = EmbeddingLogger(tiny_fae_config)
+        full = logger.profile(tiny_log, np.arange(len(tiny_log)))
+        sample_idx = SparseInputSampler(0.3, seed=5).sample(tiny_log).indices
+        sampled = logger.profile(tiny_log, sample_idx)
+        full_ranks = full.tables["table_00"].rank_frequency(50).astype(float)
+        sampled_ranks = sampled.tables["table_00"].rank_frequency(50).astype(float)
+        # Normalized rank-frequency curves should correlate strongly.
+        full_ranks /= full_ranks.sum()
+        sampled_ranks /= sampled_ranks.sum()
+        corr = np.corrcoef(full_ranks, sampled_ranks)[0, 1]
+        assert corr > 0.98
+
+
+class TestTableProfile:
+    def test_skew_statistics(self, tiny_log, tiny_fae_config):
+        profile = EmbeddingLogger(tiny_fae_config).profile(
+            tiny_log, np.arange(len(tiny_log))
+        )
+        table = profile.tables["table_00"]
+        assert table.top_fraction_share(1.0) == pytest.approx(1.0)
+        assert table.top_fraction_share(0.1) > 0.1  # skewed beyond uniform
+        assert 0 < table.hot_access_share(2) <= 1
+
+    def test_hot_mask_consistency(self):
+        profile = TableProfile("t", np.array([5, 0, 3, 1]), dim=4)
+        mask = profile.hot_mask(2)
+        np.testing.assert_array_equal(mask, [True, False, True, False])
+        assert profile.hot_row_count(2) == 2
+        assert profile.hot_bytes(2) == 2 * 16
+
+    def test_zero_access_edge(self):
+        profile = TableProfile("t", np.zeros(4, dtype=np.int64), dim=2)
+        assert profile.hot_access_share(1) == 0.0
+        assert profile.top_fraction_share(0.5) == 0.0
+
+
+class TestAccessProfile:
+    def test_min_count_uses_multiplicity(self, tiny_log, tiny_fae_config):
+        profile = EmbeddingLogger(tiny_fae_config).profile(tiny_log, np.arange(100))
+        base = profile.min_count_for_threshold(0.01, "table_00")
+        assert base == pytest.approx(0.01 * 100 * 1)
+
+    def test_hot_bytes_monotone_in_threshold(self, tiny_log, tiny_fae_config):
+        profile = EmbeddingLogger(tiny_fae_config).profile(
+            tiny_log, np.arange(len(tiny_log))
+        )
+        sizes = [profile.hot_bytes_for_threshold(t) for t in (1e-1, 1e-2, 1e-3, 1e-4)]
+        assert sizes == sorted(sizes)
+
+    def test_small_tables_always_counted(self, tiny_log, tiny_fae_config, tiny_schema):
+        profile = EmbeddingLogger(tiny_fae_config).profile(
+            tiny_log, np.arange(len(tiny_log))
+        )
+        small_bytes = tiny_schema.table("table_02").size_bytes
+        huge_threshold = profile.hot_bytes_for_threshold(1.0)
+        assert huge_threshold >= small_bytes
+
+    def test_validation(self, tiny_schema):
+        with pytest.raises(ValueError):
+            AccessProfile(tiny_schema, {}, num_sampled_inputs=0, num_total_inputs=10)
+        with pytest.raises(ValueError):
+            AccessProfile(tiny_schema, {}, num_sampled_inputs=20, num_total_inputs=10)
+
+
+class TestRandEmBox:
+    def test_small_table_exact(self, tiny_log, tiny_fae_config):
+        profile = EmbeddingLogger(tiny_fae_config).profile(
+            tiny_log, np.arange(len(tiny_log))
+        )
+        table = profile.tables["table_00"]
+        box = RandEmBox(tiny_fae_config)
+        estimate = box.estimate(table, min_count=3)
+        # 600 rows <= 35 * 32 chunks -> exact path
+        assert estimate.exact
+        assert estimate.hot_rows_mean == table.hot_row_count(3)
+        assert estimate.hot_rows_upper == estimate.hot_rows_lower
+
+    def test_large_table_sampled_estimate_close(self):
+        """Fig 9's claim: estimates within ~10% of ground truth."""
+        rng = np.random.default_rng(0)
+        counts = rng.zipf(1.5, size=400_000).astype(np.int64)
+        profile = TableProfile("big", counts, dim=4)
+        config = FAEConfig(chunk_size=1024, num_chunks=35)
+        box = RandEmBox(config, seed=12)
+        for min_count in (2, 5, 20):
+            estimate = box.estimate(profile, min_count)
+            truth = profile.hot_row_count(min_count)
+            assert not estimate.exact
+            assert estimate.hot_rows_mean == pytest.approx(truth, rel=0.15)
+            assert estimate.rows_scanned == 35 * 1024
+
+    def test_confidence_interval_brackets_truth_usually(self):
+        rng = np.random.default_rng(3)
+        counts = rng.zipf(1.4, size=300_000).astype(np.int64)
+        profile = TableProfile("big", counts, dim=4)
+        config = FAEConfig(chunk_size=1024, num_chunks=35)
+        truth = profile.hot_row_count(4)
+        hits = 0
+        trials = 20
+        for seed in range(trials):
+            est = RandEmBox(config, seed=seed).estimate(profile, 4)
+            if est.hot_rows_lower <= truth <= est.hot_rows_upper:
+                hits += 1
+        # 99.9% CI: essentially always brackets the truth.
+        assert hits >= trials - 1
+
+    def test_scan_reduction(self):
+        profile = TableProfile("big", np.zeros(1_000_000, dtype=np.int64), dim=4)
+        config = FAEConfig(chunk_size=1024, num_chunks=35)
+        reduction = RandEmBox(config).scan_reduction(profile)
+        assert reduction == pytest.approx(1_000_000 / (35 * 1024))
+
+    def test_upper_bound_at_least_mean(self):
+        rng = np.random.default_rng(1)
+        counts = rng.zipf(1.3, size=200_000).astype(np.int64)
+        profile = TableProfile("big", counts, dim=4)
+        est = RandEmBox(FAEConfig(), seed=2).estimate(profile, 3)
+        assert est.hot_rows_upper >= est.hot_rows_mean >= est.hot_rows_lower
+
+
+class TestStatisticalOptimizer:
+    def test_converges_to_feasible_threshold(self, tiny_log, tiny_fae_config):
+        profile = EmbeddingLogger(tiny_fae_config).profile(
+            tiny_log, np.arange(len(tiny_log))
+        )
+        result = StatisticalOptimizer(tiny_fae_config).converge(profile)
+        assert result.chosen.fits
+        assert result.chosen.estimated_bytes_upper <= tiny_fae_config.gpu_memory_budget
+
+    def test_picks_smallest_feasible_threshold(self, tiny_log, tiny_fae_config):
+        optimizer = StatisticalOptimizer(tiny_fae_config)
+        profile = EmbeddingLogger(tiny_fae_config).profile(
+            tiny_log, np.arange(len(tiny_log))
+        )
+        result = optimizer.converge(profile)
+        feasible = [e.threshold for e in result.evaluations if e.fits]
+        assert result.threshold == min(feasible)
+
+    def test_footprint_monotone_in_threshold(self, tiny_log, tiny_fae_config):
+        optimizer = StatisticalOptimizer(tiny_fae_config)
+        profile = EmbeddingLogger(tiny_fae_config).profile(
+            tiny_log, np.arange(len(tiny_log))
+        )
+        sizes = [
+            optimizer.evaluate(profile, t).estimated_bytes
+            for t in (1e-1, 1e-2, 1e-3)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_impossible_budget_raises(self, tiny_log, tiny_fae_config):
+        from dataclasses import replace
+
+        tight = replace(tiny_fae_config, gpu_memory_budget=64)
+        profile = EmbeddingLogger(tight).profile(tiny_log, np.arange(len(tiny_log)))
+        with pytest.raises(ValueError):
+            StatisticalOptimizer(tight).converge(profile)
+
+
+class TestCalibrator:
+    def test_end_to_end(self, tiny_log, tiny_fae_config):
+        output = Calibrator(tiny_fae_config).calibrate(tiny_log)
+        assert output.threshold in tiny_fae_config.threshold_grid
+        assert output.profile.num_sampled_inputs == round(
+            tiny_fae_config.sample_rate * len(tiny_log)
+        )
+        assert output.total_seconds >= 0
+
+    def test_full_profile_mode(self, tiny_log, tiny_fae_config):
+        output = Calibrator(tiny_fae_config).calibrate(tiny_log, full_profile=True)
+        assert output.profile.num_sampled_inputs == len(tiny_log)
+
+    def test_sampled_faster_than_full(self, tiny_log, tiny_fae_config):
+        """Fig 8's direction: sampling cuts profiling latency.
+
+        Timings at this tiny scale are microseconds, so compare the best
+        of several runs to suppress scheduler noise.
+        """
+        calibrator = Calibrator(tiny_fae_config)
+        sampled = min(
+            calibrator.calibrate(tiny_log).profiling_seconds for _ in range(5)
+        )
+        full = min(
+            calibrator.calibrate(tiny_log, full_profile=True).profiling_seconds
+            for _ in range(5)
+        )
+        assert sampled <= full * 1.5
+
+
+class TestFAEConfig:
+    def test_defaults_match_paper(self):
+        config = FAEConfig()
+        assert config.gpu_memory_budget == 256 * 2**20
+        assert config.sample_rate == 0.05
+        assert config.num_chunks == 35
+        assert config.chunk_size == 1024
+        assert config.t_value == pytest.approx(3.340)
+        assert config.scheduler_initial_rate == 50
+        assert config.scheduler_strip_length == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(gpu_memory_budget=0),
+            dict(sample_rate=0.0),
+            dict(sample_rate=1.5),
+            dict(num_chunks=1),
+            dict(chunk_size=0),
+            dict(t_value=-1.0),
+            dict(threshold_grid=()),
+            dict(threshold_grid=(1e-3, 1e-2)),
+            dict(threshold_grid=(1e-3, -1e-4)),
+            dict(scheduler_initial_rate=0),
+            dict(scheduler_initial_rate=150),
+            dict(scheduler_strip_length=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FAEConfig(**kwargs)

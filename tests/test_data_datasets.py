@@ -1,0 +1,105 @@
+"""Unit tests for the Table I workload factories."""
+
+import pytest
+
+from repro.data import (
+    criteo_kaggle_like,
+    criteo_terabyte_like,
+    dataset_by_name,
+    taobao_like,
+)
+from repro.data.datasets import SCALE_FACTORS
+
+
+class TestPaperGeometry:
+    """The 'paper' scale must reproduce Table I's numbers."""
+
+    def test_kaggle_table_i(self):
+        s = criteo_kaggle_like("paper")
+        assert s.num_dense == 13
+        assert s.num_sparse == 26
+        assert all(t.dim == 16 for t in s.tables)
+        assert s.num_samples == 45_000_000
+        # Table I: ~2 GB of embeddings, largest table 10.1M x 16.
+        assert 1.8e9 < s.total_embedding_bytes < 2.4e9
+        assert max(t.num_rows for t in s.tables) == 10_131_227
+
+    def test_terabyte_table_i(self):
+        s = criteo_terabyte_like("paper")
+        assert s.num_dense == 13
+        assert s.num_sparse == 26
+        assert all(t.dim == 64 for t in s.tables)
+        assert s.num_samples == 80_000_000
+        # Table I: ~61 GB of embeddings, largest table 73.1M x 64.
+        assert 55e9 < s.total_embedding_bytes < 67e9
+        assert max(t.num_rows for t in s.tables) == 73_100_000
+
+    def test_taobao_table_i(self):
+        s = taobao_like("paper")
+        assert s.num_dense == 3
+        assert s.num_sparse == 3
+        assert all(t.dim == 16 for t in s.tables)
+        assert s.num_samples == 10_000_000
+        # Table I: ~0.3 GB of embeddings, largest table 4.1M x 16.
+        assert 0.25e9 < s.total_embedding_bytes < 0.40e9
+        assert max(t.num_rows for t in s.tables) == 4_162_024
+
+    def test_taobao_sequence_multiplicity(self):
+        s = taobao_like("paper")
+        mults = sorted(t.multiplicity for t in s.tables)
+        assert mults == [1, 21, 21]
+
+    def test_embedding_sizes_ordering(self):
+        # Fig 2's ordering: Taobao < Kaggle < Terabyte.
+        taobao = taobao_like("paper").total_embedding_bytes
+        kaggle = criteo_kaggle_like("paper").total_embedding_bytes
+        terabyte = criteo_terabyte_like("paper").total_embedding_bytes
+        assert taobao < kaggle < terabyte
+
+
+class TestScaling:
+    @pytest.mark.parametrize("scale", sorted(SCALE_FACTORS))
+    def test_all_named_scales_build(self, scale):
+        for factory in (criteo_kaggle_like, criteo_terabyte_like, taobao_like):
+            schema = factory(scale)
+            assert schema.num_sparse in (3, 26)
+
+    def test_small_scale_shrinks_rows(self):
+        paper = criteo_kaggle_like("paper")
+        small = criteo_kaggle_like("small")
+        assert small.total_embedding_bytes < paper.total_embedding_bytes / 500
+
+    def test_minimum_sample_floor(self):
+        tiny = taobao_like("tiny")
+        assert tiny.num_samples >= 2000
+
+    def test_numeric_scale(self):
+        s = criteo_kaggle_like(0.0001)
+        assert max(t.num_rows for t in s.tables) == pytest.approx(1013, rel=0.01)
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(ValueError):
+            criteo_kaggle_like("huge")
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError):
+            criteo_kaggle_like(0.0)
+
+    def test_exponents_preserved_across_scales(self):
+        paper = criteo_terabyte_like("paper")
+        small = criteo_terabyte_like("small")
+        big_paper = max(paper.tables, key=lambda t: t.num_rows)
+        big_small = max(small.tables, key=lambda t: t.num_rows)
+        assert big_paper.zipf_exponent == big_small.zipf_exponent
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name", ["criteo-kaggle", "criteo-terabyte", "taobao"]
+    )
+    def test_by_name(self, name):
+        assert dataset_by_name(name, "tiny").name.startswith(name)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            dataset_by_name("movielens")

@@ -1,0 +1,177 @@
+"""Edge-case and error-path coverage across subsystems.
+
+Behaviours the main test files don't pin down: format versioning, power
+phase mapping, timeline units, workload validation corners, sharded-mode
+feasibility boundaries, and CLI paths for every dataset.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.fae_format import FORMAT_VERSION, load_fae_dataset, save_fae_dataset
+from repro.hw import Cluster, PowerModel, TrainingSimulator, characterize
+from repro.hw.simulator import (
+    EpochTimeline,
+    GPU_COMPUTE_PHASES,
+    GPU_WAIT_PHASES,
+    PhaseBreakdown,
+    TRANSFER_PHASES,
+)
+from repro.models import workload_by_name
+
+
+class TestFAEFormatVersioning:
+    def test_version_mismatch_rejected(self, tiny_plan, tmp_path):
+        path = tmp_path / "old.npz"
+        tiny_plan.save(path)
+        # Rewrite the archive with a bumped version field.
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload["format_version"] = np.array(FORMAT_VERSION + 1)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_fae_dataset(path)
+
+    def test_threshold_precision_preserved(self, tiny_plan, tmp_path):
+        path = tmp_path / "p.npz"
+        save_fae_dataset(path, tiny_plan.dataset, tiny_plan.bags, 1.23456789e-7)
+        _d, _b, threshold = load_fae_dataset(path)
+        assert threshold == pytest.approx(1.23456789e-7, rel=1e-12)
+
+
+class TestPhaseBreakdown:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseBreakdown().add("x", -1.0)
+
+    def test_merge_with_weight(self):
+        a = PhaseBreakdown({"x": 1.0})
+        b = PhaseBreakdown({"x": 2.0, "y": 1.0})
+        a.merge(b, weight=3.0)
+        assert a.phases == {"x": 7.0, "y": 3.0}
+
+    def test_fraction_of_empty(self):
+        assert PhaseBreakdown().fraction("x") == 0.0
+
+    def test_scaled_leaves_original(self):
+        a = PhaseBreakdown({"x": 1.0})
+        b = a.scaled(5.0)
+        assert a.phases["x"] == 1.0 and b.phases["x"] == 5.0
+
+
+class TestEpochTimelineUnits:
+    def test_minutes_and_seconds(self):
+        timeline = EpochTimeline("baseline", 1, PhaseBreakdown({"x": 120.0}), 10)
+        assert timeline.seconds == 120.0
+        assert timeline.minutes == 2.0
+
+    def test_communication_only_counts_transfer_phases(self):
+        breakdown = PhaseBreakdown({"transfer_fwd": 1.0, "mlp_forward": 9.0})
+        timeline = EpochTimeline("baseline", 1, breakdown, 10)
+        assert timeline.communication_seconds() == 1.0
+
+
+class TestPowerPhaseMapping:
+    def test_wait_draws_more_than_compute(self):
+        pm = PowerModel()
+        wait = EpochTimeline("b", 1, PhaseBreakdown({GPU_WAIT_PHASES[0]: 1.0}), 1)
+        compute = EpochTimeline("b", 1, PhaseBreakdown({GPU_COMPUTE_PHASES[0]: 1.0}), 1)
+        assert pm.average_watts(wait) > pm.average_watts(compute)
+
+    def test_transfer_is_the_hottest_phase(self):
+        pm = PowerModel()
+        transfer = EpochTimeline("b", 1, PhaseBreakdown({TRANSFER_PHASES[0]: 1.0}), 1)
+        for phase in (*GPU_WAIT_PHASES, *GPU_COMPUTE_PHASES, "allreduce"):
+            other = EpochTimeline("b", 1, PhaseBreakdown({phase: 1.0}), 1)
+            assert pm.average_watts(transfer) >= pm.average_watts(other)
+
+    def test_zero_timeline(self):
+        pm = PowerModel()
+        empty = EpochTimeline("b", 1, PhaseBreakdown(), 1)
+        assert pm.average_watts(empty) == 0.0
+        assert pm.reduction_percent(empty, empty) == 0.0
+
+
+class TestShardedFeasibilityBoundary:
+    def test_kaggle_fits_single_gpu(self):
+        workload = characterize(workload_by_name("RMC2"))
+        sim = TrainingSimulator(Cluster(num_gpus=1), workload)
+        assert sim.sharded_feasible()
+
+    def test_terabyte_never_fits_four(self):
+        workload = characterize(workload_by_name("RMC3"))
+        for k in (1, 2, 4):
+            assert not TrainingSimulator(Cluster(num_gpus=k), workload).sharded_feasible()
+        with pytest.raises(ValueError, match="infeasible"):
+            TrainingSimulator(Cluster(num_gpus=4), workload).epoch("sharded")
+
+    def test_feasibility_threshold_scales_with_gpus(self):
+        workload = characterize(workload_by_name("RMC3"))
+        # 8 GPUs x 16 GB x 0.85 = 108.8 GiB > 60 GiB of tables.
+        assert TrainingSimulator(Cluster(num_gpus=8), workload).sharded_feasible()
+
+
+class TestWorkloadValidationCorners:
+    def test_unique_row_factor_bounds(self):
+        workload = characterize(workload_by_name("RMC2"))
+        with pytest.raises(ValueError):
+            replace(workload, unique_row_factor=0.0)
+        with pytest.raises(ValueError):
+            replace(workload, unique_row_factor=1.5)
+
+    def test_batches_per_epoch_floor(self):
+        workload = characterize(workload_by_name("RMC2"))
+        tiny = replace(workload, num_samples=10)
+        assert tiny.batches_per_epoch(4) == 1  # floored at one batch
+
+
+class TestCharacterizeTBSMFromPlan:
+    def test_rmc1_plan_roundtrip(self):
+        from repro.core import FAEConfig, fae_preprocess
+        from repro.data import SyntheticClickLog, SyntheticConfig, taobao_like
+        from repro.hw.workload import characterize_from_plan
+
+        schema = taobao_like("tiny")
+        log = SyntheticClickLog(schema, SyntheticConfig(num_samples=2500, seed=1))
+        config = FAEConfig(
+            gpu_memory_budget=48 * 1024, large_table_min_bytes=512, chunk_size=16
+        )
+        plan = fae_preprocess(log, config, batch_size=64)
+        workload = characterize_from_plan(workload_by_name("RMC1"), plan, schema)
+        # TBSM-specific character: heavy dispatch, chunked transfers,
+        # per-timestep CPU ops.
+        assert workload.dispatch_seconds > 0.01
+        assert workload.transfer_events > 1
+        assert workload.cpu_ops_per_phase > workload.num_tables
+        assert workload.lookup_rows_per_sample == 43
+
+
+class TestCLIAllDatasets:
+    @pytest.mark.parametrize("dataset", ["taobao", "criteo-terabyte"])
+    def test_train_fae_runs(self, dataset, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "train",
+                dataset,
+                "--mode",
+                "fae",
+                "--samples",
+                "2500",
+                "--epochs",
+                "1",
+                "--batch-size",
+                "128",
+                "--scale",
+                "tiny",
+                "--budget-bytes",
+                str(64 * 1024),
+                "--large-table-min-bytes",
+                "512",
+            ]
+        )
+        assert code == 0
+        assert "FAE:" in capsys.readouterr().out

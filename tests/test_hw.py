@@ -1,0 +1,297 @@
+"""Unit tests for the hardware substrate: specs, cost model, simulator, power."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.hw import (
+    Cluster,
+    CostModel,
+    NVLINK2,
+    PCIE3_X16,
+    PowerModel,
+    TESLA_V100,
+    TrainingSimulator,
+    XEON_4116,
+    characterize,
+)
+from repro.hw.spec import DeviceSpec, LinkSpec
+from repro.hw.workload import WorkloadCharacter, analytic_hot_stats
+from repro.models import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def rmc2():
+    return characterize(workload_by_name("RMC2"))
+
+
+@pytest.fixture(scope="module")
+def rmc1():
+    return characterize(workload_by_name("RMC1"))
+
+
+@pytest.fixture(scope="module")
+def rmc3():
+    return characterize(workload_by_name("RMC3"))
+
+
+class TestDeviceSpec:
+    def test_gemm_linear_in_flops(self):
+        t1 = TESLA_V100.gemm_seconds(1e9, num_ops=0)
+        t2 = TESLA_V100.gemm_seconds(2e9, num_ops=0)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_gather_has_overhead_floor(self):
+        assert XEON_4116.gather_seconds(0, num_ops=5) == pytest.approx(
+            5 * XEON_4116.op_overhead
+        )
+
+    def test_gather_rows_term(self):
+        no_rows = XEON_4116.gather_seconds(1e6, num_ops=0, rows=0)
+        with_rows = XEON_4116.gather_seconds(1e6, num_ops=0, rows=1e6)
+        assert with_rows - no_rows == pytest.approx(1e6 * XEON_4116.row_access_cost)
+
+    def test_stream_faster_than_gather(self):
+        assert XEON_4116.stream_seconds(1e8) < XEON_4116.gather_seconds(1e8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", 0, 1, 1, 0.5, 0.5, 0)
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", 1, 1, 1, 1.5, 0.5, 0)
+
+
+class TestLinkSpec:
+    def test_transfer_components(self):
+        link = LinkSpec("l", bandwidth=1e9, latency=1e-3)
+        assert link.transfer_seconds(1e9, num_transfers=2) == pytest.approx(1.0 + 2e-3)
+
+    def test_gpu_faster_than_cpu_on_gathers(self):
+        bytes_moved = 1e8
+        assert TESLA_V100.gather_seconds(bytes_moved) < XEON_4116.gather_seconds(bytes_moved)
+
+    def test_nvlink_faster_than_pcie(self):
+        assert NVLINK2.transfer_seconds(1e9) < PCIE3_X16.transfer_seconds(1e9)
+
+
+class TestCluster:
+    def test_allreduce_zero_on_single_gpu(self):
+        assert Cluster(num_gpus=1).allreduce_seconds(1e9) == 0.0
+
+    def test_allreduce_grows_with_gpus(self):
+        t2 = Cluster(num_gpus=2).allreduce_seconds(1e8)
+        t4 = Cluster(num_gpus=4).allreduce_seconds(1e8)
+        assert t4 > t2 > 0
+
+    def test_with_gpus(self):
+        cluster = Cluster(num_gpus=4).with_gpus(2)
+        assert cluster.num_gpus == 2
+        assert cluster.gpu is TESLA_V100
+
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(ValueError):
+            Cluster(num_gpus=0)
+
+
+class TestWorkloadCharacter:
+    def test_rmc2_fields(self, rmc2):
+        assert rmc2.num_tables == 26
+        assert rmc2.lookup_rows_per_sample == 26
+        assert rmc2.base_batch_size == 1024
+        assert rmc2.num_samples == 45_000_000
+        assert 0.5 < rmc2.hot_fraction < 0.95
+
+    def test_rmc1_sequence_volumes(self, rmc1):
+        assert rmc1.lookup_rows_per_sample == 43  # 1 + 21 + 21
+        assert rmc1.num_tables == 3
+        assert rmc1.dispatch_seconds > rmc2_dispatch()
+
+    def test_hot_bytes_fit_budget(self, rmc2, rmc3):
+        budget = 256 * 2**20
+        assert rmc2.hot_bytes <= budget * 1.01
+        assert rmc3.hot_bytes <= budget * 1.01
+
+    def test_paper_hot_fraction_band(self, rmc1, rmc2, rmc3):
+        """Abstract: hot inputs account for ~75-92% of the total."""
+        for w in (rmc1, rmc2, rmc3):
+            assert 0.6 <= w.hot_fraction <= 0.97
+
+    def test_batches_per_epoch_weak_scaling(self, rmc2):
+        assert rmc2.batches_per_epoch(2) == rmc2.batches_per_epoch(1) // 2
+
+    def test_hot_fraction_override(self):
+        w = characterize(workload_by_name("RMC2"), hot_fraction=0.5)
+        assert w.hot_fraction == 0.5
+
+    def test_validation(self, rmc2):
+        with pytest.raises(ValueError):
+            replace(rmc2, hot_fraction=1.5)
+        with pytest.raises(ValueError):
+            replace(rmc2, base_batch_size=0)
+
+
+def rmc2_dispatch():
+    return 8e-3
+
+
+class TestAnalyticHotStats:
+    def test_budget_monotone(self):
+        from repro.data import criteo_kaggle_like
+
+        schema = criteo_kaggle_like("paper")
+        f_small, b_small = analytic_hot_stats(schema, 64 * 2**20)
+        f_large, b_large = analytic_hot_stats(schema, 512 * 2**20)
+        assert f_large > f_small
+        assert b_large > b_small
+
+    def test_impossible_budget(self):
+        from repro.data import criteo_kaggle_like
+
+        schema = criteo_kaggle_like("paper")
+        with pytest.raises(ValueError):
+            analytic_hot_stats(schema, 1024)  # smaller than the small tables
+
+
+class TestCostModel:
+    def test_cpu_embedding_slower_than_gpu(self, rmc2):
+        cost = CostModel(Cluster(num_gpus=1), rmc2)
+        assert cost.embedding_forward(1024, "cpu") > cost.embedding_forward(1024, "gpu")
+
+    def test_backward_heavier_than_forward(self, rmc2):
+        cost = CostModel(Cluster(num_gpus=1), rmc2)
+        assert cost.embedding_backward(1024, "cpu") > cost.embedding_forward(1024, "cpu")
+
+    def test_contention_grows_with_gpus(self, rmc2):
+        t1 = CostModel(Cluster(num_gpus=1), rmc2).embedding_forward(1024, "cpu")
+        t4 = CostModel(Cluster(num_gpus=4), rmc2).embedding_forward(1024, "cpu")
+        assert t4 > t1
+
+    def test_mlp_backward_double_forward(self, rmc2):
+        cost = CostModel(Cluster(num_gpus=1), rmc2)
+        fwd = cost.mlp_forward(1024)
+        bwd = cost.mlp_backward(1024)
+        assert 1.5 < bwd / fwd < 2.5
+
+    def test_hot_sync_scales_with_hot_bytes(self, rmc2):
+        cost_small = CostModel(Cluster(), replace(rmc2, hot_bytes=1e6))
+        cost_large = CostModel(Cluster(), replace(rmc2, hot_bytes=1e8))
+        assert cost_large.hot_bag_sync() > cost_small.hot_bag_sync()
+
+    def test_allreduce_hot_exceeds_dense(self, rmc2):
+        cost = CostModel(Cluster(num_gpus=4), rmc2)
+        assert cost.allreduce_hot(1024) > cost.allreduce_dense()
+
+
+class TestSimulator:
+    def test_fae_beats_baseline_all_workloads(self, rmc1, rmc2, rmc3):
+        for w in (rmc1, rmc2, rmc3):
+            for k in (1, 2, 4):
+                sim = TrainingSimulator(Cluster(num_gpus=k), w)
+                assert sim.speedup() > 1.0, (w.name, k)
+
+    def test_average_4gpu_speedup_in_paper_band(self, rmc1, rmc2, rmc3):
+        """Headline claim: 2.34x average speedup on 4 GPUs."""
+        speedups = [
+            TrainingSimulator(Cluster(num_gpus=4), w).speedup()
+            for w in (rmc1, rmc2, rmc3)
+        ]
+        average = sum(speedups) / 3
+        assert 1.7 <= average <= 3.0
+
+    def test_hot_batch_cheaper_than_baseline_batch(self, rmc2):
+        sim = TrainingSimulator(Cluster(num_gpus=1), rmc2)
+        assert sim.hot_batch().total < sim.baseline_batch().total
+
+    def test_fae_between_pure_modes(self, rmc2):
+        sim = TrainingSimulator(Cluster(num_gpus=1), rmc2)
+        hot_all = sim.hot_batch().total * rmc2.batches_per_epoch(1)
+        base = sim.epoch("baseline").seconds
+        fae = sim.epoch("fae").seconds
+        assert hot_all < fae < base
+
+    def test_epoch_breakdown_structure(self, rmc2):
+        sim = TrainingSimulator(Cluster(num_gpus=2), rmc2)
+        baseline = sim.epoch("baseline")
+        assert "optimizer_cpu" in baseline.breakdown.phases
+        assert "embedding_sync" not in baseline.breakdown.phases
+        fae = sim.epoch("fae")
+        assert "embedding_sync" in fae.breakdown.phases
+        assert fae.num_hot_batches > 0
+
+    def test_fae_cuts_communication(self, rmc1, rmc2, rmc3):
+        """Table V's direction: FAE communication is a fraction of baseline."""
+        for w in (rmc1, rmc2, rmc3):
+            sim = TrainingSimulator(Cluster(num_gpus=1), w)
+            base_comm = sim.communication_minutes("baseline")
+            fae_comm = sim.communication_minutes("fae")
+            assert fae_comm < base_comm * 0.6, w.name
+
+    def test_optimizer_dominant_in_baseline(self, rmc2):
+        """Fig 14's observation: CPU optimizer is a large baseline slice."""
+        sim = TrainingSimulator(Cluster(num_gpus=1), rmc2)
+        breakdown = sim.epoch("baseline").breakdown
+        assert breakdown.fraction("optimizer_cpu") > 0.15
+
+    def test_speedup_grows_with_batch_size(self, rmc3):
+        """Fig 15: larger mini-batches amortize FAE overheads."""
+        speedups = [
+            TrainingSimulator(Cluster(num_gpus=1), replace(rmc3, base_batch_size=b)).speedup()
+            for b in (1024, 4096, 16384)
+        ]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] < 6.0  # paper caps near 4.7x
+
+    def test_nvopt_between_baseline_and_fae(self, rmc3):
+        """SS V: FAE is ~1.48x faster than NvOPT on Terabyte at 32K batch."""
+        w = replace(rmc3, base_batch_size=32768)
+        sim = TrainingSimulator(Cluster(num_gpus=1), w)
+        nvopt = sim.epoch("nvopt").seconds
+        fae = sim.epoch("fae").seconds
+        base = sim.epoch("baseline").seconds
+        assert fae < nvopt < base
+        assert 1.1 < nvopt / fae < 2.2
+
+    def test_training_minutes_scales_with_epochs(self, rmc2):
+        sim = TrainingSimulator(Cluster(num_gpus=1), rmc2)
+        assert sim.training_minutes("fae", epochs=10) == pytest.approx(
+            10 * sim.epoch("fae").minutes
+        )
+
+    def test_unknown_mode(self, rmc2):
+        with pytest.raises(ValueError):
+            TrainingSimulator(Cluster(), rmc2).epoch("magic")
+
+    def test_transitions_add_sync_time(self, rmc2):
+        t0 = TrainingSimulator(Cluster(), rmc2, transitions_per_epoch=0).epoch("fae")
+        t9 = TrainingSimulator(Cluster(), rmc2, transitions_per_epoch=9).epoch("fae")
+        assert t9.seconds > t0.seconds
+        assert t9.transitions == 9
+
+    def test_baseline_scaling_non_ideal(self, rmc2):
+        """Table IV: baseline barely improves 1 -> 4 GPUs (CPU-bound)."""
+        t1 = TrainingSimulator(Cluster(num_gpus=1), rmc2).epoch("baseline").seconds
+        t4 = TrainingSimulator(Cluster(num_gpus=4), rmc2).epoch("baseline").seconds
+        assert t4 > t1 / 2  # far from ideal 4x scaling
+
+
+class TestPowerModel:
+    def test_fae_reduces_power(self, rmc1, rmc2, rmc3):
+        """Table VI: 5.3-8.8% per-GPU power reduction."""
+        pm = PowerModel()
+        for w in (rmc1, rmc2, rmc3):
+            sim = TrainingSimulator(Cluster(num_gpus=4), w)
+            reduction = pm.reduction_percent(sim.epoch("baseline"), sim.epoch("fae"))
+            assert 1.0 < reduction < 12.0, w.name
+
+    def test_average_watts_in_v100_range(self, rmc2):
+        pm = PowerModel()
+        sim = TrainingSimulator(Cluster(num_gpus=4), rmc2)
+        watts = pm.average_watts(sim.epoch("baseline"))
+        assert 50 < watts < 70  # Table VI reports ~56-63 W
+
+    def test_energy_consistency(self, rmc2):
+        pm = PowerModel()
+        timeline = TrainingSimulator(Cluster(), rmc2).epoch("fae")
+        assert pm.energy_joules(timeline) == pytest.approx(
+            pm.average_watts(timeline) * timeline.seconds
+        )

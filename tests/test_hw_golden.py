@@ -1,0 +1,79 @@
+"""Golden-value regression tests for the calibrated cost model.
+
+The simulator's constants were fitted once against the paper's Table IV
+and then frozen (DESIGN.md §6); every benchmark assertion depends on
+them.  These tests pin the headline outputs with a ±2% tolerance so any
+accidental recalibration — a changed efficiency factor, a reworked phase
+— fails loudly here rather than silently shifting EXPERIMENTS.md.
+
+If you change the cost model *intentionally*, re-run the benchmarks,
+update EXPERIMENTS.md, and refresh these goldens in one commit.
+"""
+
+import pytest
+
+from repro.hw import Cluster, PowerModel, TrainingSimulator, characterize
+from repro.models import workload_by_name
+
+#: (workload, gpus) -> (baseline minutes, fae minutes) for 10 epochs.
+GOLDEN_TABLE4 = {
+    ("RMC1", 1): (859.8, 461.2),
+    ("RMC1", 4): (531.8, 367.1),
+    ("RMC2", 1): (252.9, 128.4),
+    ("RMC2", 4): (218.8, 111.5),
+    ("RMC3", 1): (504.5, 187.3),
+    ("RMC3", 4): (435.8, 155.5),
+}
+
+#: workload -> analytic hot-input fraction at the 256 MB budget.
+GOLDEN_HOT_FRACTION = {"RMC1": 0.792, "RMC2": 0.744, "RMC3": 0.935}
+
+#: workload -> per-GPU power reduction (%) at 4 GPUs.
+GOLDEN_POWER_REDUCTION = {"RMC1": 4.2, "RMC2": 4.4, "RMC3": 7.5}
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {name: characterize(workload_by_name(name)) for name in ("RMC1", "RMC2", "RMC3")}
+
+
+class TestGoldenTable4:
+    @pytest.mark.parametrize("key", sorted(GOLDEN_TABLE4))
+    def test_training_minutes(self, workloads, key):
+        name, gpus = key
+        sim = TrainingSimulator(Cluster(num_gpus=gpus), workloads[name])
+        baseline, fae = GOLDEN_TABLE4[key]
+        assert sim.training_minutes("baseline", epochs=10) == pytest.approx(baseline, rel=0.02)
+        assert sim.training_minutes("fae", epochs=10) == pytest.approx(fae, rel=0.02)
+
+
+class TestGoldenHotFractions:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_HOT_FRACTION))
+    def test_hot_fraction(self, workloads, name):
+        assert workloads[name].hot_fraction == pytest.approx(
+            GOLDEN_HOT_FRACTION[name], abs=0.01
+        )
+
+    def test_hot_bytes_at_budget(self, workloads):
+        for workload in workloads.values():
+            assert workload.hot_bytes == pytest.approx(256 * 2**20, rel=0.02)
+
+
+class TestGoldenPower:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_POWER_REDUCTION))
+    def test_reduction(self, workloads, name):
+        pm = PowerModel()
+        sim = TrainingSimulator(Cluster(num_gpus=4), workloads[name])
+        reduction = pm.reduction_percent(sim.epoch("baseline"), sim.epoch("fae"))
+        assert reduction == pytest.approx(GOLDEN_POWER_REDUCTION[name], abs=0.5)
+
+
+class TestGoldenHeadline:
+    def test_average_4gpu_speedup(self, workloads):
+        """The repository's headline number (README): ~2.07x."""
+        speedups = [
+            TrainingSimulator(Cluster(num_gpus=4), w).speedup()
+            for w in workloads.values()
+        ]
+        average = sum(speedups) / len(speedups)
+        assert average == pytest.approx(2.07, abs=0.06)

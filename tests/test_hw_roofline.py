@@ -1,0 +1,71 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+
+from repro.hw import TESLA_V100, XEON_4116, characterize
+from repro.hw.roofline import analyze_workload, roofline_point
+from repro.models import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def rmc2():
+    return characterize(workload_by_name("RMC2"))
+
+
+class TestRooflinePoint:
+    def test_memory_bound_below_ridge(self):
+        # intensity 0.25 flops/byte is far below any ridge point.
+        point = roofline_point("gather", flops=1e6, bytes_moved=4e6, device=TESLA_V100)
+        assert point.bound == "memory"
+        assert point.attainable_flops == pytest.approx(0.25 * TESLA_V100.mem_bandwidth)
+
+    def test_compute_bound_above_ridge(self):
+        point = roofline_point("gemm", flops=1e12, bytes_moved=1e6, device=TESLA_V100)
+        assert point.bound == "compute"
+        assert point.attainable_flops == TESLA_V100.peak_flops
+
+    def test_time_consistency(self):
+        point = roofline_point("op", flops=1e9, bytes_moved=1e6, device=TESLA_V100)
+        assert point.time_seconds == pytest.approx(point.flops / point.attainable_flops)
+
+    def test_zero_flop_op_timed_by_bandwidth(self):
+        point = roofline_point("copy", flops=0, bytes_moved=1e9, device=TESLA_V100)
+        assert point.bound == "memory"
+        assert point.time_seconds == pytest.approx(1e9 / TESLA_V100.mem_bandwidth)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roofline_point("bad", flops=-1, bytes_moved=1, device=TESLA_V100)
+        with pytest.raises(ValueError):
+            roofline_point("bad", flops=1, bytes_moved=0, device=TESLA_V100)
+
+
+class TestAnalyzeWorkload:
+    def test_embeddings_memory_bound_everywhere(self, rmc2):
+        """The paper's premise: lookups never become compute-bound."""
+        for device in (TESLA_V100, XEON_4116):
+            for batch in (128, 1024, 16384):
+                points = {p.name: p for p in analyze_workload(rmc2, device, batch)}
+                assert points["embedding_lookup"].bound == "memory", (device.name, batch)
+
+    def test_mlp_more_intense_than_lookup(self, rmc2):
+        points = {p.name: p for p in analyze_workload(rmc2, TESLA_V100, 1024)}
+        assert points["mlp"].intensity > points["embedding_lookup"].intensity * 10
+
+    def test_gpu_faster_on_both_ops(self, rmc2):
+        gpu = {p.name: p for p in analyze_workload(rmc2, TESLA_V100, 1024)}
+        cpu = {p.name: p for p in analyze_workload(rmc2, XEON_4116, 1024)}
+        for name in gpu:
+            assert gpu[name].time_seconds < cpu[name].time_seconds
+        # ...which is exactly why placement is decided by capacity and
+        # transfer costs, not by op speed: the GPU wins raw ops, but the
+        # tables don't fit.
+
+    def test_mlp_intensity_grows_with_batch(self, rmc2):
+        small = {p.name: p for p in analyze_workload(rmc2, TESLA_V100, 64)}
+        large = {p.name: p for p in analyze_workload(rmc2, TESLA_V100, 8192)}
+        assert large["mlp"].intensity > small["mlp"].intensity
+
+    def test_bad_batch(self, rmc2):
+        with pytest.raises(ValueError):
+            analyze_workload(rmc2, TESLA_V100, 0)

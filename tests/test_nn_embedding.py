@@ -1,0 +1,149 @@
+"""Unit tests for embedding tables and bags."""
+
+import numpy as np
+import pytest
+
+from repro.nn import EmbeddingBag, EmbeddingTable
+
+
+@pytest.fixture()
+def table(rng):
+    return EmbeddingTable("t", num_rows=20, dim=4, rng=rng)
+
+
+class TestEmbeddingTable:
+    def test_init_shape_and_scale(self, table):
+        assert table.weight.value.shape == (20, 4)
+        # DLRM-style init: std ~ 1/sqrt(dim)
+        assert table.weight.value.std() == pytest.approx(0.5, rel=0.5)
+
+    def test_subset_is_a_copy(self, table):
+        rows = table.subset(np.array([1, 3]))
+        rows[:] = 99.0
+        assert table.weight.value[1, 0] != 99.0
+
+    def test_write_rows(self, table):
+        values = np.ones((2, 4), dtype=np.float32)
+        table.write_rows(np.array([0, 5]), values)
+        np.testing.assert_allclose(table.weight.value[0], 1.0)
+        np.testing.assert_allclose(table.weight.value[5], 1.0)
+
+    def test_write_rows_shape_check(self, table):
+        with pytest.raises(ValueError):
+            table.write_rows(np.array([0]), np.ones((2, 4), dtype=np.float32))
+
+    def test_rejects_bad_geometry(self, rng):
+        with pytest.raises(ValueError):
+            EmbeddingTable("t", 0, 4, rng)
+        with pytest.raises(ValueError):
+            EmbeddingTable("t", 4, 0, rng)
+
+    def test_nbytes(self, table):
+        assert table.nbytes == 20 * 4 * 4
+
+
+class TestEmbeddingBagPooling:
+    def test_mean_pooling(self, table):
+        bag = EmbeddingBag(table, mode="mean")
+        ids = np.array([[0, 1], [2, 2]])
+        out = bag.forward(ids)
+        expected0 = (table.weight.value[0] + table.weight.value[1]) / 2
+        np.testing.assert_allclose(out[0], expected0, rtol=1e-6)
+        np.testing.assert_allclose(out[1], table.weight.value[2], rtol=1e-6)
+
+    def test_sum_pooling(self, table):
+        bag = EmbeddingBag(table, mode="sum")
+        ids = np.array([[0, 1]])
+        out = bag.forward(ids)
+        np.testing.assert_allclose(
+            out[0], table.weight.value[0] + table.weight.value[1], rtol=1e-6
+        )
+
+    def test_1d_ids_promoted(self, table):
+        bag = EmbeddingBag(table)
+        out = bag.forward(np.array([3, 4]))
+        assert out.shape == (2, 4)
+
+    def test_out_of_range_ids(self, table):
+        bag = EmbeddingBag(table)
+        with pytest.raises(IndexError):
+            bag.forward(np.array([[20]]))
+        with pytest.raises(IndexError):
+            bag.forward(np.array([[-1]]))
+
+    def test_invalid_mode(self, table):
+        with pytest.raises(ValueError):
+            EmbeddingBag(table, mode="max")
+
+
+class TestEmbeddingBagBackward:
+    def test_mean_backward_scales_by_multiplicity(self, table):
+        bag = EmbeddingBag(table, mode="mean")
+        ids = np.array([[0, 1]])
+        bag.forward(ids)
+        bag.backward(np.ones((1, 4), dtype=np.float32))
+        grad = table.weight.densified_grad()
+        np.testing.assert_allclose(grad[0], 0.5)
+        np.testing.assert_allclose(grad[1], 0.5)
+
+    def test_sum_backward_full_grad(self, table):
+        bag = EmbeddingBag(table, mode="sum")
+        ids = np.array([[0, 1]])
+        bag.forward(ids)
+        bag.backward(np.ones((1, 4), dtype=np.float32))
+        grad = table.weight.densified_grad()
+        np.testing.assert_allclose(grad[0], 1.0)
+
+    def test_duplicate_ids_accumulate(self, table):
+        bag = EmbeddingBag(table, mode="sum")
+        bag.forward(np.array([[7, 7]]))
+        bag.backward(np.ones((1, 4), dtype=np.float32))
+        np.testing.assert_allclose(table.weight.densified_grad()[7], 2.0)
+
+    def test_backward_before_forward(self, table):
+        with pytest.raises(RuntimeError):
+            EmbeddingBag(table).backward(np.zeros((1, 4)))
+
+    def test_numeric_gradient_mean(self, table):
+        bag = EmbeddingBag(table, mode="mean")
+        ids = np.array([[0, 1], [1, 2]])
+
+        def loss():
+            return float((bag.forward(ids) ** 2).sum())
+
+        out = bag.forward(ids)
+        bag.backward((2 * out).astype(np.float32))
+        grad = table.weight.densified_grad()
+        table.weight.zero_grad()
+        eps = 1e-3
+        row, col = 1, 2
+        old = table.weight.value[row, col]
+        table.weight.value[row, col] = old + eps
+        up = loss()
+        table.weight.value[row, col] = old - eps
+        down = loss()
+        table.weight.value[row, col] = old
+        assert (up - down) / (2 * eps) == pytest.approx(grad[row, col], rel=0.02, abs=1e-4)
+
+
+class TestSequenceInterface:
+    def test_sequence_forward_shape(self, table):
+        bag = EmbeddingBag(table)
+        ids = np.array([[0, 1, 2], [3, 4, 5]])
+        out = bag.sequence_forward(ids)
+        assert out.shape == (2, 3, 4)
+        np.testing.assert_allclose(out[0, 1], table.weight.value[1])
+
+    def test_sequence_backward_scatters(self, table):
+        bag = EmbeddingBag(table)
+        ids = np.array([[0, 1]])
+        bag.sequence_forward(ids)
+        grads = np.stack([[np.full(4, 2.0), np.full(4, 3.0)]]).astype(np.float32)
+        bag.sequence_backward(grads)
+        dense = table.weight.densified_grad()
+        np.testing.assert_allclose(dense[0], 2.0)
+        np.testing.assert_allclose(dense[1], 3.0)
+
+    def test_sequence_forward_requires_2d(self, table):
+        with pytest.raises(ValueError):
+            EmbeddingBag(table).sequence_forward(np.array([0, 1]))

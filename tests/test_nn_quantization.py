@@ -1,0 +1,155 @@
+"""Tests for quantized embedding storage."""
+
+import numpy as np
+import pytest
+
+from repro.nn import EmbeddingBag
+from repro.nn.quantization import (
+    Fp16EmbeddingTable,
+    Int8EmbeddingTable,
+    dequantize_fp16,
+    dequantize_int8_rows,
+    quantize_fp16,
+    quantize_int8_rows,
+)
+
+
+class TestFp16Roundtrip:
+    def test_small_relative_error(self, rng):
+        values = rng.normal(size=(100, 8)).astype(np.float32)
+        restored = dequantize_fp16(quantize_fp16(values))
+        rel = np.abs(restored - values) / (np.abs(values) + 1e-8)
+        assert rel.max() < 1e-3
+
+    def test_idempotent(self, rng):
+        values = rng.normal(size=(10, 4)).astype(np.float32)
+        once = dequantize_fp16(quantize_fp16(values))
+        twice = dequantize_fp16(quantize_fp16(once))
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestInt8Roundtrip:
+    def test_bounded_error(self, rng):
+        values = rng.normal(size=(50, 16)).astype(np.float32)
+        codes, scales = quantize_int8_rows(values)
+        restored = dequantize_int8_rows(codes, scales)
+        # error bounded by half a quantization step per row
+        step = np.abs(values).max(axis=1) / 127.0
+        assert np.all(np.abs(restored - values) <= step[:, None] * 0.51 + 1e-7)
+
+    def test_zero_rows_safe(self):
+        values = np.zeros((3, 4), dtype=np.float32)
+        codes, scales = quantize_int8_rows(values)
+        np.testing.assert_array_equal(dequantize_int8_rows(codes, scales), 0.0)
+
+    def test_codes_in_range(self, rng):
+        values = (rng.normal(size=(20, 8)) * 100).astype(np.float32)
+        codes, _ = quantize_int8_rows(values)
+        assert codes.min() >= -127 and codes.max() <= 127
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            quantize_int8_rows(np.zeros(5, dtype=np.float32))
+
+    def test_int8_noisier_than_fp16(self, rng):
+        values = rng.normal(size=(200, 16)).astype(np.float32)
+        fp16_err = np.abs(dequantize_fp16(quantize_fp16(values)) - values).mean()
+        codes, scales = quantize_int8_rows(values)
+        int8_err = np.abs(dequantize_int8_rows(codes, scales) - values).mean()
+        assert int8_err > fp16_err
+
+
+@pytest.mark.parametrize("table_cls", [Fp16EmbeddingTable, Int8EmbeddingTable])
+class TestQuantizedTables:
+    def test_footprint_smaller_than_fp32(self, table_cls, rng):
+        table = table_cls("q", num_rows=100, dim=16, rng=rng)
+        fp32_bytes = 100 * 16 * 4
+        assert table.nbytes < fp32_bytes
+        if table_cls is Fp16EmbeddingTable:
+            assert table.nbytes == fp32_bytes // 2
+
+    def test_embedding_bag_compatible(self, table_cls, rng):
+        table = table_cls("q", num_rows=30, dim=8, rng=rng)
+        bag = EmbeddingBag(table, mode="mean")
+        out = bag.forward(np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 8)
+        bag.backward(np.ones((2, 8), dtype=np.float32))
+        assert table.weight.sparse_grads
+
+    def test_requantize_injects_bounded_noise(self, table_cls, rng):
+        table = table_cls("q", num_rows=20, dim=8, rng=rng)
+        table.weight.value += 0.01  # simulate an optimizer step
+        before = table.weight.value.copy()
+        table.requantize()
+        drift = np.abs(table.weight.value - before).max()
+        assert drift < 0.05  # bounded rounding, not corruption
+        # And the working copy is now exactly representable.
+        snapshot = table.weight.value.copy()
+        table.requantize()
+        np.testing.assert_array_equal(table.weight.value, snapshot)
+
+    def test_partial_requantize(self, table_cls, rng):
+        table = table_cls("q", num_rows=20, dim=8, rng=rng)
+        table.weight.value[:] += 0.37
+        untouched = table.weight.value[10:].copy()
+        table.requantize(np.arange(5))
+        np.testing.assert_array_equal(table.weight.value[10:], untouched)
+
+    def test_write_rows_requantizes(self, table_cls, rng):
+        table = table_cls("q", num_rows=10, dim=4, rng=rng)
+        payload = np.full((2, 4), 0.123456789, dtype=np.float32)
+        table.write_rows(np.array([0, 1]), payload)
+        # stored value is the quantized representative, not raw fp32
+        stored = table.weight.value[0, 0]
+        assert stored == pytest.approx(0.123456789, rel=2e-2)
+
+    def test_subset_returns_copy(self, table_cls, rng):
+        table = table_cls("q", num_rows=10, dim=4, rng=rng)
+        rows = table.subset(np.array([1, 2]))
+        rows[:] = 42.0
+        assert table.weight.value[1, 0] != 42.0
+
+    def test_bad_geometry_rejected(self, table_cls, rng):
+        with pytest.raises(ValueError):
+            table_cls("q", num_rows=0, dim=4, rng=rng)
+
+
+class TestQuantizedTraining:
+    def test_dlrm_trains_with_fp16_tables(self, rng):
+        """A DLRM with fp16 embedding storage must still converge."""
+        from repro.data import SyntheticClickLog, SyntheticConfig
+        from repro.data.loader import batch_from_log
+        from repro.data.schema import DatasetSchema, EmbeddingTableSpec
+        from repro.models.dlrm import DLRM, DLRMConfig
+        from repro.nn import BCEWithLogits, SGD
+
+        schema = DatasetSchema(
+            "q", 3,
+            (
+                EmbeddingTableSpec("t0", num_rows=50, dim=4, zipf_exponent=1.0),
+                EmbeddingTableSpec("t1", num_rows=30, dim=4, zipf_exponent=1.0),
+            ),
+            300,
+        )
+        log = SyntheticClickLog(schema, SyntheticConfig(num_samples=300, seed=1))
+        model = DLRM(schema, DLRMConfig("3-8-4", "8-1", seed=2))
+        # Swap in quantized tables.
+        quant_tables = {}
+        for spec in schema.tables:
+            table = Fp16EmbeddingTable(spec.name, spec.num_rows, spec.dim, rng)
+            quant_tables[spec.name] = table
+            model._tables[spec.name] = table
+            model.set_bag(spec.name, EmbeddingBag(table, mode="mean"))
+
+        loss_fn = BCEWithLogits()
+        opt = SGD(model.parameters(), lr=0.2)
+        batch = batch_from_log(log, np.arange(256))
+        first = None
+        for _ in range(25):
+            loss = loss_fn.forward(model.forward(batch), batch.labels)
+            model.backward(loss_fn.backward())
+            opt.step()
+            for table in quant_tables.values():
+                table.requantize()
+            first = first or loss
+        assert loss < first

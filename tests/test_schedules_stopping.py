@@ -1,0 +1,176 @@
+"""Tests for LR schedules, momentum SGD, and early-stopping criteria."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.nn.lr_schedule import (
+    ConstantSchedule,
+    CosineSchedule,
+    MomentumSGD,
+    StepDecaySchedule,
+    WarmupPolynomialSchedule,
+)
+from repro.train.early_stopping import ConsecutiveIncrease, GeneralizationLoss
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.1)
+        assert schedule(0) == schedule(10_000) == 0.1
+
+    def test_warmup_ramps_linearly(self):
+        schedule = WarmupPolynomialSchedule(
+            base_lr=1.0, warmup_steps=10, decay_start=20, decay_steps=10
+        )
+        assert schedule(0) == pytest.approx(0.1)
+        assert schedule(4) == pytest.approx(0.5)
+        assert schedule(9) == pytest.approx(1.0)
+
+    def test_plateau_then_decay(self):
+        schedule = WarmupPolynomialSchedule(
+            base_lr=1.0, warmup_steps=5, decay_start=10, decay_steps=10, power=2.0
+        )
+        assert schedule(7) == 1.0
+        assert schedule(15) == pytest.approx(0.25)  # (1 - 0.5)^2
+        assert schedule(100) == 0.0
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            WarmupPolynomialSchedule(1.0, warmup_steps=10, decay_start=5, decay_steps=5)
+
+    def test_step_decay(self):
+        schedule = StepDecaySchedule(base_lr=1.0, step_size=100, gamma=0.5)
+        assert schedule(99) == 1.0
+        assert schedule(100) == 0.5
+        assert schedule(250) == 0.25
+
+    def test_cosine_endpoints(self):
+        schedule = CosineSchedule(base_lr=1.0, total_steps=100, min_lr=0.1)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(50) == pytest.approx(0.55)
+        assert schedule(100) == pytest.approx(0.1)
+        assert schedule(500) == pytest.approx(0.1)  # clamped past the end
+
+    def test_cosine_monotone_decreasing(self):
+        schedule = CosineSchedule(base_lr=1.0, total_steps=50)
+        values = [schedule(s) for s in range(51)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: ConstantSchedule(0.0),
+            lambda: StepDecaySchedule(1.0, 0),
+            lambda: StepDecaySchedule(1.0, 10, gamma=1.5),
+            lambda: CosineSchedule(1.0, 10, min_lr=2.0),
+        ],
+    )
+    def test_invalid_parameters(self, factory):
+        with pytest.raises(ValueError):
+            factory()
+
+
+class TestMomentumSGD:
+    def test_momentum_accumulates_velocity(self):
+        p = Parameter("w", np.zeros((1, 1), dtype=np.float32))
+        opt = MomentumSGD([p], schedule=0.1, momentum=0.5)
+        deltas = []
+        for _ in range(3):
+            before = float(p.value.item())
+            p.accumulate_dense(np.ones((1, 1), dtype=np.float32))
+            opt.step()
+            deltas.append(abs(float(p.value.item()) - before))
+        # velocity grows: 1, 1.5, 1.75 (times lr)
+        assert deltas[1] > deltas[0]
+        assert deltas[2] > deltas[1]
+        assert deltas[0] == pytest.approx(0.1)
+        assert deltas[1] == pytest.approx(0.15)
+
+    def test_zero_momentum_is_plain_sgd(self):
+        from repro.nn import SGD
+
+        a = Parameter("a", np.ones((2, 2), dtype=np.float32))
+        b = Parameter("b", np.ones((2, 2), dtype=np.float32))
+        g = np.full((2, 2), 0.5, dtype=np.float32)
+        a.accumulate_dense(g)
+        b.accumulate_dense(g)
+        MomentumSGD([a], schedule=0.2, momentum=0.0).step()
+        SGD([b], lr=0.2).step()
+        np.testing.assert_allclose(a.value, b.value)
+
+    def test_schedule_drives_lr(self):
+        p = Parameter("w", np.zeros(1, dtype=np.float32))
+        schedule = StepDecaySchedule(base_lr=1.0, step_size=1, gamma=0.5)
+        opt = MomentumSGD([p], schedule=schedule, momentum=0.0)
+        p.accumulate_dense(np.ones(1, dtype=np.float32))
+        opt.step()  # lr 1.0
+        assert p.value[0] == pytest.approx(-1.0)
+        p.accumulate_dense(np.ones(1, dtype=np.float32))
+        opt.step()  # lr 0.5
+        assert p.value[0] == pytest.approx(-1.5)
+        assert opt.current_lr == 0.25
+
+    def test_sparse_grads_skip_momentum(self):
+        p = Parameter("e", np.zeros((4, 2), dtype=np.float32))
+        opt = MomentumSGD([p], schedule=0.1, momentum=0.9)
+        for _ in range(2):
+            p.accumulate_sparse(np.array([1]), np.ones((1, 2), dtype=np.float32))
+            opt.step()
+        # plain SGD on sparse rows: two steps of lr*1 each
+        np.testing.assert_allclose(p.value[1], -0.2, rtol=1e-6)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            MomentumSGD([], schedule=0.1, momentum=1.0)
+
+
+class TestGeneralizationLoss:
+    def test_no_stop_while_improving(self):
+        criterion = GeneralizationLoss(alpha=5.0)
+        for loss in (1.0, 0.9, 0.8):
+            assert not criterion.update(loss)
+
+    def test_stops_on_large_regression(self):
+        criterion = GeneralizationLoss(alpha=5.0)
+        criterion.update(1.0)
+        criterion.update(0.5)
+        assert criterion.update(0.6)  # 20% above the best 0.5
+        assert criterion.stopped
+
+    def test_small_regression_tolerated(self):
+        criterion = GeneralizationLoss(alpha=10.0)
+        criterion.update(0.50)
+        assert not criterion.update(0.52)  # 4% < 10%
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneralizationLoss(alpha=0.0)
+        with pytest.raises(ValueError):
+            GeneralizationLoss().update(-1.0)
+
+
+class TestConsecutiveIncrease:
+    def test_paper_u4_behaviour(self):
+        criterion = ConsecutiveIncrease(strips=4)
+        for loss in (1.0, 1.1, 1.2, 1.3):
+            assert not criterion.update(loss)
+        assert criterion.update(1.4)  # 4th consecutive increase
+
+    def test_streak_resets_on_improvement(self):
+        criterion = ConsecutiveIncrease(strips=2)
+        criterion.update(1.0)
+        criterion.update(1.1)
+        criterion.update(0.9)  # reset
+        criterion.update(1.0)
+        assert not criterion.stopped
+        assert criterion.update(1.1)
+
+    def test_flat_does_not_count(self):
+        criterion = ConsecutiveIncrease(strips=1)
+        criterion.update(1.0)
+        assert not criterion.update(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConsecutiveIncrease(strips=0)

@@ -1,0 +1,147 @@
+"""Tests for the serving companion: inference engine and latency model."""
+
+import numpy as np
+import pytest
+
+from repro.core import fae_preprocess
+from repro.hw import Cluster, characterize
+from repro.models import workload_by_name
+from repro.models.dlrm import DLRM, DLRMConfig
+from repro.serve import InferenceEngine, ServingSimulator
+
+
+@pytest.fixture(scope="module")
+def trained(request):
+    tiny_log = request.getfixturevalue("tiny_log")
+    tiny_schema = request.getfixturevalue("tiny_schema")
+    config = request.getfixturevalue("tiny_fae_config")
+    from repro.data import train_test_split
+    from repro.train import BaselineTrainer
+
+    train, test = train_test_split(tiny_log, 0.2, seed=1)
+    model = DLRM(tiny_schema, DLRMConfig("4-8", "8-1", seed=3))
+    BaselineTrainer(model, lr=0.2).train(train, test, epochs=1, batch_size=128)
+    plan = fae_preprocess(train, config, batch_size=64)
+    return model, train, test, plan
+
+
+class TestInferenceEngine:
+    def test_predict_proba_range_and_shape(self, trained):
+        model, _train, test, _plan = trained
+        engine = InferenceEngine(model)
+        probs = engine.predict_proba(test)
+        assert probs.shape == (len(test),)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_batched_equals_unbatched(self, trained):
+        model, _train, test, _plan = trained
+        small = InferenceEngine(model, batch_size=17)
+        large = InferenceEngine(model, batch_size=4096)
+        np.testing.assert_allclose(
+            small.predict_proba(test), large.predict_proba(test), rtol=1e-6
+        )
+
+    def test_predictions_beat_chance(self, trained):
+        model, _train, test, _plan = trained
+        probs = InferenceEngine(model).predict_proba(test)
+        accuracy = ((probs >= 0.5) == test.labels.astype(bool)).mean()
+        majority = max(test.base_rate(), 1 - test.base_rate())
+        assert accuracy > majority - 0.05
+
+    def test_rank_candidates(self, trained, tiny_schema):
+        model, train, _test, _plan = trained
+        engine = InferenceEngine(model)
+        context = {name: train.sparse[name][0] for name in tiny_schema.table_names}
+        candidates = np.arange(50)
+        ranked = engine.rank_candidates(
+            dense=train.dense[0],
+            sparse_context=context,
+            candidate_table="table_00",
+            candidate_ids=candidates,
+            top_k=5,
+        )
+        assert len(ranked.item_ids) == 5
+        # best-first ordering
+        assert np.all(np.diff(ranked.scores) <= 1e-12)
+        assert set(ranked.item_ids.tolist()) <= set(candidates.tolist())
+
+    def test_rank_scores_match_pointwise(self, trained, tiny_schema):
+        model, train, _test, _plan = trained
+        engine = InferenceEngine(model)
+        context = {name: train.sparse[name][1] for name in tiny_schema.table_names}
+        ranked = engine.rank_candidates(
+            dense=train.dense[1],
+            sparse_context=context,
+            candidate_table="table_00",
+            candidate_ids=np.array([3]),
+            top_k=1,
+        )
+        # A single-candidate ranking is just a pointwise prediction.
+        assert 0 <= ranked.scores[0] <= 1
+
+    def test_rank_validation(self, trained, tiny_schema):
+        model, train, _test, _plan = trained
+        engine = InferenceEngine(model)
+        context = {name: train.sparse[name][0] for name in tiny_schema.table_names}
+        with pytest.raises(KeyError):
+            engine.rank_candidates(train.dense[0], context, "nope", np.array([1]))
+        with pytest.raises(ValueError):
+            engine.rank_candidates(train.dense[0], context, "table_00", np.array([]))
+
+    def test_hot_request_mask(self, trained):
+        model, train, _test, plan = trained
+        engine = InferenceEngine(model, hot_bags=plan.bags)
+        mask = engine.hot_request_mask(train)
+        np.testing.assert_array_equal(mask, plan.dataset.hot_mask)
+
+    def test_hot_mask_requires_bags(self, trained):
+        model, train, _test, _plan = trained
+        with pytest.raises(RuntimeError):
+            InferenceEngine(model).hot_request_mask(train)
+
+    def test_bad_batch_size(self, trained):
+        model = trained[0]
+        with pytest.raises(ValueError):
+            InferenceEngine(model, batch_size=0)
+
+
+@pytest.fixture(scope="module")
+def serving_sim():
+    workload = characterize(workload_by_name("RMC2"))
+    return ServingSimulator(Cluster(num_gpus=1), workload)
+
+
+class TestServingSimulator:
+    def test_hot_batches_faster(self, serving_sim):
+        assert serving_sim.hot_resident_batch_seconds(64) < serving_sim.cpu_embedding_batch_seconds(64)
+
+    def test_hot_resident_lowers_tail_latency(self, serving_sim):
+        rate = 0.5 * serving_sim.saturation_rate("cpu-embedding")
+        cpu = serving_sim.simulate("cpu-embedding", rate, num_requests=3000, seed=1)
+        hot = serving_sim.simulate("hot-resident", rate, num_requests=3000, seed=1)
+        assert hot.p99 < cpu.p99
+        assert hot.mean < cpu.mean
+
+    def test_saturation_rate_higher_for_hot(self, serving_sim):
+        assert serving_sim.saturation_rate("hot-resident") > serving_sim.saturation_rate(
+            "cpu-embedding"
+        )
+
+    def test_latency_grows_with_load(self, serving_sim):
+        base = serving_sim.saturation_rate("cpu-embedding")
+        light = serving_sim.simulate("cpu-embedding", 0.3 * base, num_requests=2000)
+        heavy = serving_sim.simulate("cpu-embedding", 0.9 * base, num_requests=2000)
+        assert heavy.p99 > light.p99
+
+    def test_percentiles_ordered(self, serving_sim):
+        stats = serving_sim.simulate("hot-resident", 200, num_requests=2000)
+        assert stats.p50 <= stats.p95 <= stats.p99
+        assert stats.throughput > 0
+
+    def test_validation(self, serving_sim):
+        with pytest.raises(ValueError):
+            serving_sim.simulate("magic", 100)
+        with pytest.raises(ValueError):
+            serving_sim.simulate("cpu-embedding", 0)
+        with pytest.raises(ValueError):
+            ServingSimulator(Cluster(), characterize(workload_by_name("RMC2")), max_batch=0)
