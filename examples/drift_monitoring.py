@@ -17,9 +17,12 @@ from repro import (
     fae_preprocess,
 )
 from repro.core import DriftDetector, recalibration_diff
+from repro.obs import get_registry
 
 
 def main() -> None:
+    registry = get_registry()
+    registry.reset()
     schema = criteo_kaggle_like("small")
     config = FAEConfig(
         gpu_memory_budget=256 * 1024,
@@ -55,6 +58,11 @@ def main() -> None:
     drifted_window = None
     for label, window in windows.items():
         report = detector.check(window)
+        registry.counter("drift.checks").inc()
+        registry.gauge("drift.relative_drop").set(report.relative_drop)
+        registry.histogram("drift.hot_input_fraction").observe(report.hot_input_fraction)
+        if report.drifted:
+            registry.counter("drift.detected").inc()
         flag = "DRIFT" if report.drifted else "ok"
         print(
             f"{label}: hot inputs {100 * report.hot_input_fraction:5.1f}% "
@@ -85,6 +93,8 @@ def main() -> None:
     print(f"hot-set churn: +{added_rows} / -{removed_rows} rows; "
           f"replica refresh ships {refresh_bytes / 1024:.0f} KiB per GPU")
 
+    registry.counter("drift.recalibrations").inc()
+
     # Verify the new plan clears the detector.
     fresh = DriftDetector(new_plan.bags, new_plan.hot_input_fraction, seed=0)
     verdict = fresh.check(
@@ -92,6 +102,16 @@ def main() -> None:
     )
     print(f"post-recalibration check: drop {100 * verdict.relative_drop:.1f}% "
           f"-> {'DRIFT' if verdict.drifted else 'ok'}")
+
+    # The whole monitoring loop is visible in the metrics registry —
+    # exactly what a production poller would scrape.
+    print("\ntelemetry snapshot:")
+    for name, summary in registry.snapshot().items():
+        if name.startswith(("drift.", "fae.sync.")):
+            if summary["kind"] == "histogram":
+                print(f"  {name}: mean {summary['mean']:g} over {summary['count']} checks")
+            else:
+                print(f"  {name}: {summary['value']:g}")
 
 
 if __name__ == "__main__":

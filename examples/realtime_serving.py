@@ -27,10 +27,13 @@ from repro import (
     workload_by_name,
 )
 from repro.models.dlrm import DLRM, DLRMConfig
+from repro.obs import get_registry
 from repro.serve import InferenceEngine, ServingSimulator
 
 
 def main() -> None:
+    registry = get_registry()
+    registry.reset()
     # --- Train a model with FAE --------------------------------------
     schema = criteo_kaggle_like("small")
     log = SyntheticClickLog(schema, SyntheticConfig(num_samples=30_000, seed=21))
@@ -64,6 +67,15 @@ def main() -> None:
     hot_mask = engine.hot_request_mask(test)
     print(f"\n{100 * hot_mask.mean():.1f}% of live requests are fully hot "
           "(servable without touching host memory)")
+
+    # Score every test request through the engine so the latency
+    # histogram fills up, then read it back from the metrics registry.
+    engine.predict_proba(test)
+    latency = registry.histogram("serve.request.latency")
+    print(f"engine telemetry: {registry.counter('serve.requests').value:.0f} "
+          f"batched requests, model-forward latency "
+          f"p50 {1e3 * latency.percentile(50):.2f} ms / "
+          f"p99 {1e3 * latency.percentile(99):.2f} ms")
 
     # --- Price the deployment on the paper's server ------------------
     workload = characterize(workload_by_name("RMC2"))

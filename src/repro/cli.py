@@ -8,6 +8,11 @@ Commands:
 - ``train``       — train baseline or FAE on a synthetic log and report
                     accuracy/AUC.
 - ``simulate``    — price baseline/FAE/NvOPT epochs on the paper's server.
+- ``trace``       — run the pipeline with tracing on and print the span
+                    summary tree (optionally dumping JSONL).
+
+``preprocess`` and ``train`` also accept ``--trace`` to print the same
+summary tree after the run.
 
 Every command is pure-library orchestration; all heavy lifting lives in
 the packages this module imports.
@@ -18,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.core import FAEConfig, fae_preprocess
 from repro.data import SyntheticClickLog, SyntheticConfig, dataset_by_name, train_test_split
 from repro.hw import Cluster, PowerModel, TrainingSimulator, characterize
@@ -50,6 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_data_args(prep)
     prep.add_argument("--batch-size", type=int, default=256)
     prep.add_argument("--out", default=None, help="write the packed dataset here (.npz)")
+    prep.add_argument(
+        "--trace", action="store_true", help="record spans and print the summary tree"
+    )
 
     train = sub.add_parser("train", help="train on a synthetic log")
     _add_data_args(train)
@@ -57,6 +66,25 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=2)
     train.add_argument("--batch-size", type=int, default=256)
     train.add_argument("--lr", type=float, default=0.15)
+    train.add_argument(
+        "--trace", action="store_true", help="record spans and print the summary tree"
+    )
+
+    trace = sub.add_parser(
+        "trace", help="run preprocess + train with tracing on; print the span tree"
+    )
+    trace.add_argument("dataset", nargs="?", default="criteo-kaggle", choices=_DATASET_CHOICES)
+    trace.add_argument("--scale", default="small")
+    trace.add_argument("--rows", type=int, default=4096, help="synthetic log size")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--budget-bytes", type=int, default=256 * 1024)
+    trace.add_argument("--large-table-min-bytes", type=int, default=1024)
+    trace.add_argument("--batch-size", type=int, default=128)
+    trace.add_argument("--epochs", type=int, default=1)
+    trace.add_argument("--lr", type=float, default=0.15)
+    trace.add_argument(
+        "--out", default=None, help="also dump spans + metric snapshots as JSONL here"
+    )
 
     sim = sub.add_parser("simulate", help="price training on the paper's server")
     sim.add_argument("workload", choices=("RMC1", "RMC2", "RMC3"))
@@ -123,48 +151,88 @@ def cmd_info(args) -> int:
 
 
 def cmd_preprocess(args) -> int:
-    log = _make_log(args)
-    plan = fae_preprocess(log, _make_config(args), batch_size=args.batch_size)
-    print(plan.summary())
-    print(
-        f"calibration: {plan.calibration.total_seconds:.3f}s "
-        f"({plan.calibration.result.iterations} thresholds evaluated), "
-        f"classification: {plan.classify_seconds:.3f}s"
-    )
-    if args.out:
-        plan.save(args.out)
-        print(f"wrote {args.out}")
+    with obs.tracing(enabled=args.trace or obs.tracing_enabled()):
+        log = _make_log(args)
+        plan = fae_preprocess(log, _make_config(args), batch_size=args.batch_size)
+        print(plan.summary())
+        print(
+            f"calibration: {plan.calibration.total_seconds:.3f}s "
+            f"({plan.calibration.result.iterations} thresholds evaluated), "
+            f"classification: {plan.classify_seconds:.3f}s"
+        )
+        if args.out:
+            plan.save(args.out)
+            print(f"wrote {args.out}")
+        if args.trace:
+            print()
+            print(obs.summary_tree())
     return 0
 
 
 def cmd_train(args) -> int:
-    log = _make_log(args)
-    train, test = train_test_split(log, 0.15, seed=args.seed)
-    spec = workload_by_name(_WORKLOAD_FOR_DATASET[args.dataset])
+    with obs.tracing(enabled=args.trace or obs.tracing_enabled()):
+        log = _make_log(args)
+        train, test = train_test_split(log, 0.15, seed=args.seed)
+        spec = workload_by_name(_WORKLOAD_FOR_DATASET[args.dataset])
 
-    def report(label: str, model) -> None:
-        loss, accuracy = evaluate_model(model, test)
-        import numpy as np
+        def report(label: str, model) -> None:
+            loss, accuracy = evaluate_model(model, test)
+            import numpy as np
 
-        from repro.data.loader import batch_from_log
+            from repro.data.loader import batch_from_log
 
-        batch = batch_from_log(test, np.arange(min(len(test), 8192)))
-        auc = roc_auc(model.forward(batch), batch.labels)
-        print(f"{label}: test loss {loss:.4f}  accuracy {accuracy:.4f}  AUC {auc:.4f}")
+            batch = batch_from_log(test, np.arange(min(len(test), 8192)))
+            auc = roc_auc(model.forward(batch), batch.labels)
+            print(f"{label}: test loss {loss:.4f}  accuracy {accuracy:.4f}  AUC {auc:.4f}")
 
-    if args.mode in ("fae", "both"):
+        if args.mode in ("fae", "both"):
+            plan = fae_preprocess(train, _make_config(args), batch_size=args.batch_size)
+            print(f"FAE plan: {plan.summary()}")
+            model = build_model(spec, schema=log.schema, seed=args.seed + 1)
+            result = FAETrainer(model, plan, lr=args.lr).train(
+                train, test, epochs=args.epochs
+            )
+            print(f"FAE syncs: {result.sync_events}, rate trace: {result.schedule_rates}")
+            report("FAE", model)
+        if args.mode in ("baseline", "both"):
+            model = build_model(spec, schema=log.schema, seed=args.seed + 1)
+            BaselineTrainer(model, lr=args.lr).train(
+                train, test, epochs=args.epochs, batch_size=args.batch_size
+            )
+            report("baseline", model)
+        if args.trace:
+            print()
+            print(obs.summary_tree())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run the full pipeline under tracing and print the span tree."""
+    schema = dataset_by_name(args.dataset, _parse_scale(args.scale))
+    log = SyntheticClickLog(
+        schema, SyntheticConfig(num_samples=args.rows, seed=args.seed)
+    )
+    with obs.tracing(enabled=True) as tracer:
+        tracer.reset()
+        obs.get_registry().reset()
+        train, test = train_test_split(log, 0.15, seed=args.seed)
         plan = fae_preprocess(train, _make_config(args), batch_size=args.batch_size)
-        print(f"FAE plan: {plan.summary()}")
+        print(f"plan: {plan.summary()}")
+        spec = workload_by_name(_WORKLOAD_FOR_DATASET[args.dataset])
         model = build_model(spec, schema=log.schema, seed=args.seed + 1)
-        result = FAETrainer(model, plan, lr=args.lr).train(train, test, epochs=args.epochs)
-        print(f"FAE syncs: {result.sync_events}, rate trace: {result.schedule_rates}")
-        report("FAE", model)
-    if args.mode in ("baseline", "both"):
-        model = build_model(spec, schema=log.schema, seed=args.seed + 1)
-        BaselineTrainer(model, lr=args.lr).train(
-            train, test, epochs=args.epochs, batch_size=args.batch_size
+        result = FAETrainer(model, plan, lr=args.lr).train(
+            train, test, epochs=args.epochs
         )
-        report("baseline", model)
+        print(
+            f"trained {args.epochs} epoch(s): test accuracy "
+            f"{result.final_test_accuracy:.4f}, syncs {result.sync_events} "
+            f"({result.sync_bytes / 1024:.0f} KiB)"
+        )
+        print()
+        print(obs.summary_tree())
+        if args.out:
+            path = obs.export_jsonl(args.out)
+            print(f"\nwrote {path}")
     return 0
 
 
@@ -220,6 +288,7 @@ def main(argv: list[str] | None = None) -> int:
         "train": cmd_train,
         "simulate": cmd_simulate,
         "report": cmd_report,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

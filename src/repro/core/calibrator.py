@@ -8,7 +8,6 @@ system) tuple; its outputs are persisted in the FAE format.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.core.access_profile import AccessProfile
@@ -17,6 +16,7 @@ from repro.core.embedding_logger import EmbeddingLogger
 from repro.core.optimizer import CalibrationResult, StatisticalOptimizer
 from repro.core.sampler import SparseInputSampler
 from repro.data.synthetic import SyntheticClickLog
+from repro.obs import span, timed
 
 __all__ = ["CalibratorOutput", "Calibrator"]
 
@@ -66,21 +66,23 @@ class Calibrator:
             full_profile: bypass sampling and profile every input (the
                 naive baseline benchmarked in Fig 8; default False).
         """
-        sampler = SparseInputSampler(self.config.sample_rate, seed=self.config.seed)
-        sample = sampler.sample_all(log) if full_profile else sampler.sample(log)
+        with span("calibrate", num_inputs=len(log)) as calibrate_span:
+            sampler = SparseInputSampler(self.config.sample_rate, seed=self.config.seed)
+            sample = sampler.sample_all(log) if full_profile else sampler.sample(log)
 
-        logger = EmbeddingLogger(self.config)
-        profile = logger.profile(log, sample.indices)
+            logger = EmbeddingLogger(self.config)
+            profile = logger.profile(log, sample.indices)
 
-        optimizer = StatisticalOptimizer(self.config)
-        start = time.perf_counter()
-        result = optimizer.converge(profile)
-        optimize_seconds = time.perf_counter() - start
+            optimizer = StatisticalOptimizer(self.config)
+            with timed("calibrate.optimize") as optimize_timer:
+                result = optimizer.converge(profile)
+                optimize_timer.set(iterations=result.iterations, threshold=result.threshold)
+            calibrate_span.set(threshold=result.threshold)
 
         return CalibratorOutput(
             profile=profile,
             result=result,
             sampling_seconds=sample.elapsed_seconds,
             profiling_seconds=logger.last_elapsed_seconds,
-            optimize_seconds=optimize_seconds,
+            optimize_seconds=optimize_timer.seconds,
         )

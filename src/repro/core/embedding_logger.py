@@ -8,13 +8,12 @@ default) are skipped: they are de-facto hot and always shipped whole.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.core.access_profile import AccessProfile, TableProfile
 from repro.core.config import FAEConfig
 from repro.data.synthetic import SyntheticClickLog
+from repro.obs import timed
 
 __all__ = ["EmbeddingLogger"]
 
@@ -41,17 +40,19 @@ class EmbeddingLogger:
         Returns:
             An :class:`AccessProfile` covering the large tables.
         """
-        start = time.perf_counter()
         sample_indices = np.asarray(sample_indices, dtype=np.int64)
         if sample_indices.size == 0:
             raise ValueError("sample_indices must be non-empty")
 
-        tables: dict[str, TableProfile] = {}
-        for spec in log.schema.large_tables(self.config.large_table_min_bytes):
-            counts = log.access_counts(spec.name, sample_indices)
-            tables[spec.name] = TableProfile(name=spec.name, counts=counts, dim=spec.dim)
+        with timed("calibrate.profile", num_sampled=int(sample_indices.shape[0])) as timer:
+            tables: dict[str, TableProfile] = {}
+            for spec in log.schema.large_tables(self.config.large_table_min_bytes):
+                counts = log.access_counts(spec.name, sample_indices)
+                tables[spec.name] = TableProfile(name=spec.name, counts=counts, dim=spec.dim)
+            timer.set(num_tables=len(tables))
 
-        self.last_elapsed_seconds = time.perf_counter() - start
+        # Thin alias over the span's wall time; kept for older callers.
+        self.last_elapsed_seconds = timer.seconds
         return AccessProfile(
             schema=log.schema,
             tables=tables,

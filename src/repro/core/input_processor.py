@@ -10,13 +10,13 @@ processor packs hot and cold inputs into separate mini-batch streams.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.classifier import HotEmbeddingBagSpec
 from repro.data.synthetic import SyntheticClickLog
+from repro.obs import get_registry, span, timed
 
 __all__ = ["FAEDataset", "InputProcessor", "all_hot_batch_probability"]
 
@@ -87,16 +87,24 @@ class InputProcessor:
         One vectorized pass per table: an input stays hot while every id
         it looks up is in that table's hot bag.
         """
-        start = time.perf_counter()
-        hot = np.ones(len(log), dtype=bool)
-        for name, ids in log.sparse.items():
-            bag = self.bags.get(name)
-            if bag is None:
-                raise KeyError(f"no hot bag for table {name!r}")
-            if bag.whole_table:
-                continue
-            hot &= self._masks[name][ids].all(axis=1)
-        self.last_classify_seconds = time.perf_counter() - start
+        with timed("classify", num_inputs=len(log)) as timer:
+            hot = np.ones(len(log), dtype=bool)
+            for name, ids in log.sparse.items():
+                bag = self.bags.get(name)
+                if bag is None:
+                    raise KeyError(f"no hot bag for table {name!r}")
+                if bag.whole_table:
+                    continue
+                hot &= self._masks[name][ids].all(axis=1)
+            hot_count = int(np.count_nonzero(hot))
+            timer.set(num_hot=hot_count)
+        # Thin alias over the span's wall time; kept for older callers.
+        self.last_classify_seconds = timer.seconds
+        registry = get_registry()
+        registry.counter("classify.inputs").inc(len(log))
+        registry.counter("classify.hot_inputs").inc(hot_count)
+        if len(log):
+            registry.gauge("train.batch.hot_fraction").set(hot_count / len(log))
         return hot
 
     def pack(
@@ -120,24 +128,30 @@ class InputProcessor:
         """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
-        hot_mask = self.classify_inputs(log)
-        rng = np.random.default_rng(self.seed)
+        with span("classify.pack", batch_size=batch_size) as pack_span:
+            hot_mask = self.classify_inputs(log)
+            rng = np.random.default_rng(self.seed)
 
-        def chunk(indices: np.ndarray) -> list[np.ndarray]:
-            if shuffle:
-                rng.shuffle(indices)
-            stop = (len(indices) // batch_size) * batch_size if drop_last else len(indices)
-            return [
-                indices[start : start + batch_size]
-                for start in range(0, stop, batch_size)
-                if len(indices[start : start + batch_size]) > 0
-            ]
+            def chunk(indices: np.ndarray) -> list[np.ndarray]:
+                if shuffle:
+                    rng.shuffle(indices)
+                stop = (len(indices) // batch_size) * batch_size if drop_last else len(indices)
+                return [
+                    indices[start : start + batch_size]
+                    for start in range(0, stop, batch_size)
+                    if len(indices[start : start + batch_size]) > 0
+                ]
 
-        hot_indices = np.flatnonzero(hot_mask).astype(np.int64)
-        cold_indices = np.flatnonzero(~hot_mask).astype(np.int64)
-        return FAEDataset(
-            hot_batches=chunk(hot_indices),
-            cold_batches=chunk(cold_indices),
-            hot_mask=hot_mask,
-            batch_size=batch_size,
-        )
+            hot_indices = np.flatnonzero(hot_mask).astype(np.int64)
+            cold_indices = np.flatnonzero(~hot_mask).astype(np.int64)
+            dataset = FAEDataset(
+                hot_batches=chunk(hot_indices),
+                cold_batches=chunk(cold_indices),
+                hot_mask=hot_mask,
+                batch_size=batch_size,
+            )
+            pack_span.set(
+                num_hot_batches=len(dataset.hot_batches),
+                num_cold_batches=len(dataset.cold_batches),
+            )
+        return dataset

@@ -18,6 +18,7 @@ from repro.core.config import FAEConfig
 from repro.core.fae_format import save_fae_dataset
 from repro.core.input_processor import FAEDataset, InputProcessor
 from repro.data.synthetic import SyntheticClickLog
+from repro.obs import span
 
 __all__ = ["FAEPlan", "fae_preprocess"]
 
@@ -95,24 +96,25 @@ def fae_preprocess(
         ValueError: on an unknown allocation policy.
     """
     config = config or FAEConfig()
-    calibration = Calibrator(config).calibrate(log)
-    if allocation == "threshold":
-        bags = EmbeddingClassifier(config).classify(
-            calibration.profile, calibration.threshold
-        )
-    elif allocation == "greedy-product":
-        from repro.core.allocation import greedy_product_allocation
+    with span("preprocess", num_inputs=len(log), allocation=allocation):
+        calibration = Calibrator(config).calibrate(log)
+        if allocation == "threshold":
+            bags = EmbeddingClassifier(config).classify(
+                calibration.profile, calibration.threshold
+            )
+        elif allocation == "greedy-product":
+            from repro.core.allocation import greedy_product_allocation
 
-        result = greedy_product_allocation(
-            calibration.profile, config.gpu_memory_budget
-        )
-        bags = result.to_bag_specs(calibration.profile)
-    else:
-        raise ValueError(
-            f"unknown allocation {allocation!r}; expected threshold|greedy-product"
-        )
-    processor = InputProcessor(bags, seed=config.seed)
-    dataset = processor.pack(log, batch_size=batch_size, drop_last=drop_last)
+            result = greedy_product_allocation(
+                calibration.profile, config.gpu_memory_budget
+            )
+            bags = result.to_bag_specs(calibration.profile)
+        else:
+            raise ValueError(
+                f"unknown allocation {allocation!r}; expected threshold|greedy-product"
+            )
+        processor = InputProcessor(bags, seed=config.seed)
+        dataset = processor.pack(log, batch_size=batch_size, drop_last=drop_last)
     return FAEPlan(
         config=config,
         calibration=calibration,

@@ -13,13 +13,13 @@ interval (``t_{alpha/2} = 3.340``) the paper measures estimates within
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.access_profile import TableProfile
 from repro.core.config import FAEConfig
+from repro.obs import timed
 
 __all__ = ["HotSizeEstimate", "RandEmBox"]
 
@@ -72,55 +72,56 @@ class RandEmBox:
         Tables with fewer than ``n x m`` rows are scanned exactly — the
         sampling machinery would read as much as a full scan there.
         """
-        start = time.perf_counter()
-        n = self.config.num_chunks
-        m = self.config.chunk_size
-        num_rows = profile.num_rows
-        row_bytes = profile.row_bytes()
+        with timed("calibrate.estimate", table=profile.name) as timer:
+            n = self.config.num_chunks
+            m = self.config.chunk_size
+            num_rows = profile.num_rows
+            row_bytes = profile.row_bytes()
 
-        if num_rows <= n * m:
-            hot = float(profile.hot_row_count(min_count))
-            estimate = HotSizeEstimate(
-                table_name=profile.name,
-                min_count=min_count,
-                hot_rows_mean=hot,
-                hot_rows_upper=hot,
-                hot_rows_lower=hot,
-                hot_bytes_mean=hot * row_bytes,
-                hot_bytes_upper=hot * row_bytes,
-                rows_scanned=num_rows,
-                exact=True,
-            )
-            self.last_elapsed_seconds = time.perf_counter() - start
-            return estimate
+            if num_rows <= n * m:
+                hot = float(profile.hot_row_count(min_count))
+                estimate = HotSizeEstimate(
+                    table_name=profile.name,
+                    min_count=min_count,
+                    hot_rows_mean=hot,
+                    hot_rows_upper=hot,
+                    hot_rows_lower=hot,
+                    hot_bytes_mean=hot * row_bytes,
+                    hot_bytes_upper=hot * row_bytes,
+                    rows_scanned=num_rows,
+                    exact=True,
+                )
+            else:
+                rng = np.random.default_rng(self.seed)
+                starts = rng.integers(0, num_rows - m + 1, size=n)
+                chunk_counts = np.empty(n, dtype=np.float64)
+                for i, s in enumerate(starts):
+                    chunk = profile.counts[s : s + m]
+                    chunk_counts[i] = np.count_nonzero(chunk >= min_count)  # Eq. 2-3
 
-        rng = np.random.default_rng(self.seed)
-        starts = rng.integers(0, num_rows - m + 1, size=n)
-        chunk_counts = np.empty(n, dtype=np.float64)
-        for i, s in enumerate(starts):
-            chunk = profile.counts[s : s + m]
-            chunk_counts[i] = np.count_nonzero(chunk >= min_count)  # Eq. 2-3
+                mean = float(chunk_counts.mean())  # Eq. 4
+                std = float(chunk_counts.std(ddof=1))
+                half_width = self.config.t_value * std / np.sqrt(n)  # Eq. 6
 
-        mean = float(chunk_counts.mean())  # Eq. 4
-        std = float(chunk_counts.std(ddof=1))
-        half_width = self.config.t_value * std / np.sqrt(n)  # Eq. 6
+                fraction_mean = mean / m
+                fraction_upper = min(1.0, (mean + half_width) / m)
+                fraction_lower = max(0.0, (mean - half_width) / m)
 
-        fraction_mean = mean / m
-        fraction_upper = min(1.0, (mean + half_width) / m)
-        fraction_lower = max(0.0, (mean - half_width) / m)
+                estimate = HotSizeEstimate(
+                    table_name=profile.name,
+                    min_count=min_count,
+                    hot_rows_mean=fraction_mean * num_rows,
+                    hot_rows_upper=fraction_upper * num_rows,
+                    hot_rows_lower=fraction_lower * num_rows,
+                    hot_bytes_mean=fraction_mean * num_rows * row_bytes,
+                    hot_bytes_upper=fraction_upper * num_rows * row_bytes,
+                    rows_scanned=n * m,
+                    exact=False,
+                )
+            timer.set(rows_scanned=estimate.rows_scanned, exact=estimate.exact)
 
-        estimate = HotSizeEstimate(
-            table_name=profile.name,
-            min_count=min_count,
-            hot_rows_mean=fraction_mean * num_rows,
-            hot_rows_upper=fraction_upper * num_rows,
-            hot_rows_lower=fraction_lower * num_rows,
-            hot_bytes_mean=fraction_mean * num_rows * row_bytes,
-            hot_bytes_upper=fraction_upper * num_rows * row_bytes,
-            rows_scanned=n * m,
-            exact=False,
-        )
-        self.last_elapsed_seconds = time.perf_counter() - start
+        # Thin alias over the span's wall time; kept for older callers.
+        self.last_elapsed_seconds = timer.seconds
         return estimate
 
     def scan_reduction(self, profile: TableProfile) -> float:

@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.classifier import HotEmbeddingBagSpec
 from repro.nn.embedding import EmbeddingTable
 from repro.nn.parameter import Parameter
+from repro.obs import get_registry, span
 
 __all__ = ["HotBag", "HotEmbeddingBag", "EmbeddingReplicator"]
 
@@ -161,17 +162,23 @@ class EmbeddingReplicator:
         self.pooling = pooling
         self.replicas: list[dict[str, HotBag]] = []
         self.sync_events = 0
+        registry = get_registry()
+        self._sync_events_counter = registry.counter("fae.sync.events")
+        self._sync_bytes_counter = registry.counter("fae.sync.bytes")
         self.replicate()
 
     def replicate(self) -> None:
         """(Re)build every replica from the CPU master tables."""
-        self.replicas = [
-            {
-                name: HotBag(spec, self.tables[name].subset(spec.hot_ids), replica_id=r)
-                for name, spec in self.bag_specs.items()
-            }
-            for r in range(self.num_replicas)
-        ]
+        with span(
+            "replicate.build", num_replicas=self.num_replicas, num_tables=len(self.bag_specs)
+        ):
+            self.replicas = [
+                {
+                    name: HotBag(spec, self.tables[name].subset(spec.hot_ids), replica_id=r)
+                    for name, spec in self.bag_specs.items()
+                }
+                for r in range(self.num_replicas)
+            ]
 
     def bags_for_replica(self, replica_id: int) -> dict[str, HotEmbeddingBag]:
         """Model-facing pooled bags for one GPU's replica."""
@@ -203,12 +210,16 @@ class EmbeddingReplicator:
         Called on a hot -> cold transition.  Returns bytes moved (one
         direction), which the hardware simulator charges to the PCIe link.
         """
-        moved = 0
-        for name, spec in self.bag_specs.items():
-            bag = self.replicas[0][name]
-            self.tables[name].write_rows(spec.hot_ids, bag.weight.value)
-            moved += bag.nbytes
+        with span("replicate.sync", direction="to_master") as sync_span:
+            moved = 0
+            for name, spec in self.bag_specs.items():
+                bag = self.replicas[0][name]
+                self.tables[name].write_rows(spec.hot_ids, bag.weight.value)
+                moved += bag.nbytes
+            sync_span.set(bytes=moved)
         self.sync_events += 1
+        self._sync_events_counter.inc()
+        self._sync_bytes_counter.inc(moved)
         return moved
 
     def sync_from_master(self) -> int:
@@ -216,13 +227,17 @@ class EmbeddingReplicator:
 
         Called on a cold -> hot transition.  Returns bytes moved per GPU.
         """
-        moved = 0
-        for name, spec in self.bag_specs.items():
-            fresh = self.tables[name].subset(spec.hot_ids)
-            for replica in self.replicas:
-                replica[name].weight.value[...] = fresh
-            moved += fresh.nbytes
+        with span("replicate.sync", direction="from_master") as sync_span:
+            moved = 0
+            for name, spec in self.bag_specs.items():
+                fresh = self.tables[name].subset(spec.hot_ids)
+                for replica in self.replicas:
+                    replica[name].weight.value[...] = fresh
+                moved += fresh.nbytes
+            sync_span.set(bytes=moved)
         self.sync_events += 1
+        self._sync_events_counter.inc()
+        self._sync_bytes_counter.inc(moved)
         return moved
 
     def max_replica_divergence(self) -> float:

@@ -10,12 +10,12 @@ profile (paper Fig 7 shows 5% suffices), at a 19-55x latency saving
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.data.synthetic import SyntheticClickLog
+from repro.obs import timed
 
 __all__ = ["SparseInputSampler", "SampleResult"]
 
@@ -63,23 +63,26 @@ class SparseInputSampler:
         At least one input is always kept so downstream stages never see
         an empty profile.
         """
-        start = time.perf_counter()
-        total = len(log)
-        keep = max(1, int(round(total * self.sample_rate)))
-        rng = np.random.default_rng(self.seed)
-        indices = np.sort(rng.choice(total, size=keep, replace=False)).astype(np.int64)
+        with timed("calibrate.sample", rate=self.sample_rate) as timer:
+            total = len(log)
+            keep = max(1, int(round(total * self.sample_rate)))
+            rng = np.random.default_rng(self.seed)
+            indices = np.sort(rng.choice(total, size=keep, replace=False)).astype(np.int64)
+            timer.set(num_sampled=keep, num_total=total)
         return SampleResult(
             indices=indices,
             num_total_inputs=total,
-            elapsed_seconds=time.perf_counter() - start,
+            elapsed_seconds=timer.seconds,
         )
 
     def sample_all(self, log: SyntheticClickLog) -> SampleResult:
         """The naive full-dataset "sample" (baseline for Fig 8)."""
-        start = time.perf_counter()
-        total = len(log)
+        with timed("calibrate.sample", rate=1.0, full_profile=True) as timer:
+            total = len(log)
+            indices = np.arange(total, dtype=np.int64)
+            timer.set(num_sampled=total, num_total=total)
         return SampleResult(
-            indices=np.arange(total, dtype=np.int64),
+            indices=indices,
             num_total_inputs=total,
-            elapsed_seconds=time.perf_counter() - start,
+            elapsed_seconds=timer.seconds,
         )

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import get_registry
+
 __all__ = ["ScheduleEvent", "ShuffleScheduler"]
 
 
@@ -108,7 +110,9 @@ class ShuffleScheduler:
 
         if self.history and self.history[-1].kind != kind:
             self.transitions += 1
+            get_registry().counter("scheduler.transitions").inc()
         event = ScheduleEvent(kind=kind, num_batches=count, rate=self.rate)
+        get_registry().counter(f"scheduler.segments.{kind}").inc()
         self.history.append(event)
         self._next_kind = "hot" if kind == "cold" else "cold"
         return event
@@ -132,15 +136,19 @@ class ShuffleScheduler:
             self.history[-1] = ScheduleEvent(
                 kind=last.kind, num_batches=last.num_batches, rate=last.rate, test_loss=loss
             )
+        registry = get_registry()
         if self._last_loss is not None:
             if loss > self._last_loss:
                 self.rate = max(self.MIN_RATE, self.rate // 2)
                 self._improvement_streak = 0
+                registry.counter("scheduler.rate.halved").inc()
             else:
                 self._improvement_streak += 1
                 if self._improvement_streak >= self.strip_length:
                     self.rate = min(self.MAX_RATE, self.rate * 2)
                     self._improvement_streak = 0
+                    registry.counter("scheduler.rate.doubled").inc()
+        registry.gauge("scheduler.rate").set(self.rate)
         self._last_loss = loss
 
     # ------------------------------------------------------------------

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import get_registry, span
+
 __all__ = ["ReduceOp", "ProcessGroup"]
 
 
@@ -63,8 +65,12 @@ class ProcessGroup:
             raise ValueError(f"rank buffers must share a shape, got {shapes}")
 
     def _account(self, buffer_bytes: float, volume_factor: float, calls: int = 1) -> None:
-        self.bytes_communicated += buffer_bytes * volume_factor
+        moved = buffer_bytes * volume_factor
+        self.bytes_communicated += moved
         self.collective_calls += calls
+        registry = get_registry()
+        registry.counter("dist.collective.calls").inc(calls)
+        registry.counter("dist.collective.bytes").inc(moved)
 
     # ------------------------------------------------------------------
     # Collectives
@@ -79,6 +85,13 @@ class ProcessGroup:
         order (and hence float rounding) is deterministic and identical
         for every rank.
         """
+        buffer_bytes = per_rank[0].nbytes if per_rank else 0
+        with span("dist.all_reduce", world_size=self.world_size, bytes=buffer_bytes):
+            return self._all_reduce(per_rank, op)
+
+    def _all_reduce(
+        self, per_rank: list[np.ndarray], op: ReduceOp = ReduceOp.SUM
+    ) -> list[np.ndarray]:
         self._check_inputs(per_rank)
         k = self.world_size
         if k == 1:

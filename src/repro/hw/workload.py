@@ -19,7 +19,6 @@ import numpy as np
 from repro.data.datasets import dataset_by_name
 from repro.data.schema import DatasetSchema
 from repro.data.zipf import (
-    generalized_harmonic,
     zipf_rows_above_probability,
     zipf_top_k_coverage,
 )

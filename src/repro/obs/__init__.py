@@ -1,0 +1,70 @@
+"""Observability: tracing spans, metrics, and run artifacts.
+
+Zero-dependency telemetry for the FAE pipeline — the measurement
+substrate every perf PR regresses against:
+
+- :mod:`repro.obs.trace` — nestable, thread-safe wall-time spans
+  (``with span("calibrate.optimize"): ...``), off by default and free
+  when off; :func:`timed` always measures and backs the legacy
+  ``last_elapsed_seconds``-style attributes.
+- :mod:`repro.obs.metrics` — named counters, gauges, and histograms
+  (``fae.sync.bytes``, ``scheduler.rate``, ``serve.request.latency``)
+  with snapshot/reset semantics and percentile summaries.
+- :mod:`repro.obs.export` — JSONL trace/metric dumps, the human-readable
+  span summary tree, and per-run artifact directories.
+
+Enable tracing with :func:`enable_tracing`, ``REPRO_TRACE=1``, the
+``--trace`` CLI flag, or the ``repro trace`` subcommand.
+"""
+
+from repro.obs.export import (
+    export_jsonl,
+    export_run,
+    load_jsonl,
+    metric_records,
+    summary_tree,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import (
+    Span,
+    SpanRecord,
+    Timer,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    timed,
+    tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecord",
+    "Timer",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "export_jsonl",
+    "export_run",
+    "get_registry",
+    "get_tracer",
+    "load_jsonl",
+    "metric_records",
+    "span",
+    "summary_tree",
+    "timed",
+    "tracing",
+    "tracing_enabled",
+]

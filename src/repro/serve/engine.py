@@ -8,6 +8,7 @@ or *cold* — the quantity the serving simulator prices.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -16,6 +17,7 @@ from repro.core.classifier import HotEmbeddingBagSpec
 from repro.data.loader import MiniBatch, batch_from_log
 from repro.models.base import RecModel
 from repro.nn.activations import sigmoid
+from repro.obs import get_registry, span
 
 __all__ = ["InferenceEngine", "RankedItems"]
 
@@ -55,21 +57,30 @@ class InferenceEngine:
         self._hot_masks = (
             {name: bag.hot_mask() for name, bag in hot_bags.items()} if hot_bags else None
         )
+        registry = get_registry()
+        self._latency = registry.histogram("serve.request.latency")
+        self._requests = registry.counter("serve.requests")
 
     def predict_proba(self, log, indices: np.ndarray | None = None) -> np.ndarray:
         """Click probabilities for rows of a click log."""
         indices = np.arange(len(log)) if indices is None else np.asarray(indices)
         probs = np.empty(len(indices), dtype=np.float64)
-        for start in range(0, len(indices), self.batch_size):
-            chunk = indices[start : start + self.batch_size]
-            logits = self.model.forward(batch_from_log(log, chunk))
-            probs[start : start + len(chunk)] = sigmoid(np.asarray(logits, dtype=np.float64))
+        with span("serve.predict", rows=len(indices)):
+            for start in range(0, len(indices), self.batch_size):
+                chunk = indices[start : start + self.batch_size]
+                probs[start : start + len(chunk)] = self.predict_batch(
+                    batch_from_log(log, chunk)
+                )
         return probs
 
     def predict_batch(self, batch: MiniBatch) -> np.ndarray:
         """Click probabilities for an already-built mini-batch."""
+        start = time.perf_counter()
         logits = self.model.forward(batch)
-        return sigmoid(np.asarray(logits, dtype=np.float64))
+        probs = sigmoid(np.asarray(logits, dtype=np.float64))
+        self._latency.observe(time.perf_counter() - start)
+        self._requests.inc()
+        return probs
 
     def rank_candidates(
         self,
@@ -104,6 +115,18 @@ class InferenceEngine:
         if count == 0:
             raise ValueError("need at least one candidate")
 
+        with span("serve.rank", candidates=count, top_k=top_k):
+            return self._rank(dense, sparse_context, candidate_table, candidate_ids, top_k)
+
+    def _rank(
+        self,
+        dense: np.ndarray,
+        sparse_context: dict[str, np.ndarray],
+        candidate_table: str,
+        candidate_ids: np.ndarray,
+        top_k: int,
+    ) -> RankedItems:
+        count = len(candidate_ids)
         dense_block = np.tile(np.asarray(dense, dtype=np.float32), (count, 1))
         sparse_block = {}
         for name, ids in sparse_context.items():

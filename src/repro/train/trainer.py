@@ -35,6 +35,7 @@ from repro.data.synthetic import SyntheticClickLog
 from repro.models.base import RecModel
 from repro.nn.losses import BCEWithLogits
 from repro.nn.optim import SGD
+from repro.obs import get_registry, span, timed
 from repro.train.history import HistoryPoint, TrainingHistory
 from repro.train.metrics import binary_accuracy, evaluate_model
 
@@ -49,8 +50,10 @@ class TrainResult:
         history: evaluation snapshots over the run.
         final_train_accuracy: accuracy over the last training segment.
         final_test_accuracy: accuracy on the held-out log at the end.
-        sync_events: hot-bag synchronizations performed (FAE only).
-        sync_bytes: total bytes moved by those synchronizations.
+        sync_events: hot-bag synchronizations performed during this run
+            (FAE only; the delta of the ``fae.sync.events`` counter).
+        sync_bytes: total bytes moved by those synchronizations (the
+            delta of the ``fae.sync.bytes`` counter).
         schedule_rates: the scheduler's rate after each recorded segment
             (FAE only; shows Eq. 7 adapting).
     """
@@ -97,31 +100,35 @@ class BaselineTrainer:
         recent_losses: list[float] = []
         recent_accuracy: list[float] = []
         iterator = BatchIterator(train_log, batch_size, shuffle=True, seed=self.seed)
+        batches_counter = get_registry().counter("train.batches.mixed")
         for _epoch in range(epochs):
-            for batch in iterator:
-                logits = self.model.forward(batch)
-                loss = loss_fn.forward(logits, batch.labels)
-                self.model.backward(loss_fn.backward())
-                optimizer.step()
-                iteration += 1
-                recent_losses.append(loss)
-                recent_accuracy.append(binary_accuracy(logits, batch.labels))
-                if iteration % eval_every == 0:
-                    test_loss, test_acc = evaluate_model(
-                        self.model, test_log, max_samples=eval_samples
-                    )
-                    history.record(
-                        HistoryPoint(
-                            iteration=iteration,
-                            train_loss=float(np.mean(recent_losses)),
-                            test_loss=test_loss,
-                            test_accuracy=test_acc,
-                            train_accuracy=float(np.mean(recent_accuracy)),
-                            segment_kind="mixed",
+            with span("train.epoch", mode="baseline", epoch=_epoch):
+                for batch in iterator:
+                    logits = self.model.forward(batch)
+                    loss = loss_fn.forward(logits, batch.labels)
+                    self.model.backward(loss_fn.backward())
+                    optimizer.step()
+                    iteration += 1
+                    batches_counter.inc()
+                    recent_losses.append(loss)
+                    recent_accuracy.append(binary_accuracy(logits, batch.labels))
+                    if iteration % eval_every == 0:
+                        with timed("train.eval"):
+                            test_loss, test_acc = evaluate_model(
+                                self.model, test_log, max_samples=eval_samples
+                            )
+                        history.record(
+                            HistoryPoint(
+                                iteration=iteration,
+                                train_loss=float(np.mean(recent_losses)),
+                                test_loss=test_loss,
+                                test_accuracy=test_acc,
+                                train_accuracy=float(np.mean(recent_accuracy)),
+                                segment_kind="mixed",
+                            )
                         )
-                    )
-                    recent_losses.clear()
-                    recent_accuracy.clear()
+                        recent_losses.clear()
+                        recent_accuracy.clear()
 
         final_loss, final_acc = evaluate_model(self.model, test_log)
         _train_loss, train_acc = evaluate_model(
@@ -197,7 +204,13 @@ class FAETrainer:
         epochs: int = 1,
         eval_samples: int = 4096,
     ) -> TrainResult:
-        """Train over the plan's hot/cold batches for ``epochs``."""
+        """Train over the plan's hot/cold batches for ``epochs``.
+
+        Sync accounting flows through the metrics registry: the
+        replicator increments ``fae.sync.events`` / ``fae.sync.bytes`` at
+        every synchronization, and :class:`TrainResult` reports this
+        run's deltas of those counters.
+        """
         if epochs <= 0:
             raise ValueError("epochs must be positive")
         dataset = self.plan.dataset
@@ -214,8 +227,22 @@ class FAETrainer:
         loss_fn = BCEWithLogits()
         history = TrainingHistory()
 
+        registry = get_registry()
+        sync_events_counter = registry.counter("fae.sync.events")
+        sync_bytes_counter = registry.counter("fae.sync.bytes")
+        sync_events_start = sync_events_counter.value
+        sync_bytes_start = sync_bytes_counter.value
+        transition_counters = {
+            "hot": registry.counter("train.transitions.to_hot"),
+            "cold": registry.counter("train.transitions.to_cold"),
+        }
+        batch_counters = {
+            "hot": registry.counter("train.batches.hot"),
+            "cold": registry.counter("train.batches.cold"),
+        }
+        registry.gauge("train.batch.hot_fraction").set(dataset.hot_input_fraction)
+
         iteration = 0
-        sync_bytes = 0
         rates: list[int] = []
         mode = "cold"  # the model starts with master bags installed
         last_train_loss = 0.0
@@ -225,74 +252,87 @@ class FAETrainer:
             scheduler.reset_epoch()
             cursors = {"hot": 0, "cold": 0}
             for segment in scheduler.segments():
-                if segment.kind == "hot" and mode != "hot":
-                    sync_bytes += self._enter_hot()
-                    mode = "hot"
-                elif segment.kind == "cold" and mode != "cold":
-                    sync_bytes += self._enter_cold()
-                    mode = "cold"
+                with span(
+                    f"train.segment.{segment.kind}",
+                    num_batches=segment.num_batches,
+                    rate=segment.rate,
+                ):
+                    if segment.kind == "hot" and mode != "hot":
+                        self._enter_hot()
+                        mode = "hot"
+                        transition_counters["hot"].inc()
+                    elif segment.kind == "cold" and mode != "cold":
+                        self._enter_cold()
+                        mode = "cold"
+                        transition_counters["cold"].inc()
 
-                if segment.kind == "hot":
-                    dense_optimizer = SGD(self.model.dense_parameters(), lr=self.lr)
-                    replica_optimizers = [
-                        SGD([bag.weight for bag in replica.values()], lr=self.lr)
-                        for replica in self.replicator.replicas
-                    ]
-                    pool = dataset.hot_batches
-                else:
-                    optimizer = SGD(optimizer_params["cold"], lr=self.lr)
-                    pool = dataset.cold_batches
-
-                losses = []
-                accs = []
-                start = cursors[segment.kind]
-                for index_array in pool[start : start + segment.num_batches]:
-                    batch = batch_from_log(
-                        train_log, index_array, hot=segment.kind == "hot"
-                    )
-                    logits = self.model.forward(batch)
-                    loss = loss_fn.forward(logits, batch.labels)
-                    self.model.backward(loss_fn.backward())
                     if segment.kind == "hot":
-                        # Data-parallel step: share the hot-bag gradients
-                        # with every replica, then apply identical updates.
-                        self.replicator.all_reduce_gradients()
-                        dense_optimizer.step()
-                        for replica_optimizer in replica_optimizers:
-                            replica_optimizer.step()
+                        dense_optimizer = SGD(self.model.dense_parameters(), lr=self.lr)
+                        replica_optimizers = [
+                            SGD([bag.weight for bag in replica.values()], lr=self.lr)
+                            for replica in self.replicator.replicas
+                        ]
+                        pool = dataset.hot_batches
                     else:
-                        optimizer.step()
-                    iteration += 1
-                    losses.append(loss)
-                    accs.append(binary_accuracy(logits, batch.labels))
-                cursors[segment.kind] = start + segment.num_batches
+                        optimizer = SGD(optimizer_params["cold"], lr=self.lr)
+                        pool = dataset.cold_batches
 
-                # Evaluation must see the freshest parameters: flush hot
-                # rows to the masters (without leaving hot mode) first.
-                if mode == "hot":
-                    sync_bytes += self.replicator.sync_to_master()
-                test_loss, test_acc = evaluate_with_master_bags(
-                    self.model, self._master_bags, test_log, eval_samples
-                )
-                scheduler.record_test_loss(test_loss)
-                rates.append(scheduler.rate)
-                last_train_loss = float(np.mean(losses)) if losses else last_train_loss
-                last_train_acc = float(np.mean(accs)) if accs else last_train_acc
-                history.record(
-                    HistoryPoint(
-                        iteration=iteration,
-                        train_loss=last_train_loss,
-                        test_loss=test_loss,
-                        test_accuracy=test_acc,
-                        train_accuracy=last_train_acc,
-                        segment_kind=segment.kind,
+                    losses = []
+                    accs = []
+                    start = cursors[segment.kind]
+                    for index_array in pool[start : start + segment.num_batches]:
+                        batch = batch_from_log(
+                            train_log, index_array, hot=segment.kind == "hot"
+                        )
+                        logits = self.model.forward(batch)
+                        loss = loss_fn.forward(logits, batch.labels)
+                        self.model.backward(loss_fn.backward())
+                        if segment.kind == "hot":
+                            # Data-parallel step: share the hot-bag gradients
+                            # with every replica, then apply identical updates.
+                            self.replicator.all_reduce_gradients()
+                            dense_optimizer.step()
+                            for replica_optimizer in replica_optimizers:
+                                replica_optimizer.step()
+                        else:
+                            optimizer.step()
+                        iteration += 1
+                        losses.append(loss)
+                        accs.append(binary_accuracy(logits, batch.labels))
+                    batch_counters[segment.kind].inc(segment.num_batches)
+                    cursors[segment.kind] = start + segment.num_batches
+
+                    # Evaluation must see the freshest parameters: flush hot
+                    # rows to the masters (without leaving hot mode) first.
+                    if mode == "hot":
+                        self.replicator.sync_to_master()
+                    with timed("train.eval"):
+                        test_loss, test_acc = evaluate_with_master_bags(
+                            self.model, self._master_bags, test_log, eval_samples
+                        )
+                    scheduler.record_test_loss(test_loss)
+                    rates.append(scheduler.rate)
+                    last_train_loss = float(np.mean(losses)) if losses else last_train_loss
+                    last_train_acc = float(np.mean(accs)) if accs else last_train_acc
+                    history.record(
+                        HistoryPoint(
+                            iteration=iteration,
+                            train_loss=last_train_loss,
+                            test_loss=test_loss,
+                            test_accuracy=test_acc,
+                            train_accuracy=last_train_acc,
+                            segment_kind=segment.kind,
+                        )
                     )
-                )
 
         if mode == "hot":
-            sync_bytes += self._enter_cold()
-        final_loss, final_acc = evaluate_model(self.model, test_log)
-        _loss, train_acc = evaluate_model(self.model, train_log, max_samples=4 * eval_samples)
+            self._enter_cold()
+            transition_counters["cold"].inc()
+        with timed("train.eval", final=True):
+            final_loss, final_acc = evaluate_model(self.model, test_log)
+            _loss, train_acc = evaluate_model(
+                self.model, train_log, max_samples=4 * eval_samples
+            )
         history.record(
             HistoryPoint(
                 iteration=iteration,
@@ -307,8 +347,8 @@ class FAETrainer:
             history=history,
             final_train_accuracy=train_acc,
             final_test_accuracy=final_acc,
-            sync_events=self.replicator.sync_events,
-            sync_bytes=sync_bytes,
+            sync_events=int(sync_events_counter.value - sync_events_start),
+            sync_bytes=int(sync_bytes_counter.value - sync_bytes_start),
             schedule_rates=rates,
         )
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import (
     EmbeddingClassifier,
-    FAEConfig,
     InputProcessor,
     all_hot_batch_probability,
     fae_preprocess,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import (
     DriftDetector,
-    EmbeddingClassifier,
     fae_preprocess,
     recalibration_diff,
 )

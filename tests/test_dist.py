@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.core import fae_preprocess
-from repro.data import SyntheticClickLog, SyntheticConfig, train_test_split
+from repro.data import train_test_split
 from repro.data.loader import batch_from_log
 from repro.dist import (
     DataParallelTrainer,

@@ -16,7 +16,7 @@ from repro.hw import (
     characterize,
 )
 from repro.hw.spec import DeviceSpec, LinkSpec
-from repro.hw.workload import WorkloadCharacter, analytic_hot_stats
+from repro.hw.workload import analytic_hot_stats
 from repro.models import workload_by_name
 
 

@@ -13,7 +13,7 @@ from repro.data import (
 from repro.hw import Cluster, TrainingSimulator
 from repro.hw.workload import characterize_from_plan
 from repro.models import build_model, workload_by_name
-from repro.train import BaselineTrainer, FAETrainer, evaluate_model
+from repro.train import FAETrainer
 
 
 class TestEndToEndDLRM:

@@ -1,7 +1,6 @@
 """Additional property-based tests: collectives, quantization, packing."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.dist import ProcessGroup, ReduceOp

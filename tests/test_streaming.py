@@ -4,7 +4,7 @@ one-pass calibration, and incremental pure-batch packing."""
 import numpy as np
 import pytest
 
-from repro.core import EmbeddingClassifier, EmbeddingLogger, FAEConfig, fae_preprocess
+from repro.core import EmbeddingClassifier, EmbeddingLogger
 from repro.core.streaming import ReservoirSampler, StreamingCalibrator, StreamingPacker
 from repro.data import SyntheticClickLog, SyntheticConfig
 from repro.data.stream import SyntheticClickStream

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import fae_preprocess
 from repro.data import train_test_split
-from repro.models import build_model, workload_by_name
 from repro.train import (
     BaselineTrainer,
     FAETrainer,
