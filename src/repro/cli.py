@@ -12,7 +12,14 @@ Commands:
                     summary tree (optionally dumping JSONL).
 
 ``preprocess`` and ``train`` also accept ``--trace`` to print the same
-summary tree after the run.
+summary tree after the run.  ``train --mode fae`` additionally supports
+fault-tolerant operation: ``--checkpoint-dir``/``--checkpoint-every``/
+``--resume`` for atomic checkpoint/resume, ``--faults SPEC`` for seeded
+chaos injection, and ``--gpus N`` to run the distributed FAE trainer
+(whose world shrinks on an injected rank death).
+
+Top-level failures exit nonzero with a one-line error; pass
+``--traceback`` (before the subcommand) to re-raise with the full stack.
 
 Every command is pure-library orchestration; all heavy lifting lives in
 the packages this module imports.
@@ -27,7 +34,9 @@ from repro import obs
 from repro.core import FAEConfig, fae_preprocess
 from repro.data import SyntheticClickLog, SyntheticConfig, dataset_by_name, train_test_split
 from repro.hw import Cluster, PowerModel, TrainingSimulator, characterize
+from repro.dist import DistributedFAETrainer
 from repro.models import build_model, workload_by_name
+from repro.resilience import CheckpointManager, FaultPlan, latest_checkpoint
 from repro.train import BaselineTrainer, FAETrainer, roc_auc
 from repro.train.metrics import evaluate_model
 
@@ -45,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FAE: accelerate recommendation training via hot embeddings",
+    )
+    parser.add_argument(
+        "--traceback",
+        action="store_true",
+        help="re-raise errors with the full stack trace instead of a one-line message",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -68,6 +82,40 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--lr", type=float, default=0.15)
     train.add_argument(
         "--trace", action="store_true", help="record spans and print the summary tree"
+    )
+    train.add_argument(
+        "--gpus",
+        type=int,
+        default=1,
+        help="simulated GPU count; >1 runs the distributed FAE trainer (--mode fae)",
+    )
+    train.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="save atomic checkpoints here at segment boundaries (--mode fae)",
+    )
+    train.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="checkpoint every N completed segments",
+    )
+    train.add_argument(
+        "--checkpoint-keep", type=int, default=3, help="retain the newest N checkpoints"
+    )
+    train.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the newest good checkpoint in --checkpoint-dir",
+    )
+    train.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject seeded faults, e.g. "
+            "'seed=7,collective=0.05,death=1@40,evict=80,loader=0.02'"
+        ),
     )
 
     trace = sub.add_parser(
@@ -170,6 +218,20 @@ def cmd_preprocess(args) -> int:
 
 
 def cmd_train(args) -> int:
+    resilience_flags = args.checkpoint_dir or args.resume or args.faults or args.gpus > 1
+    if resilience_flags and args.mode != "fae":
+        print(
+            "error: --gpus/--checkpoint-dir/--resume/--faults require --mode fae",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.gpus < 1:
+        print("error: --gpus must be >= 1", file=sys.stderr)
+        return 2
+
     with obs.tracing(enabled=args.trace or obs.tracing_enabled()):
         log = _make_log(args)
         train, test = train_test_split(log, 0.15, seed=args.seed)
@@ -186,13 +248,60 @@ def cmd_train(args) -> int:
             print(f"{label}: test loss {loss:.4f}  accuracy {accuracy:.4f}  AUC {auc:.4f}")
 
         if args.mode in ("fae", "both"):
+            fault_plan = FaultPlan.parse(args.faults) if args.faults else None
+            manager = (
+                CheckpointManager(
+                    args.checkpoint_dir,
+                    every=args.checkpoint_every,
+                    keep=args.checkpoint_keep,
+                )
+                if args.checkpoint_dir
+                else None
+            )
+            resume_path = None
+            if args.resume:
+                resume_path = latest_checkpoint(args.checkpoint_dir)
+                if resume_path is None:
+                    print("no usable checkpoint found; starting fresh")
+                else:
+                    print(f"resuming from {resume_path}")
+
             plan = fae_preprocess(train, _make_config(args), batch_size=args.batch_size)
             print(f"FAE plan: {plan.summary()}")
-            model = build_model(spec, schema=log.schema, seed=args.seed + 1)
-            result = FAETrainer(model, plan, lr=args.lr).train(
-                train, test, epochs=args.epochs
-            )
+            if args.gpus > 1:
+                replicas = [
+                    build_model(spec, schema=log.schema, seed=args.seed + 1)
+                    for _ in range(args.gpus)
+                ]
+                trainer = DistributedFAETrainer(
+                    replicas, plan, lr=args.lr, fault_plan=fault_plan
+                )
+                result = trainer.train(
+                    train,
+                    test,
+                    epochs=args.epochs,
+                    checkpoint=manager,
+                    resume=resume_path,
+                )
+                model = trainer.replicas[0]
+            else:
+                model = build_model(spec, schema=log.schema, seed=args.seed + 1)
+                result = FAETrainer(model, plan, lr=args.lr, fault_plan=fault_plan).train(
+                    train,
+                    test,
+                    epochs=args.epochs,
+                    checkpoint=manager,
+                    resume=resume_path,
+                )
             print(f"FAE syncs: {result.sync_events}, rate trace: {result.schedule_rates}")
+            if fault_plan is not None:
+                registry = obs.get_registry()
+                print(
+                    f"chaos: retries {int(registry.counter('resilience.retry.attempts').value)}, "
+                    f"world shrinks {result.world_shrinks}, "
+                    f"degraded {result.degraded}, "
+                    f"checkpoints {int(registry.counter('resilience.checkpoint.saves').value)}"
+                )
             report("FAE", model)
         if args.mode in ("baseline", "both"):
             model = build_model(spec, schema=log.schema, seed=args.seed + 1)
@@ -280,7 +389,11 @@ def cmd_report(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Failures exit nonzero with a one-line error on stderr; pass
+    ``--traceback`` to re-raise with the full stack instead.
+    """
     args = build_parser().parse_args(argv)
     handlers = {
         "info": cmd_info,
@@ -290,7 +403,16 @@ def main(argv: list[str] | None = None) -> int:
         "report": cmd_report,
         "trace": cmd_trace,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:
+        if args.traceback:
+            raise
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -5,16 +5,24 @@ subsequent training jobs load the result directly.  The on-disk format is
 a single ``.npz`` archive carrying the hot mask, the packed batch index
 arrays, the per-table hot bags, and the calibration threshold, plus a
 format version for forward compatibility.
+
+Writes are atomic (temp file + ``os.replace``), so an interrupted save
+never leaves a truncated archive under the final name; loading a
+truncated or corrupt archive raises a :class:`RuntimeError` that names
+the offending file instead of a bare numpy stack trace.
 """
 
 from __future__ import annotations
 
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.classifier import HotEmbeddingBagSpec
 from repro.core.input_processor import FAEDataset
+from repro.resilience.atomic import atomic_write
 
 __all__ = ["save_fae_dataset", "load_fae_dataset", "FORMAT_VERSION"]
 
@@ -56,7 +64,13 @@ def save_fae_dataset(
         payload[f"bag_{name}_meta"] = np.array(
             [bag.num_rows, bag.dim, int(bag.whole_table)], dtype=np.int64
         )
-    np.savez_compressed(path, **payload)
+    # np.savez appends ".npz" to suffix-less paths; resolve the final
+    # name the same way so the atomic replace lands where numpy would.
+    final = Path(path)
+    if final.suffix != ".npz":
+        final = final.with_name(final.name + ".npz")
+    with atomic_write(final) as tmp:
+        np.savez_compressed(tmp, **payload)
 
 
 def load_fae_dataset(
@@ -70,33 +84,60 @@ def load_fae_dataset(
     Raises:
         ValueError: on a format-version mismatch.
         FileNotFoundError: if ``path`` does not exist.
+        RuntimeError: if the archive is truncated or corrupt (the error
+            names the file).
     """
-    with np.load(path, allow_pickle=False) as archive:
-        version = int(archive["format_version"])
-        if version != FORMAT_VERSION:
-            raise ValueError(
-                f"FAE format version {version} unsupported (expected {FORMAT_VERSION})"
-            )
-        threshold = float(archive["threshold"])
-        batch_size = int(archive["batch_size"])
-        hot_mask = archive["hot_mask"]
-        hot_batches = [
-            archive[f"hot_batch_{i:06d}"] for i in range(int(archive["num_hot_batches"]))
-        ]
-        cold_batches = [
-            archive[f"cold_batch_{i:06d}"] for i in range(int(archive["num_cold_batches"]))
-        ]
-        bags: dict[str, HotEmbeddingBagSpec] = {}
-        for name in archive["bag_names"]:
-            name = str(name)
-            num_rows, dim, whole = archive[f"bag_{name}_meta"]
-            bags[name] = HotEmbeddingBagSpec(
-                table_name=name,
-                hot_ids=archive[f"bag_{name}_hot_ids"],
-                num_rows=int(num_rows),
-                dim=int(dim),
-                whole_table=bool(whole),
-            )
+    path = Path(path)
+    try:
+        archive_cm = np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        raise RuntimeError(
+            f"packed FAE dataset {path} is corrupt or not a dataset archive: {exc}"
+        ) from exc
+    try:
+        with archive_cm as archive:
+            if "format_version" not in archive.files:
+                raise RuntimeError(
+                    f"packed FAE dataset {path} is missing its format header — "
+                    "not a FAE dataset archive"
+                )
+            version = int(archive["format_version"])
+            if version != FORMAT_VERSION:
+                raise ValueError(
+                    f"FAE format version {version} unsupported (expected {FORMAT_VERSION})"
+                )
+            threshold = float(archive["threshold"])
+            batch_size = int(archive["batch_size"])
+            hot_mask = archive["hot_mask"]
+            hot_batches = [
+                archive[f"hot_batch_{i:06d}"]
+                for i in range(int(archive["num_hot_batches"]))
+            ]
+            cold_batches = [
+                archive[f"cold_batch_{i:06d}"]
+                for i in range(int(archive["num_cold_batches"]))
+            ]
+            bags: dict[str, HotEmbeddingBagSpec] = {}
+            for name in archive["bag_names"]:
+                name = str(name)
+                num_rows, dim, whole = archive[f"bag_{name}_meta"]
+                bags[name] = HotEmbeddingBagSpec(
+                    table_name=name,
+                    hot_ids=archive[f"bag_{name}_hot_ids"],
+                    num_rows=int(num_rows),
+                    dim=int(dim),
+                    whole_table=bool(whole),
+                )
+    except KeyError as exc:
+        raise RuntimeError(
+            f"packed FAE dataset {path} is truncated: missing entry {exc}"
+        ) from exc
+    except (zipfile.BadZipFile, zlib.error, OSError) as exc:
+        raise RuntimeError(
+            f"packed FAE dataset {path} is truncated or corrupt: {exc}"
+        ) from exc
     dataset = FAEDataset(
         hot_batches=hot_batches,
         cold_batches=cold_batches,

@@ -162,6 +162,7 @@ class EmbeddingReplicator:
         self.pooling = pooling
         self.replicas: list[dict[str, HotBag]] = []
         self.sync_events = 0
+        self.evicted = False
         registry = get_registry()
         self._sync_events_counter = registry.counter("fae.sync.events")
         self._sync_bytes_counter = registry.counter("fae.sync.bytes")
@@ -187,6 +188,40 @@ class EmbeddingReplicator:
             for name, bag in self.replicas[replica_id].items()
         }
 
+    def drop_replica(self, replica_id: int) -> None:
+        """Remove one GPU's replica after a permanent rank failure.
+
+        The surviving replicas are untouched (they stay bit-equal to each
+        other), so data-parallel hot execution continues on a smaller
+        world.  Dropping the last replica is refused — evict instead.
+
+        Raises:
+            IndexError: if ``replica_id`` is out of range.
+            RuntimeError: when only one replica remains.
+        """
+        if not 0 <= replica_id < len(self.replicas):
+            raise IndexError(f"replica {replica_id} out of range (have {len(self.replicas)})")
+        if len(self.replicas) == 1:
+            raise RuntimeError("cannot drop the last hot replica; use evict()")
+        del self.replicas[replica_id]
+        self.num_replicas = len(self.replicas)
+        get_registry().counter("fae.replica.dropped").inc()
+
+    def evict(self) -> int:
+        """Release every hot replica (simulated GPU memory pressure).
+
+        The CPU masters are *not* updated here — callers must
+        :meth:`sync_to_master` first if replica rows are ahead of the
+        masters.  After eviction the trainer degrades to the cold path.
+        Returns the number of replicas released.
+        """
+        released = len(self.replicas)
+        self.replicas = []
+        self.num_replicas = 0
+        self.evicted = True
+        get_registry().counter("fae.hot.evictions").inc()
+        return released
+
     def all_reduce_gradients(self) -> None:
         """Sum sparse gradients across replicas and share the result.
 
@@ -210,6 +245,8 @@ class EmbeddingReplicator:
         Called on a hot -> cold transition.  Returns bytes moved (one
         direction), which the hardware simulator charges to the PCIe link.
         """
+        if not self.replicas:
+            return 0
         with span("replicate.sync", direction="to_master") as sync_span:
             moved = 0
             for name, spec in self.bag_specs.items():
@@ -227,6 +264,8 @@ class EmbeddingReplicator:
 
         Called on a cold -> hot transition.  Returns bytes moved per GPU.
         """
+        if not self.replicas:
+            return 0
         with span("replicate.sync", direction="from_master") as sync_span:
             moved = 0
             for name, spec in self.bag_specs.items():
@@ -243,6 +282,8 @@ class EmbeddingReplicator:
     def max_replica_divergence(self) -> float:
         """Largest absolute difference between any two replicas (should be 0)."""
         worst = 0.0
+        if not self.replicas:
+            return worst
         for name in self.bag_specs:
             reference = self.replicas[0][name].weight.value
             for replica in self.replicas[1:]:
@@ -252,4 +293,6 @@ class EmbeddingReplicator:
 
     def total_hot_bytes(self) -> int:
         """Per-GPU footprint of one full replica."""
+        if not self.replicas:
+            return 0
         return sum(bag.nbytes for bag in self.replicas[0].values())

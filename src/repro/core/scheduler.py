@@ -31,16 +31,26 @@ class ScheduleEvent:
     """One completed segment of the schedule.
 
     Attributes:
-        kind: ``"hot"`` or ``"cold"``.
+        kind: execution mode, ``"hot"`` or ``"cold"``.  After
+            :meth:`ShuffleScheduler.degrade` every segment is ``"cold"``.
         num_batches: mini-batches issued in the segment.
         rate: the rate in force when the segment was planned.
         test_loss: loss reported after the segment (None until recorded).
+        pool: which batch pool the segment drains (``"hot"``/``"cold"``);
+            differs from ``kind`` only in degraded mode, where hot-pool
+            batches execute on the cold path.  None means same as kind.
     """
 
     kind: str
     num_batches: int
     rate: int
     test_loss: float | None = None
+    pool: str | None = None
+
+    @property
+    def drain_pool(self) -> str:
+        """The batch pool this segment consumes."""
+        return self.pool or self.kind
 
 
 class ShuffleScheduler:
@@ -77,6 +87,7 @@ class ShuffleScheduler:
         self.strip_length = strip_length
         self.history: list[ScheduleEvent] = []
         self.transitions = 0
+        self.degraded = False
         self._improvement_streak = 0
         self._last_loss: float | None = None
         self._next_kind = "cold"  # the scheduler always begins with cold
@@ -94,27 +105,30 @@ class ShuffleScheduler:
         if self.remaining_hot == 0 and self.remaining_cold == 0:
             return None
 
-        kind = self._next_kind
-        if kind == "cold" and self.remaining_cold == 0:
-            kind = "hot"
-        elif kind == "hot" and self.remaining_hot == 0:
-            kind = "cold"
+        pool = self._next_kind
+        if pool == "cold" and self.remaining_cold == 0:
+            pool = "hot"
+        elif pool == "hot" and self.remaining_hot == 0:
+            pool = "cold"
 
-        available = self.remaining_cold if kind == "cold" else self.remaining_hot
-        count = min(self._segment_size(kind), available)
+        available = self.remaining_cold if pool == "cold" else self.remaining_hot
+        count = min(self._segment_size(pool), available)
 
-        if kind == "cold":
+        if pool == "cold":
             self.remaining_cold -= count
         else:
             self.remaining_hot -= count
 
+        # Degraded mode (hot replicas evicted): both pools keep draining,
+        # but every segment executes on the cold path.
+        kind = "cold" if self.degraded else pool
         if self.history and self.history[-1].kind != kind:
             self.transitions += 1
             get_registry().counter("scheduler.transitions").inc()
-        event = ScheduleEvent(kind=kind, num_batches=count, rate=self.rate)
+        event = ScheduleEvent(kind=kind, num_batches=count, rate=self.rate, pool=pool)
         get_registry().counter(f"scheduler.segments.{kind}").inc()
         self.history.append(event)
-        self._next_kind = "hot" if kind == "cold" else "cold"
+        self._next_kind = "hot" if pool == "cold" else "cold"
         return event
 
     def segments(self):
@@ -134,7 +148,11 @@ class ShuffleScheduler:
         if self.history:
             last = self.history[-1]
             self.history[-1] = ScheduleEvent(
-                kind=last.kind, num_batches=last.num_batches, rate=last.rate, test_loss=loss
+                kind=last.kind,
+                num_batches=last.num_batches,
+                rate=last.rate,
+                test_loss=loss,
+                pool=last.pool,
             )
         registry = get_registry()
         if self._last_loss is not None:
@@ -150,6 +168,70 @@ class ShuffleScheduler:
                     registry.counter("scheduler.rate.doubled").inc()
         registry.gauge("scheduler.rate").set(self.rate)
         self._last_loss = loss
+
+    # ------------------------------------------------------------------
+    # Degradation (hot-replica loss)
+    # ------------------------------------------------------------------
+
+    def degrade(self) -> None:
+        """Force every future segment onto the cold/baseline path.
+
+        Called when the hot replicas are lost (simulated GPU memory
+        pressure evicting the hot bags).  The hot batch pool still
+        drains — its inputs are valid against the CPU master tables —
+        but no segment executes on the (gone) replicas.  One-way for the
+        remainder of the run.
+        """
+        if not self.degraded:
+            self.degraded = True
+            get_registry().counter("scheduler.degraded").inc()
+
+    # ------------------------------------------------------------------
+    # Checkpointable state
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of planning + adaptation state."""
+        return {
+            "total_hot": self.total_hot,
+            "total_cold": self.total_cold,
+            "remaining_hot": self.remaining_hot,
+            "remaining_cold": self.remaining_cold,
+            "rate": self.rate,
+            "strip_length": self.strip_length,
+            "transitions": self.transitions,
+            "degraded": self.degraded,
+            "improvement_streak": self._improvement_streak,
+            "last_loss": self._last_loss,
+            "next_kind": self._next_kind,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`state_dict`.
+
+        Raises:
+            ValueError: if the snapshot's pool sizes disagree with this
+                scheduler's (the checkpoint belongs to another dataset).
+        """
+        if (
+            int(state["total_hot"]) != self.total_hot
+            or int(state["total_cold"]) != self.total_cold
+        ):
+            raise ValueError(
+                f"scheduler state is for pools "
+                f"({state['total_hot']} hot, {state['total_cold']} cold); "
+                f"this scheduler has ({self.total_hot} hot, {self.total_cold} cold)"
+            )
+        self.remaining_hot = int(state["remaining_hot"])
+        self.remaining_cold = int(state["remaining_cold"])
+        self.rate = int(state["rate"])
+        self.strip_length = int(state["strip_length"])
+        self.transitions = int(state["transitions"])
+        self.degraded = bool(state["degraded"])
+        self._improvement_streak = int(state["improvement_streak"])
+        last_loss = state["last_loss"]
+        self._last_loss = None if last_loss is None else float(last_loss)
+        self._next_kind = str(state["next_kind"])
 
     # ------------------------------------------------------------------
     # Introspection

@@ -4,6 +4,11 @@ The baseline trainer iterates plain shuffled mini-batches; the FAE
 trainer instead consumes the pure-hot / pure-cold batches produced by
 :class:`repro.core.input_processor.InputProcessor`.  Both paths share the
 :class:`MiniBatch` container defined here.
+
+:func:`fetch_batch` is the fault-aware entry point: when given a
+:class:`~repro.resilience.faults.FaultPlan` it models transient data-path
+hiccups (stalled reads, flaky storage) and absorbs them with bounded
+retries, so trainers survive a noisy input pipeline.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ import numpy as np
 
 from repro.data.synthetic import SyntheticClickLog
 
-__all__ = ["MiniBatch", "BatchIterator", "train_test_split"]
+__all__ = ["MiniBatch", "BatchIterator", "batch_from_log", "fetch_batch", "train_test_split"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +69,38 @@ def batch_from_log(log: SyntheticClickLog, indices: np.ndarray, hot: bool | None
     )
 
 
+def fetch_batch(
+    log: SyntheticClickLog,
+    indices: np.ndarray,
+    hot: bool | None = None,
+    fault_plan=None,
+    retry=None,
+) -> MiniBatch:
+    """:func:`batch_from_log` with injected-hiccup absorption.
+
+    Args:
+        log: source log.
+        indices: row positions to materialize.
+        hot: FAE temperature tag for the batch.
+        fault_plan: optional :class:`~repro.resilience.faults.FaultPlan`
+            whose :meth:`check_loader` is consulted per attempt.
+        retry: optional :class:`~repro.resilience.retry.RetryPolicy`.
+
+    Raises:
+        repro.resilience.retry.RetryExhaustedError: when hiccups outlast
+            the retry budget.
+    """
+    if fault_plan is None:
+        return batch_from_log(log, indices, hot=hot)
+    from repro.resilience.retry import with_retries
+
+    def attempt() -> MiniBatch:
+        fault_plan.check_loader()
+        return batch_from_log(log, indices, hot=hot)
+
+    return with_retries(attempt, policy=retry, name="data.fetch_batch")
+
+
 class BatchIterator:
     """Shuffled mini-batch iterator over a click log (baseline data path).
 
@@ -74,6 +111,9 @@ class BatchIterator:
         drop_last: drop the final short batch (the paper's weak-scaling
             runs keep batch sizes uniform, so benchmarks set this True).
         seed: shuffle seed.
+        fault_plan: optional fault plan injecting loader hiccups, which
+            are absorbed by ``retry`` per :func:`fetch_batch`.
+        retry: retry policy for injected hiccups.
     """
 
     def __init__(
@@ -83,6 +123,8 @@ class BatchIterator:
         shuffle: bool = True,
         drop_last: bool = False,
         seed: int = 0,
+        fault_plan=None,
+        retry=None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -90,6 +132,8 @@ class BatchIterator:
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last
+        self.fault_plan = fault_plan
+        self.retry = retry
         self._rng = np.random.default_rng(seed)
 
     def __len__(self) -> int:
@@ -105,7 +149,12 @@ class BatchIterator:
             self._rng.shuffle(order)
         stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
         for start in range(0, stop, self.batch_size):
-            yield batch_from_log(self.log, order[start : start + self.batch_size])
+            yield fetch_batch(
+                self.log,
+                order[start : start + self.batch_size],
+                fault_plan=self.fault_plan,
+                retry=self.retry,
+            )
 
 
 def train_test_split(

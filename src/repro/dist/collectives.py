@@ -15,12 +15,17 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Callable, TypeVar
 
 import numpy as np
 
 from repro.obs import get_registry, span
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import RetryPolicy, with_retries
 
 __all__ = ["ReduceOp", "ProcessGroup"]
+
+T = TypeVar("T")
 
 
 class ReduceOp(enum.Enum):
@@ -40,11 +45,17 @@ class ProcessGroup:
         bytes_communicated: total per-rank bytes sent by collectives so
             far (ring accounting), for the cost model.
         collective_calls: number of collective invocations.
+        fault_plan: optional :class:`~repro.resilience.faults.FaultPlan`
+            consulted before every collective attempt.
+        retry: retry policy absorbing transient injected failures; a
+            default bounded-backoff policy when None and faults are on.
     """
 
     world_size: int
     bytes_communicated: float = 0.0
     collective_calls: int = 0
+    fault_plan: FaultPlan | None = None
+    retry: RetryPolicy | None = None
     _rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0), repr=False)
 
     def __post_init__(self) -> None:
@@ -63,6 +74,23 @@ class ProcessGroup:
         shapes = {a.shape for a in per_rank}
         if len(shapes) != 1:
             raise ValueError(f"rank buffers must share a shape, got {shapes}")
+
+    def _run_collective(self, name: str, fn: Callable[[], T]) -> T:
+        """Run one collective under the fault plan and retry policy.
+
+        Transient injected failures are retried with bounded backoff;
+        a :class:`~repro.resilience.faults.PermanentRankFailure` is not
+        retryable and propagates to the trainer, which shrinks the world.
+        """
+        if self.fault_plan is None:
+            return fn()
+        plan = self.fault_plan
+
+        def attempt() -> T:
+            plan.check_collective(name)
+            return fn()
+
+        return with_retries(attempt, policy=self.retry, name=f"dist.{name}")
 
     def _account(self, buffer_bytes: float, volume_factor: float, calls: int = 1) -> None:
         moved = buffer_bytes * volume_factor
@@ -87,7 +115,7 @@ class ProcessGroup:
         """
         buffer_bytes = per_rank[0].nbytes if per_rank else 0
         with span("dist.all_reduce", world_size=self.world_size, bytes=buffer_bytes):
-            return self._all_reduce(per_rank, op)
+            return self._run_collective("all_reduce", lambda: self._all_reduce(per_rank, op))
 
     def _all_reduce(
         self, per_rank: list[np.ndarray], op: ReduceOp = ReduceOp.SUM
@@ -141,31 +169,43 @@ class ProcessGroup:
         """Every rank receives a copy of ``value`` from ``root``."""
         if not 0 <= root < self.world_size:
             raise ValueError(f"root {root} out of range")
-        self._account(value.nbytes, float(self.world_size - 1))
-        return [value.copy() for _ in range(self.world_size)]
+
+        def run() -> list[np.ndarray]:
+            self._account(value.nbytes, float(self.world_size - 1))
+            return [value.copy() for _ in range(self.world_size)]
+
+        return self._run_collective("broadcast", run)
 
     def all_gather(self, per_rank: list[np.ndarray]) -> list[np.ndarray]:
         """Every rank receives the concatenation of all rank buffers."""
         self._check_inputs(per_rank)
-        gathered = np.concatenate([a[None] for a in per_rank], axis=0)
-        self._account(per_rank[0].nbytes, float(self.world_size - 1))
-        return [gathered.copy() for _ in range(self.world_size)]
+
+        def run() -> list[np.ndarray]:
+            gathered = np.concatenate([a[None] for a in per_rank], axis=0)
+            self._account(per_rank[0].nbytes, float(self.world_size - 1))
+            return [gathered.copy() for _ in range(self.world_size)]
+
+        return self._run_collective("all_gather", run)
 
     def reduce_scatter(
         self, per_rank: list[np.ndarray], op: ReduceOp = ReduceOp.SUM
     ) -> list[np.ndarray]:
         """Reduce across ranks; rank r receives the r-th shard of the result."""
         self._check_inputs(per_rank)
-        stacked = np.stack([a.astype(np.float64) for a in per_rank])
-        if op is ReduceOp.MAX:
-            reduced = stacked.max(axis=0)
-        else:
-            reduced = stacked.sum(axis=0)
-            if op is ReduceOp.MEAN:
-                reduced /= self.world_size
-        shards = np.array_split(reduced.ravel(), self.world_size)
-        self._account(per_rank[0].nbytes, (self.world_size - 1) / self.world_size)
-        return [s.astype(per_rank[0].dtype) for s in shards]
+
+        def run() -> list[np.ndarray]:
+            stacked = np.stack([a.astype(np.float64) for a in per_rank])
+            if op is ReduceOp.MAX:
+                reduced = stacked.max(axis=0)
+            else:
+                reduced = stacked.sum(axis=0)
+                if op is ReduceOp.MEAN:
+                    reduced /= self.world_size
+            shards = np.array_split(reduced.ravel(), self.world_size)
+            self._account(per_rank[0].nbytes, (self.world_size - 1) / self.world_size)
+            return [s.astype(per_rank[0].dtype) for s in shards]
+
+        return self._run_collective("reduce_scatter", run)
 
     def barrier(self) -> None:
         """Synchronization point (bookkeeping only in simulation)."""

@@ -15,6 +15,16 @@ Hot<->cold transitions synchronize the hot rows through the
 :class:`~repro.core.replicator.EmbeddingReplicator`, exactly like the
 single-device :class:`~repro.train.trainer.FAETrainer` — which this
 trainer is provably equivalent to (see tests/test_dist.py).
+
+Resilience: when constructed with a
+:class:`~repro.resilience.faults.FaultPlan`, the trainer survives the
+injected chaos — transient collective failures are retried inside the
+:class:`~repro.dist.collectives.ProcessGroup`, a permanent rank death
+shrinks the world and training continues data-parallel on the
+survivors, and a hot-replica eviction degrades the run onto the cold
+(CPU-master) path for its remainder.  Checkpoints are taken at segment
+boundaries (masters authoritative) and resumed runs reproduce the
+uninterrupted loss trajectory.
 """
 
 from __future__ import annotations
@@ -24,7 +34,7 @@ import numpy as np
 from repro.core.pipeline import FAEPlan
 from repro.core.replicator import EmbeddingReplicator
 from repro.core.scheduler import ShuffleScheduler
-from repro.data.loader import batch_from_log
+from repro.data.loader import fetch_batch
 from repro.data.synthetic import SyntheticClickLog
 from repro.dist.collectives import ProcessGroup, ReduceOp
 from repro.dist.parallel import shard_batch
@@ -32,6 +42,16 @@ from repro.models.base import RecModel
 from repro.nn.embedding import EmbeddingBag
 from repro.nn.losses import BCEWithLogits
 from repro.nn.optim import SGD
+from repro.obs import get_registry, span
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    TrainerCheckpoint,
+    capture_training_state,
+    load_checkpoint,
+    restore_training_state,
+)
+from repro.resilience.faults import FaultPlan, PermanentRankFailure
+from repro.resilience.retry import RetryPolicy
 from repro.train.history import HistoryPoint, TrainingHistory
 from repro.train.trainer import TrainResult, evaluate_with_master_bags
 
@@ -50,6 +70,10 @@ class DistributedFAETrainer:
         plan: FAE preprocessing output.
         lr: SGD learning rate.
         pooling: embedding pooling mode, matching the models.
+        fault_plan: optional fault-injection schedule; consulted by the
+            process group (collectives), the data path, and the trainer
+            (hot-replica eviction).
+        retry: retry policy for transient faults (collectives + loader).
     """
 
     def __init__(
@@ -58,6 +82,8 @@ class DistributedFAETrainer:
         plan: FAEPlan,
         lr: float = 0.1,
         pooling: str = "mean",
+        fault_plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
@@ -65,7 +91,11 @@ class DistributedFAETrainer:
         self.plan = plan
         self.lr = lr
         self.pooling = pooling
-        self.group = ProcessGroup(world_size=len(replicas))
+        self.fault_plan = fault_plan
+        self.retry = retry
+        self.group = ProcessGroup(
+            world_size=len(replicas), fault_plan=fault_plan, retry=retry
+        )
 
         self.master_tables = replicas[0].tables
         self.replicator = EmbeddingReplicator(
@@ -83,6 +113,8 @@ class DistributedFAETrainer:
         self._loss = BCEWithLogits()
         #: Inputs dropped to keep shards equal (trailing short batches).
         self.skipped_inputs = 0
+        #: Permanent rank deaths absorbed by shrinking the world.
+        self.world_shrinks = 0
 
     @property
     def world_size(self) -> int:
@@ -155,6 +187,112 @@ class DistributedFAETrainer:
         return float(np.mean(losses))
 
     # ------------------------------------------------------------------
+    # Recovery policies
+    # ------------------------------------------------------------------
+
+    def _clear_pending_grads(self) -> None:
+        """Discard every half-accumulated gradient after a failed step."""
+        for model in self.replicas:
+            for param in model.dense_parameters():
+                param.zero_grad()
+        for replica in self.replicator.replicas:
+            for bag in replica.values():
+                bag.weight.zero_grad()
+        for table in self.master_tables.values():
+            table.weight.zero_grad()
+
+    def _handle_rank_death(self, rank: int) -> list[SGD]:
+        """Shrink the world after a permanent rank failure.
+
+        Drops the dead replica (model, cold bags, hot-bag copy), rebuilds
+        the process group on the survivors (communication accounting
+        carries over), and returns fresh dense optimizers for the new
+        replica list.  The failed mini-batch is retried by the caller —
+        pending gradients are discarded here, so the retry recomputes the
+        step from clean state and the survivors stay bit-equal.
+        """
+        rank = min(max(rank, 0), len(self.replicas) - 1)
+        with span("resilience.rank_death", rank=rank, world_size=self.world_size):
+            self._clear_pending_grads()
+            del self.replicas[rank]
+            del self._cold_bags[rank]
+            if self.replicator.replicas:
+                self.replicator.drop_replica(rank)
+            old = self.group
+            self.group = ProcessGroup(
+                world_size=len(self.replicas),
+                bytes_communicated=old.bytes_communicated,
+                collective_calls=old.collective_calls,
+                fault_plan=old.fault_plan,
+                retry=old.retry,
+            )
+            self.world_shrinks += 1
+            registry = get_registry()
+            registry.counter("resilience.world_shrinks").inc()
+            registry.gauge("dist.world_size").set(self.world_size)
+        return [SGD(m.dense_parameters(), lr=self.lr) for m in self.replicas]
+
+    def _degrade_to_cold(self, scheduler: ShuffleScheduler) -> int:
+        """Hot replicas evicted: salvage their rows, go cold for good."""
+        with span("resilience.degrade", world_size=self.world_size):
+            moved = self.replicator.sync_to_master()
+            self.replicator.evict()
+            scheduler.degrade()
+            for model, bags in zip(self.replicas, self._cold_bags):
+                for name, bag in bags.items():
+                    model.set_bag(name, bag)
+        return moved
+
+    # ------------------------------------------------------------------
+    # Checkpoint capture / restore
+    # ------------------------------------------------------------------
+
+    def _capture_checkpoint(
+        self,
+        step: int,
+        epoch: int,
+        cursors: dict[str, int],
+        scheduler: ShuffleScheduler,
+        last_loss: float,
+        last_acc: float,
+    ) -> TrainerCheckpoint:
+        """Snapshot at a segment boundary (masters are authoritative)."""
+        return TrainerCheckpoint(
+            step=step,
+            epoch=epoch,
+            cursors=dict(cursors),
+            scheduler_state=scheduler.state_dict(),
+            params=capture_training_state(
+                self.replicas[0].dense_parameters(), self.master_tables
+            ),
+            rng_state=self.fault_plan.state_dict() if self.fault_plan else None,
+            degraded=scheduler.degraded,
+            last_train_loss=last_loss,
+            last_train_accuracy=last_acc,
+            metadata={"world_size": self.world_size},
+        )
+
+    def _restore_checkpoint(
+        self, resume, scheduler: ShuffleScheduler
+    ) -> TrainerCheckpoint:
+        """Restore parameters, scheduler, and fault state from ``resume``."""
+        ckpt = resume if isinstance(resume, TrainerCheckpoint) else load_checkpoint(resume)
+        reference = self.replicas[0].dense_parameters()
+        restore_training_state(reference, self.master_tables, ckpt.params)
+        for model in self.replicas[1:]:
+            for p, q in zip(reference, model.dense_parameters()):
+                q.value[...] = p.value
+        scheduler.load_state_dict(ckpt.scheduler_state)
+        if ckpt.degraded:
+            # The run had already lost its hot replicas; stay cold.
+            self.replicator.evict()
+        else:
+            self.replicator.sync_from_master()
+        if ckpt.rng_state is not None and self.fault_plan is not None:
+            self.fault_plan.load_state_dict(ckpt.rng_state)
+        return ckpt
+
+    # ------------------------------------------------------------------
     # Training loop
     # ------------------------------------------------------------------
 
@@ -164,8 +302,17 @@ class DistributedFAETrainer:
         test_log: SyntheticClickLog,
         epochs: int = 1,
         eval_samples: int = 4096,
+        checkpoint: CheckpointManager | None = None,
+        resume=None,
     ) -> TrainResult:
-        """Train over the plan's hot/cold batches; mirrors FAETrainer."""
+        """Train over the plan's hot/cold batches; mirrors FAETrainer.
+
+        Args:
+            checkpoint: optional manager; a snapshot is taken at each
+                due segment boundary (masters authoritative).
+            resume: checkpoint path or :class:`TrainerCheckpoint` to
+                continue from, or None for a fresh run.
+        """
         if epochs <= 0:
             raise ValueError("epochs must be positive")
         dataset = self.plan.dataset
@@ -192,46 +339,100 @@ class DistributedFAETrainer:
         rates: list[int] = []
         last_loss = 0.0
         last_acc = 0.0
+        start_epoch = 0
+        resume_cursors: dict[str, int] | None = None
+        segments_done = 0
 
-        for _epoch in range(epochs):
-            scheduler.reset_epoch()
-            cursors = {"hot": 0, "cold": 0}
+        if resume is not None:
+            ckpt = self._restore_checkpoint(resume, scheduler)
+            iteration = ckpt.step
+            start_epoch = ckpt.epoch
+            resume_cursors = dict(ckpt.cursors)
+            last_loss = ckpt.last_train_loss
+            last_acc = ckpt.last_train_accuracy
+
+        for epoch in range(start_epoch, epochs):
+            if resume_cursors is not None:
+                # Mid-epoch resume: the scheduler already holds this
+                # epoch's remaining pools; do not refill them.
+                cursors = resume_cursors
+                resume_cursors = None
+            else:
+                scheduler.reset_epoch()
+                cursors = {"hot": 0, "cold": 0}
             for segment in scheduler.segments():
-                if segment.kind != mode:
-                    sync_bytes += (
-                        self._install_hot() if segment.kind == "hot" else self._install_cold()
-                    )
-                    mode = segment.kind
+                if (
+                    self.fault_plan is not None
+                    and not scheduler.degraded
+                    and self.fault_plan.should_evict_hot(iteration)
+                ):
+                    sync_bytes += self._degrade_to_cold(scheduler)
+                    mode = "cold"
+                # In degraded mode the segment still drains its planned
+                # pool, but executes on the cold (master-table) path.
+                run_hot = segment.kind == "hot" and not scheduler.degraded
 
-                if segment.kind == "hot":
+                wanted = "hot" if run_hot else "cold"
+                if wanted != mode:
+                    sync_bytes += (
+                        self._install_hot() if wanted == "hot" else self._install_cold()
+                    )
+                    mode = wanted
+
+                replica_optimizers: list[SGD] = []
+                if run_hot:
                     replica_optimizers = [
                         SGD([bag.weight for bag in replica.values()], lr=self.lr)
                         for replica in self.replicator.replicas
                     ]
-                pool = dataset.hot_batches if segment.kind == "hot" else dataset.cold_batches
+                pool_name = segment.drain_pool
+                pool = dataset.hot_batches if pool_name == "hot" else dataset.cold_batches
 
                 losses = []
-                accs = []
-                start = cursors[segment.kind]
+                start = cursors[pool_name]
                 for index_array in pool[start : start + segment.num_batches]:
-                    # Data parallelism needs equal shards: trim trailing
-                    # short batches to a world-size multiple (real DDP
-                    # runs drop the remainder the same way).
-                    usable = (len(index_array) // self.world_size) * self.world_size
-                    if usable == 0:
-                        self.skipped_inputs += len(index_array)
-                        continue
-                    self.skipped_inputs += len(index_array) - usable
-                    batch = batch_from_log(
-                        train_log, index_array[:usable], hot=segment.kind == "hot"
-                    )
-                    if segment.kind == "hot":
-                        loss = self._step_hot(batch, dense_optimizers, replica_optimizers)
-                    else:
-                        loss = self._step_cold(batch, dense_optimizers, master_optimizer)
-                    iteration += 1
-                    losses.append(loss)
-                cursors[segment.kind] = start + segment.num_batches
+                    loss = None
+                    while True:
+                        # Data parallelism needs equal shards: trim trailing
+                        # short batches to a world-size multiple (real DDP
+                        # runs drop the remainder the same way).
+                        usable = (len(index_array) // self.world_size) * self.world_size
+                        if usable == 0:
+                            self.skipped_inputs += len(index_array)
+                            break
+                        batch = fetch_batch(
+                            train_log,
+                            index_array[:usable],
+                            hot=run_hot,
+                            fault_plan=self.fault_plan,
+                            retry=self.retry,
+                        )
+                        try:
+                            if run_hot:
+                                loss = self._step_hot(
+                                    batch, dense_optimizers, replica_optimizers
+                                )
+                            else:
+                                loss = self._step_cold(
+                                    batch, dense_optimizers, master_optimizer
+                                )
+                        except PermanentRankFailure as exc:
+                            if self.world_size <= 1:
+                                raise
+                            dense_optimizers = self._handle_rank_death(exc.rank)
+                            master_bags = self._cold_bags[0]
+                            if run_hot:
+                                replica_optimizers = [
+                                    SGD([bag.weight for bag in replica.values()], lr=self.lr)
+                                    for replica in self.replicator.replicas
+                                ]
+                            continue  # retry the same mini-batch, re-trimmed
+                        self.skipped_inputs += len(index_array) - usable
+                        break
+                    if loss is not None:
+                        iteration += 1
+                        losses.append(loss)
+                cursors[pool_name] = start + segment.num_batches
 
                 if mode == "hot":
                     sync_bytes += self.replicator.sync_to_master()
@@ -251,6 +452,13 @@ class DistributedFAETrainer:
                         segment_kind=segment.kind,
                     )
                 )
+                segments_done += 1
+                if checkpoint is not None and checkpoint.should_save(segments_done):
+                    checkpoint.save(
+                        self._capture_checkpoint(
+                            iteration, epoch, cursors, scheduler, last_loss, last_acc
+                        )
+                    )
 
         if mode == "hot":
             sync_bytes += self._install_cold()
@@ -275,6 +483,8 @@ class DistributedFAETrainer:
             sync_events=self.replicator.sync_events,
             sync_bytes=sync_bytes,
             schedule_rates=rates,
+            world_shrinks=self.world_shrinks,
+            degraded=scheduler.degraded,
         )
 
     # ------------------------------------------------------------------

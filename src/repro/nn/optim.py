@@ -49,6 +49,15 @@ class SGD:
             param.zero_grad()
         self.last_sparse_rows = sparse_rows
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """SGD is stateless; nothing to checkpoint."""
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """SGD is stateless; accepts (and ignores) an empty state."""
+        if state:
+            raise ValueError(f"SGD has no state; got keys {sorted(state)}")
+
 
 class Adagrad:
     """Adagrad with per-row state for sparse parameters.
@@ -95,3 +104,29 @@ class Adagrad:
                 sparse_rows += rows.shape[0]
             param.zero_grad()
         self.last_sparse_rows = sparse_rows
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Accumulators keyed by parameter index (checkpointable)."""
+        return {
+            f"accum.{index:04d}": self._state[id(param)].copy()
+            for index, param in enumerate(self.parameters)
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore accumulators captured by :meth:`state_dict`.
+
+        Raises:
+            ValueError: on a missing key or shape mismatch — the state
+                belongs to a differently-shaped parameter list.
+        """
+        for index, param in enumerate(self.parameters):
+            key = f"accum.{index:04d}"
+            if key not in state:
+                raise ValueError(f"optimizer state is missing {key!r}")
+            saved = state[key]
+            if saved.shape != param.value.shape:
+                raise ValueError(
+                    f"optimizer state {key!r} has shape {saved.shape}, "
+                    f"parameter expects {param.value.shape}"
+                )
+            self._state[id(param)][...] = saved

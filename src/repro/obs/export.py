@@ -11,6 +11,10 @@ Three consumers, three formats:
   ``metrics.jsonl`` and ``summary.txt`` for archival.
 
 :func:`load_jsonl` round-trips either JSONL file back into dicts.
+
+All artifact writes are atomic (temp file + ``os.replace`` via
+:mod:`repro.resilience.atomic`), so a crash mid-export never leaves a
+truncated artifact under the final name.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from pathlib import Path
 
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import SpanRecord, Tracer, get_tracer
+from repro.resilience.atomic import atomic_write, atomic_write_text
 
 __all__ = [
     "export_jsonl",
@@ -47,12 +52,12 @@ def export_jsonl(
     """Write spans then metric snapshots as JSON Lines to ``path``."""
     tracer = tracer or get_tracer()
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
-        for record in tracer.records():
-            handle.write(json.dumps(record.to_dict()) + "\n")
-        for record in metric_records(registry):
-            handle.write(json.dumps(record) + "\n")
+    with atomic_write(path) as tmp:
+        with tmp.open("w", encoding="utf-8") as handle:
+            for record in tracer.records():
+                handle.write(json.dumps(record.to_dict()) + "\n")
+            for record in metric_records(registry):
+                handle.write(json.dumps(record) + "\n")
     return path
 
 
@@ -181,16 +186,18 @@ def export_run(
     run_dir.mkdir(parents=True, exist_ok=True)
 
     trace_path = run_dir / "trace.jsonl"
-    with trace_path.open("w", encoding="utf-8") as handle:
-        for record in tracer.records():
-            handle.write(json.dumps(record.to_dict()) + "\n")
+    with atomic_write(trace_path) as tmp:
+        with tmp.open("w", encoding="utf-8") as handle:
+            for record in tracer.records():
+                handle.write(json.dumps(record.to_dict()) + "\n")
 
     metrics_path = run_dir / "metrics.jsonl"
-    with metrics_path.open("w", encoding="utf-8") as handle:
-        for record in metric_records(registry):
-            handle.write(json.dumps(record) + "\n")
+    with atomic_write(metrics_path) as tmp:
+        with tmp.open("w", encoding="utf-8") as handle:
+            for record in metric_records(registry):
+                handle.write(json.dumps(record) + "\n")
 
     summary_path = run_dir / "summary.txt"
-    summary_path.write_text(summary_tree(tracer, registry) + "\n", encoding="utf-8")
+    atomic_write_text(summary_path, summary_tree(tracer, registry) + "\n")
 
     return {"trace": trace_path, "metrics": metrics_path, "summary": summary_path}

@@ -1,0 +1,77 @@
+"""Resilience: checkpoint/resume, fault injection, and recovery policies.
+
+FAE's value proposition is long training runs over huge embedding
+tables; at that horizon failures are routine, not exceptional.  This
+package is the robustness backbone the rest of the stack leans on:
+
+- :mod:`repro.resilience.atomic` — temp-file + ``os.replace`` writes so
+  interrupted runs never leave truncated artifacts;
+- :mod:`repro.resilience.checkpoint` — atomic, SHA-256-checksummed
+  training snapshots (parameters, scheduler state, cursors, RNG state)
+  with corruption detection and newest-good resolution for resume;
+- :mod:`repro.resilience.faults` — a seedable :class:`FaultPlan` that
+  deterministically injects transient collective failures, permanent
+  rank deaths, loader hiccups, and hot-replica evictions;
+- :mod:`repro.resilience.retry` — bounded exponential-backoff retry
+  around transient faults.
+
+Recovery policies live where the state lives: the collectives retry
+in :class:`~repro.dist.collectives.ProcessGroup`, the distributed FAE
+trainer shrinks the world on permanent rank death, and both trainers
+degrade hot execution to the cold (CPU-master) path when the hot
+replicas are evicted.  Every fault, retry, recovery, and degradation is
+emitted through :mod:`repro.obs`.
+"""
+
+from repro.resilience.atomic import atomic_write, atomic_write_text
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointCorruptionError,
+    CheckpointError,
+    CheckpointManager,
+    TrainerCheckpoint,
+    capture_training_state,
+    latest_checkpoint,
+    load_checkpoint,
+    restore_training_state,
+    save_checkpoint,
+    verify_checkpoint,
+)
+from repro.resilience.faults import (
+    FaultError,
+    FaultPlan,
+    LoaderHiccup,
+    PermanentRankFailure,
+    TransientCollectiveError,
+)
+from repro.resilience.retry import (
+    RETRYABLE_FAULTS,
+    RetryExhaustedError,
+    RetryPolicy,
+    with_retries,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointCorruptionError",
+    "CheckpointError",
+    "CheckpointManager",
+    "FaultError",
+    "FaultPlan",
+    "LoaderHiccup",
+    "PermanentRankFailure",
+    "RETRYABLE_FAULTS",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "TrainerCheckpoint",
+    "TransientCollectiveError",
+    "atomic_write",
+    "atomic_write_text",
+    "capture_training_state",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "restore_training_state",
+    "save_checkpoint",
+    "verify_checkpoint",
+    "with_retries",
+]

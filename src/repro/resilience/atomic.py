@@ -1,0 +1,61 @@
+"""Atomic file writes: temp file + ``os.replace``.
+
+Long preprocessing and training runs die — machines get preempted, jobs
+hit wall-clock limits, users press Ctrl-C.  Every artifact the pipeline
+persists (packed ``.npz`` datasets, trace exports, checkpoints) must
+therefore be written so that an interrupted run leaves either the old
+file or the new file, never a truncated hybrid.  The recipe is the
+standard one: write to a same-directory temporary file, then
+``os.replace`` it into place (atomic on POSIX when source and target
+share a filesystem, which same-directory guarantees).
+
+This module is intentionally stdlib-only so anything in the tree can use
+it without import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["atomic_write", "atomic_write_text"]
+
+
+@contextmanager
+def atomic_write(path: str | Path) -> Iterator[Path]:
+    """Yield a temporary path that is atomically renamed to ``path``.
+
+    The temporary file lives in the destination directory and keeps the
+    destination's suffix (so e.g. ``np.savez`` does not append ``.npz``
+    to it).  On a clean exit it replaces ``path``; on any exception it is
+    removed and the destination is left untouched.
+
+    Usage::
+
+        with atomic_write("plan.npz") as tmp:
+            np.savez_compressed(tmp, **payload)
+    """
+    final = Path(path)
+    final.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=final.parent, prefix=f".{final.name}.", suffix=".tmp" + final.suffix
+    )
+    os.close(fd)
+    tmp = Path(tmp_name)
+    try:
+        yield tmp
+        os.replace(tmp, final)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> Path:
+    """Atomically write ``text`` to ``path``; returns the final path."""
+    final = Path(path)
+    with atomic_write(final) as tmp:
+        tmp.write_text(text, encoding=encoding)
+    return final

@@ -1,0 +1,340 @@
+"""Atomic, checksummed training checkpoints.
+
+A checkpoint captures everything a trainer needs to continue a run as if
+it had never stopped: model parameters (dense layers + embedding
+masters), the :class:`~repro.core.scheduler.ShuffleScheduler`'s rate and
+adaptation state, the epoch/segment cursor, optimizer state, and the
+fault plan's RNG state.  The format is one ``.npz`` archive per
+checkpoint plus a ``.sha256`` sidecar:
+
+- the archive is written with :func:`~repro.resilience.atomic.atomic_write`
+  (temp file + ``os.replace``) so a crash mid-write never leaves a
+  truncated checkpoint under the final name;
+- the sidecar holds the archive's SHA-256; :func:`load_checkpoint`
+  verifies it and raises :class:`CheckpointCorruptionError` (naming the
+  file) on any mismatch, truncation, or unreadable archive;
+- :func:`latest_checkpoint` scans a directory newest-first and skips
+  corrupt entries, so resume falls back to the last *good* snapshot.
+
+Checkpoints are taken at segment boundaries with the CPU master tables
+authoritative (hot rows freshly synced), which is why a resumed run's
+loss trajectory reproduces the uninterrupted run bit-for-bit — see
+``tests/test_resilience.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+from repro.resilience.atomic import atomic_write, atomic_write_text
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointCorruptionError",
+    "CheckpointError",
+    "CheckpointManager",
+    "TrainerCheckpoint",
+    "capture_training_state",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "restore_training_state",
+    "save_checkpoint",
+    "verify_checkpoint",
+]
+
+CHECKPOINT_VERSION = 1
+
+_DENSE_PREFIX = "param.dense."
+_TABLE_PREFIX = "param.table."
+_OPT_PREFIX = "opt."
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be saved, found, or restored."""
+
+
+class CheckpointCorruptionError(CheckpointError):
+    """A checkpoint file failed its integrity check."""
+
+
+@dataclass
+class TrainerCheckpoint:
+    """A full training snapshot at a segment boundary.
+
+    Attributes:
+        step: global iteration count at capture time.
+        epoch: epoch index being trained when captured.
+        cursors: per-pool batch cursors within the epoch.
+        scheduler_state: :meth:`ShuffleScheduler.state_dict` output.
+        params: parameter arrays — ``dense.<index>`` entries in
+            ``dense_parameters()`` order plus ``table.<name>`` masters.
+        optimizer_state: optimizer tensors (empty for stateless SGD).
+        rng_state: fault-plan / RNG state (JSON-serializable), or None.
+        degraded: whether the run had degraded to cold-only execution.
+        last_train_loss: trailing train-loss carry for history fidelity.
+        last_train_accuracy: trailing train-accuracy carry.
+        metadata: free-form JSON-serializable extras.
+    """
+
+    step: int
+    epoch: int
+    cursors: dict[str, int]
+    scheduler_state: dict
+    params: dict[str, np.ndarray]
+    optimizer_state: dict[str, np.ndarray] = field(default_factory=dict)
+    rng_state: dict | None = None
+    degraded: bool = False
+    last_train_loss: float = 0.0
+    last_train_accuracy: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Model-state capture/restore
+# ----------------------------------------------------------------------
+
+
+def capture_training_state(dense_parameters, tables) -> dict[str, np.ndarray]:
+    """Copy dense parameters and master-table weights into a state dict.
+
+    Args:
+        dense_parameters: the model's ``dense_parameters()`` list.
+        tables: master :class:`~repro.nn.embedding.EmbeddingTable` map.
+    """
+    state: dict[str, np.ndarray] = {}
+    for index, param in enumerate(dense_parameters):
+        state[f"dense.{index:04d}"] = param.value.copy()
+    for name, table in tables.items():
+        state[f"table.{name}"] = table.weight.value.copy()
+    return state
+
+
+def restore_training_state(dense_parameters, tables, state: dict[str, np.ndarray]) -> None:
+    """Write a captured state dict back into live parameters, in place.
+
+    Raises:
+        CheckpointError: on a missing entry or shape mismatch — the
+            checkpoint belongs to a different model.
+    """
+
+    def _restore(key: str, target) -> None:
+        if key not in state:
+            raise CheckpointError(f"checkpoint is missing parameter {key!r}")
+        saved = state[key]
+        if saved.shape != target.value.shape:
+            raise CheckpointError(
+                f"checkpoint parameter {key!r} has shape {saved.shape}, "
+                f"model expects {target.value.shape}"
+            )
+        target.value[...] = saved
+
+    for index, param in enumerate(dense_parameters):
+        _restore(f"dense.{index:04d}", param)
+    for name, table in tables.items():
+        _restore(f"table.{name}", table.weight)
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+
+def _checkpoint_name(step: int) -> str:
+    return f"ckpt-{step:08d}.npz"
+
+
+def _sidecar(path: Path) -> Path:
+    return path.with_name(path.name + ".sha256")
+
+
+def save_checkpoint(directory: str | Path, ckpt: TrainerCheckpoint) -> Path:
+    """Atomically persist ``ckpt`` under ``directory``; returns its path.
+
+    The archive is materialized in memory, hashed, written via temp file
+    + ``os.replace``, and only then does its checksum sidecar appear —
+    a checkpoint without a valid sidecar is treated as corrupt, so no
+    interleaving of crashes can yield a resumable-but-wrong snapshot.
+    """
+    directory = Path(directory)
+    meta = {
+        "version": CHECKPOINT_VERSION,
+        "step": ckpt.step,
+        "epoch": ckpt.epoch,
+        "cursors": ckpt.cursors,
+        "scheduler_state": ckpt.scheduler_state,
+        "rng_state": ckpt.rng_state,
+        "degraded": ckpt.degraded,
+        "last_train_loss": ckpt.last_train_loss,
+        "last_train_accuracy": ckpt.last_train_accuracy,
+        "metadata": ckpt.metadata,
+    }
+    payload: dict[str, np.ndarray] = {"meta_json": np.array(json.dumps(meta))}
+    for key, value in ckpt.params.items():
+        if key.startswith("dense."):
+            payload[_DENSE_PREFIX + key[len("dense."):]] = value
+        elif key.startswith("table."):
+            payload[_TABLE_PREFIX + key[len("table."):]] = value
+        else:
+            raise CheckpointError(f"unrecognized parameter key {key!r}")
+    for key, value in ckpt.optimizer_state.items():
+        payload[_OPT_PREFIX + key] = value
+
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **payload)
+    blob = buffer.getvalue()
+    digest = hashlib.sha256(blob).hexdigest()
+
+    path = directory / _checkpoint_name(ckpt.step)
+    with atomic_write(path) as tmp:
+        tmp.write_bytes(blob)
+    atomic_write_text(_sidecar(path), f"{digest}  {path.name}\n")
+
+    registry = get_registry()
+    registry.counter("resilience.checkpoint.saves").inc()
+    registry.counter("resilience.checkpoint.bytes").inc(len(blob))
+    return path
+
+
+def _read_verified(path: Path) -> bytes:
+    """Read a checkpoint's bytes, enforcing the checksum sidecar."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint {path} does not exist")
+    sidecar = _sidecar(path)
+    if not sidecar.exists():
+        raise CheckpointCorruptionError(
+            f"checkpoint {path} has no {sidecar.name} sidecar — "
+            "treating it as an interrupted write"
+        )
+    expected = sidecar.read_text(encoding="utf-8").split()[0]
+    blob = path.read_bytes()
+    actual = hashlib.sha256(blob).hexdigest()
+    if actual != expected:
+        raise CheckpointCorruptionError(
+            f"checkpoint {path} failed its integrity check "
+            f"(sha256 {actual[:12]}… != recorded {expected[:12]}…)"
+        )
+    return blob
+
+
+def verify_checkpoint(path: str | Path) -> bool:
+    """True if ``path`` exists and passes its checksum."""
+    try:
+        _read_verified(Path(path))
+    except (FileNotFoundError, CheckpointCorruptionError, OSError):
+        return False
+    return True
+
+
+def load_checkpoint(path: str | Path) -> TrainerCheckpoint:
+    """Load and verify a checkpoint written by :func:`save_checkpoint`.
+
+    Raises:
+        FileNotFoundError: if ``path`` does not exist.
+        CheckpointCorruptionError: on checksum mismatch or an unreadable
+            archive (the error names the file).
+        CheckpointError: on a version mismatch.
+    """
+    path = Path(path)
+    blob = _read_verified(path)
+    try:
+        with np.load(io.BytesIO(blob), allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta_json"]))
+            arrays = {key: archive[key] for key in archive.files if key != "meta_json"}
+    except Exception as exc:
+        raise CheckpointCorruptionError(
+            f"checkpoint {path} is unreadable despite a matching checksum: {exc}"
+        ) from exc
+    if meta.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has version {meta.get('version')}, "
+            f"expected {CHECKPOINT_VERSION}"
+        )
+    params: dict[str, np.ndarray] = {}
+    optimizer_state: dict[str, np.ndarray] = {}
+    for key, value in arrays.items():
+        if key.startswith(_DENSE_PREFIX):
+            params["dense." + key[len(_DENSE_PREFIX):]] = value
+        elif key.startswith(_TABLE_PREFIX):
+            params["table." + key[len(_TABLE_PREFIX):]] = value
+        elif key.startswith(_OPT_PREFIX):
+            optimizer_state[key[len(_OPT_PREFIX):]] = value
+    get_registry().counter("resilience.checkpoint.restores").inc()
+    return TrainerCheckpoint(
+        step=int(meta["step"]),
+        epoch=int(meta["epoch"]),
+        cursors={k: int(v) for k, v in meta["cursors"].items()},
+        scheduler_state=meta["scheduler_state"],
+        params=params,
+        optimizer_state=optimizer_state,
+        rng_state=meta.get("rng_state"),
+        degraded=bool(meta.get("degraded", False)),
+        last_train_loss=float(meta.get("last_train_loss", 0.0)),
+        last_train_accuracy=float(meta.get("last_train_accuracy", 0.0)),
+        metadata=meta.get("metadata", {}),
+    )
+
+
+def latest_checkpoint(directory: str | Path) -> Path | None:
+    """Newest checkpoint in ``directory`` that passes verification.
+
+    Corrupt or half-written entries are skipped (and counted under
+    ``resilience.checkpoint.corrupt_skipped``), so resume falls back to
+    the last good snapshot instead of dying on a truncated file.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    candidates = sorted(directory.glob("ckpt-*.npz"), reverse=True)
+    for candidate in candidates:
+        if verify_checkpoint(candidate):
+            return candidate
+        get_registry().counter("resilience.checkpoint.corrupt_skipped").inc()
+    return None
+
+
+class CheckpointManager:
+    """Periodic checkpointing into a directory with bounded retention.
+
+    Args:
+        directory: where checkpoints live.
+        every: save every N completed segments (>= 1).
+        keep: how many newest checkpoints to retain, or None for all.
+    """
+
+    def __init__(self, directory: str | Path, every: int = 1, keep: int | None = 3) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        if keep is not None and keep < 1:
+            raise ValueError("keep must be >= 1 (or None for unlimited)")
+        self.directory = Path(directory)
+        self.every = every
+        self.keep = keep
+
+    def should_save(self, segments_done: int) -> bool:
+        """Whether a checkpoint is due after ``segments_done`` segments."""
+        return segments_done > 0 and segments_done % self.every == 0
+
+    def save(self, ckpt: TrainerCheckpoint) -> Path:
+        """Persist ``ckpt`` and prune beyond the retention limit."""
+        path = save_checkpoint(self.directory, ckpt)
+        self._prune()
+        return path
+
+    def latest(self) -> Path | None:
+        return latest_checkpoint(self.directory)
+
+    def _prune(self) -> None:
+        if self.keep is None:
+            return
+        checkpoints = sorted(self.directory.glob("ckpt-*.npz"), reverse=True)
+        for stale in checkpoints[self.keep:]:
+            stale.unlink(missing_ok=True)
+            _sidecar(stale).unlink(missing_ok=True)

@@ -1,0 +1,236 @@
+"""Deterministic fault injection for chaos testing the FAE runtime.
+
+Production recommendation trainers live with constant preemption and
+flaky interconnects; a resilience layer is only trustworthy if its
+recovery paths are exercised.  A :class:`FaultPlan` is a *seeded* fault
+schedule — every run with the same plan sees the same faults at the same
+points — that the trainers and the collective layer consult:
+
+- **transient collective failures** — :meth:`FaultPlan.check_collective`
+  raises :class:`TransientCollectiveError` with a configured probability
+  (the retry policy around each collective absorbs these);
+- **permanent rank death** — at the N-th collective call one rank dies
+  for good (:class:`PermanentRankFailure`); the distributed trainer
+  responds by shrinking the world and continuing on the survivors;
+- **loader hiccups** — :meth:`FaultPlan.check_loader` models transient
+  data-path stalls/read errors (:class:`LoaderHiccup`);
+- **hot-replica eviction** — :meth:`FaultPlan.should_evict_hot` fires
+  once at a configured training iteration, simulating GPU memory
+  pressure evicting the hot bags; the trainers degrade to the cold
+  (CPU-master) path instead of crashing.
+
+Every injected fault increments a ``faults.*`` counter so chaos runs are
+fully traceable through :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "FaultError",
+    "FaultPlan",
+    "LoaderHiccup",
+    "PermanentRankFailure",
+    "TransientCollectiveError",
+]
+
+
+class FaultError(RuntimeError):
+    """Base class for injected faults."""
+
+
+class TransientCollectiveError(FaultError):
+    """A collective failed this attempt but may succeed on retry."""
+
+
+class PermanentRankFailure(FaultError):
+    """A rank died and will never come back.
+
+    Attributes:
+        rank: the dead rank's index at the time of death.
+    """
+
+    def __init__(self, rank: int, message: str | None = None) -> None:
+        super().__init__(message or f"rank {rank} died (permanent failure)")
+        self.rank = rank
+
+
+class LoaderHiccup(FaultError):
+    """A transient data-loading failure (stalled read, flaky storage)."""
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, deterministic schedule of injected faults.
+
+    Attributes:
+        seed: RNG seed; two plans with equal fields inject identically.
+        collective_failure_rate: per-attempt probability that a collective
+            raises :class:`TransientCollectiveError`.
+        max_collective_failures: cap on injected transient collective
+            failures (keeps bounded-retry runs terminating).
+        rank_death: ``(rank, collective_call)`` — kill ``rank``
+            permanently at that collective call count, or None.
+        loader_hiccup_rate: per-fetch probability of a
+            :class:`LoaderHiccup`.
+        max_loader_hiccups: cap on injected loader hiccups.
+        hot_eviction_at: training iteration at which the hot replicas are
+            evicted (simulated GPU memory pressure), or None.
+    """
+
+    seed: int = 0
+    collective_failure_rate: float = 0.0
+    max_collective_failures: int = 64
+    rank_death: tuple[int, int] | None = None
+    loader_hiccup_rate: float = 0.0
+    max_loader_hiccups: int = 64
+    hot_eviction_at: int | None = None
+
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _collective_calls: int = field(default=0, init=False)
+    _collective_failures: int = field(default=0, init=False)
+    _loader_hiccups: int = field(default=0, init=False)
+    _rank_death_fired: bool = field(default=False, init=False)
+    _eviction_fired: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.collective_failure_rate < 1.0:
+            raise ValueError("collective_failure_rate must be in [0, 1)")
+        if not 0.0 <= self.loader_hiccup_rate < 1.0:
+            raise ValueError("loader_hiccup_rate must be in [0, 1)")
+        if self.rank_death is not None:
+            rank, at_call = self.rank_death
+            if rank < 0 or at_call < 1:
+                raise ValueError(f"invalid rank_death {self.rank_death}")
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    # Injection points
+    # ------------------------------------------------------------------
+
+    def check_collective(self, op: str = "collective") -> None:
+        """Consulted once per collective attempt; may raise a fault."""
+        self._collective_calls += 1
+        if self.rank_death is not None and not self._rank_death_fired:
+            rank, at_call = self.rank_death
+            if self._collective_calls >= at_call:
+                self._rank_death_fired = True
+                get_registry().counter("faults.rank_death.injected").inc()
+                raise PermanentRankFailure(
+                    rank, f"rank {rank} died during {op} (injected at call {at_call})"
+                )
+        if (
+            self.collective_failure_rate > 0.0
+            and self._collective_failures < self.max_collective_failures
+            and self._rng.random() < self.collective_failure_rate
+        ):
+            self._collective_failures += 1
+            get_registry().counter("faults.collective.injected").inc()
+            raise TransientCollectiveError(
+                f"injected transient failure in {op} "
+                f"(#{self._collective_failures} of at most {self.max_collective_failures})"
+            )
+
+    def check_loader(self) -> None:
+        """Consulted once per batch fetch attempt; may raise a hiccup."""
+        if (
+            self.loader_hiccup_rate > 0.0
+            and self._loader_hiccups < self.max_loader_hiccups
+            and self._rng.random() < self.loader_hiccup_rate
+        ):
+            self._loader_hiccups += 1
+            get_registry().counter("faults.loader.injected").inc()
+            raise LoaderHiccup(
+                f"injected loader hiccup (#{self._loader_hiccups} "
+                f"of at most {self.max_loader_hiccups})"
+            )
+
+    def should_evict_hot(self, iteration: int) -> bool:
+        """True exactly once, when ``iteration`` reaches the eviction point."""
+        if self.hot_eviction_at is None or self._eviction_fired:
+            return False
+        if iteration >= self.hot_eviction_at:
+            self._eviction_fired = True
+            get_registry().counter("faults.hot_eviction.injected").inc()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Checkpointable state
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable injection state (for checkpoints)."""
+        return {
+            "rng": self._rng.bit_generator.state,
+            "collective_calls": self._collective_calls,
+            "collective_failures": self._collective_failures,
+            "loader_hiccups": self._loader_hiccups,
+            "rank_death_fired": self._rank_death_fired,
+            "eviction_fired": self._eviction_fired,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore injection state captured by :meth:`state_dict`."""
+        self._rng.bit_generator.state = state["rng"]
+        self._collective_calls = int(state["collective_calls"])
+        self._collective_failures = int(state["collective_failures"])
+        self._loader_hiccups = int(state["loader_hiccups"])
+        self._rank_death_fired = bool(state["rank_death_fired"])
+        self._eviction_fired = bool(state["eviction_fired"])
+
+    # ------------------------------------------------------------------
+    # CLI spec parsing
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a compact CLI spec.
+
+        Comma-separated ``key=value`` entries::
+
+            seed=7,collective=0.05,death=1@40,evict=80,loader=0.02
+
+        Keys: ``seed``, ``collective`` (transient failure rate),
+        ``max_collective``, ``loader`` (hiccup rate), ``max_loader``,
+        ``death`` (``RANK@COLLECTIVE_CALL``), ``evict`` (iteration).
+
+        Raises:
+            ValueError: on an unknown key or malformed entry.
+        """
+        kwargs: dict = {}
+        for entry in spec.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            if "=" not in entry:
+                raise ValueError(f"fault spec entry {entry!r} is not key=value")
+            key, _, value = entry.partition("=")
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key == "seed":
+                    kwargs["seed"] = int(value)
+                elif key == "collective":
+                    kwargs["collective_failure_rate"] = float(value)
+                elif key == "max_collective":
+                    kwargs["max_collective_failures"] = int(value)
+                elif key == "loader":
+                    kwargs["loader_hiccup_rate"] = float(value)
+                elif key == "max_loader":
+                    kwargs["max_loader_hiccups"] = int(value)
+                elif key == "death":
+                    rank_str, _, call_str = value.partition("@")
+                    kwargs["rank_death"] = (int(rank_str), int(call_str))
+                elif key == "evict":
+                    kwargs["hot_eviction_at"] = int(value)
+                else:
+                    raise ValueError(f"unknown fault spec key {key!r}")
+            except ValueError as exc:
+                raise ValueError(f"bad fault spec entry {entry!r}: {exc}") from exc
+        return cls(**kwargs)

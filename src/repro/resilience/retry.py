@@ -1,0 +1,113 @@
+"""Bounded retry with exponential backoff.
+
+Transient faults (a flaky collective, a loader hiccup) are absorbed by
+retrying the failed operation a bounded number of times with exponential
+backoff; anything that keeps failing surfaces as
+:class:`RetryExhaustedError` so callers can escalate (shrink the world,
+degrade, or abort).  Permanent faults are never retried — only the
+exception types listed in ``retryable`` are caught.
+
+Every retry and every exhaustion is recorded through the metrics
+registry (``resilience.retry.*``) and, when tracing is on, as a
+``resilience.retry`` span, so chaos runs show exactly where time went.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
+from repro.resilience.faults import LoaderHiccup, TransientCollectiveError
+
+__all__ = ["RetryExhaustedError", "RetryPolicy", "with_retries", "RETRYABLE_FAULTS"]
+
+T = TypeVar("T")
+
+#: Fault types that are safe to retry by default.
+RETRYABLE_FAULTS: tuple[type[Exception], ...] = (TransientCollectiveError, LoaderHiccup)
+
+
+class RetryExhaustedError(RuntimeError):
+    """An operation kept failing after the policy's final attempt."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff.
+
+    Attributes:
+        max_attempts: total tries, including the first (must be >= 1).
+        base_delay: sleep before the first retry, in seconds.
+        multiplier: backoff growth factor per retry.
+        max_delay: ceiling on any single sleep.
+        sleep_enabled: set False in tests to skip real sleeping (the
+            schedule is still computed and recorded).
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.005
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    sleep_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay(self, retry_index: int) -> float:
+        """Backoff before the ``retry_index``-th retry (0-based)."""
+        return min(self.base_delay * self.multiplier**retry_index, self.max_delay)
+
+
+def with_retries(
+    fn: Callable[[], T],
+    policy: RetryPolicy | None = None,
+    retryable: tuple[type[Exception], ...] = RETRYABLE_FAULTS,
+    name: str = "operation",
+) -> T:
+    """Run ``fn``, retrying ``retryable`` failures per ``policy``.
+
+    Args:
+        fn: zero-argument operation to attempt.
+        policy: retry policy; defaults to :class:`RetryPolicy`.
+        retryable: exception types worth retrying; anything else
+            propagates immediately (e.g. a permanent rank failure).
+        name: label for metrics/spans.
+
+    Returns:
+        ``fn()``'s result from the first successful attempt.
+
+    Raises:
+        RetryExhaustedError: when every attempt failed with a retryable
+            error (the last one is chained as ``__cause__``).
+    """
+    policy = policy or RetryPolicy()
+    registry = get_registry()
+    last_error: Exception | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            result = fn()
+        except retryable as exc:
+            last_error = exc
+            registry.counter("resilience.retry.attempts").inc()
+            if attempt + 1 >= policy.max_attempts:
+                break
+            delay = policy.delay(attempt)
+            with span("resilience.retry", op=name, attempt=attempt, delay=delay):
+                if policy.sleep_enabled and delay > 0:
+                    time.sleep(delay)
+        else:
+            if attempt > 0:
+                registry.counter("resilience.retry.recovered").inc()
+            return result
+    registry.counter("resilience.retry.exhausted").inc()
+    raise RetryExhaustedError(
+        f"{name} still failing after {policy.max_attempts} attempts"
+    ) from last_error

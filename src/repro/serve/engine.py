@@ -4,6 +4,15 @@ The engine wraps a :class:`~repro.models.base.RecModel` for batched
 scoring and candidate ranking.  When given the hot bags of an FAE plan it
 also classifies each request as *hot* (all its lookups are GPU-resident)
 or *cold* — the quantity the serving simulator prices.
+
+Serving hardening: ranking accepts a per-request *deadline*.  Candidates
+are scored in chunks with the elapsed time checked between chunks; when
+the deadline trips, the remaining candidates fall back to a cheap
+embedding-only score (mean hidden activation of the candidate row,
+squashed through a sigmoid) instead of the full model forward, so the
+request completes degraded rather than late.  Fallback use is recorded
+under ``serve.deadline.exceeded`` / ``serve.fallback.candidates`` and
+flagged on the returned :class:`RankedItems`.
 """
 
 from __future__ import annotations
@@ -29,10 +38,13 @@ class RankedItems:
     Attributes:
         item_ids: candidate ids ordered best-first.
         scores: matching click probabilities.
+        degraded: True when the deadline tripped and some candidates were
+            scored by the cheap fallback path instead of the full model.
     """
 
     item_ids: np.ndarray
     scores: np.ndarray
+    degraded: bool = False
 
 
 class InferenceEngine:
@@ -42,6 +54,8 @@ class InferenceEngine:
         model: a trained recommender (forward-only use).
         hot_bags: optional FAE hot-bag specs for request classification.
         batch_size: maximum scoring batch.
+        deadline_s: default per-request ranking deadline in seconds, or
+            None for no deadline.
     """
 
     def __init__(
@@ -49,17 +63,23 @@ class InferenceEngine:
         model: RecModel,
         hot_bags: dict[str, HotEmbeddingBagSpec] | None = None,
         batch_size: int = 2048,
+        deadline_s: float | None = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
         self.model = model
         self.batch_size = batch_size
+        self.deadline_s = deadline_s
         self._hot_masks = (
             {name: bag.hot_mask() for name, bag in hot_bags.items()} if hot_bags else None
         )
         registry = get_registry()
         self._latency = registry.histogram("serve.request.latency")
         self._requests = registry.counter("serve.requests")
+        self._deadline_exceeded = registry.counter("serve.deadline.exceeded")
+        self._fallback_candidates = registry.counter("serve.fallback.candidates")
 
     def predict_proba(self, log, indices: np.ndarray | None = None) -> np.ndarray:
         """Click probabilities for rows of a click log."""
@@ -89,6 +109,7 @@ class InferenceEngine:
         candidate_table: str,
         candidate_ids: np.ndarray,
         top_k: int = 10,
+        deadline_s: float | None = None,
     ) -> RankedItems:
         """Score one request against ``candidate_ids`` and return the top-k.
 
@@ -104,6 +125,10 @@ class InferenceEngine:
             candidate_table: which table the candidates index.
             candidate_ids: ``(C,)`` candidate row ids.
             top_k: how many to return.
+            deadline_s: per-request deadline; falls back to the engine
+                default when None.  Candidates not scored before the
+                deadline get the cheap fallback score and the result is
+                marked ``degraded``.
 
         Raises:
             KeyError: if the candidate table is unknown.
@@ -114,9 +139,23 @@ class InferenceEngine:
         count = len(candidate_ids)
         if count == 0:
             raise ValueError("need at least one candidate")
+        if deadline_s is None:
+            deadline_s = self.deadline_s
 
         with span("serve.rank", candidates=count, top_k=top_k):
-            return self._rank(dense, sparse_context, candidate_table, candidate_ids, top_k)
+            return self._rank(
+                dense, sparse_context, candidate_table, candidate_ids, top_k, deadline_s
+            )
+
+    def _fallback_scores(self, candidate_table: str, candidate_ids: np.ndarray) -> np.ndarray:
+        """Cheap deadline-fallback score: squashed mean of the candidate row.
+
+        No MLP, no feature interaction — one embedding read per
+        candidate.  Far less accurate than the full model, but orders of
+        magnitude cheaper, which is the point of a deadline fallback.
+        """
+        rows = self.model.tables[candidate_table].subset(candidate_ids)
+        return sigmoid(rows.mean(axis=1).astype(np.float64))
 
     def _rank(
         self,
@@ -125,25 +164,45 @@ class InferenceEngine:
         candidate_table: str,
         candidate_ids: np.ndarray,
         top_k: int,
+        deadline_s: float | None,
     ) -> RankedItems:
         count = len(candidate_ids)
-        dense_block = np.tile(np.asarray(dense, dtype=np.float32), (count, 1))
-        sparse_block = {}
-        for name, ids in sparse_context.items():
-            ids = np.asarray(ids, dtype=np.int64)[None, :]
-            sparse_block[name] = np.tile(ids, (count, 1))
-        mult = sparse_block[candidate_table].shape[1]
-        sparse_block[candidate_table] = np.tile(candidate_ids[:, None], (1, mult))
+        dense_row = np.asarray(dense, dtype=np.float32)
+        context = {
+            name: np.asarray(ids, dtype=np.int64)[None, :]
+            for name, ids in sparse_context.items()
+        }
+        mult = context[candidate_table].shape[1]
 
-        batch = MiniBatch(
-            dense=dense_block,
-            sparse=sparse_block,
-            labels=np.zeros(count, dtype=np.float32),
-            indices=np.arange(count, dtype=np.int64),
-        )
-        scores = self.predict_batch(batch)
+        # Small chunks under a deadline so the elapsed check fires often
+        # enough to matter; full batches otherwise.
+        chunk_size = self.batch_size if deadline_s is None else min(self.batch_size, 256)
+        start_time = time.perf_counter()
+        scores = np.empty(count, dtype=np.float64)
+        degraded = False
+        for start in range(0, count, chunk_size):
+            if deadline_s is not None and time.perf_counter() - start_time > deadline_s:
+                remaining = candidate_ids[start:]
+                scores[start:] = self._fallback_scores(candidate_table, remaining)
+                self._deadline_exceeded.inc()
+                self._fallback_candidates.inc(len(remaining))
+                degraded = True
+                break
+            chunk_ids = candidate_ids[start : start + chunk_size]
+            chunk = len(chunk_ids)
+            sparse_block = {name: np.tile(ids, (chunk, 1)) for name, ids in context.items()}
+            sparse_block[candidate_table] = np.tile(chunk_ids[:, None], (1, mult))
+            batch = MiniBatch(
+                dense=np.tile(dense_row, (chunk, 1)),
+                sparse=sparse_block,
+                labels=np.zeros(chunk, dtype=np.float32),
+                indices=np.arange(chunk, dtype=np.int64),
+            )
+            scores[start : start + chunk] = self.predict_batch(batch)
         order = np.argsort(scores)[::-1][:top_k]
-        return RankedItems(item_ids=candidate_ids[order], scores=scores[order])
+        return RankedItems(
+            item_ids=candidate_ids[order], scores=scores[order], degraded=degraded
+        )
 
     def hot_request_mask(self, log, indices: np.ndarray | None = None) -> np.ndarray:
         """Which requests touch only hot rows (GPU-servable end to end).

@@ -30,12 +30,21 @@ import numpy as np
 from repro.core.pipeline import FAEPlan
 from repro.core.replicator import EmbeddingReplicator
 from repro.core.scheduler import ShuffleScheduler
-from repro.data.loader import BatchIterator, batch_from_log
+from repro.data.loader import BatchIterator, fetch_batch
 from repro.data.synthetic import SyntheticClickLog
 from repro.models.base import RecModel
 from repro.nn.losses import BCEWithLogits
 from repro.nn.optim import SGD
 from repro.obs import get_registry, span, timed
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    TrainerCheckpoint,
+    capture_training_state,
+    load_checkpoint,
+    restore_training_state,
+)
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import RetryPolicy
 from repro.train.history import HistoryPoint, TrainingHistory
 from repro.train.metrics import binary_accuracy, evaluate_model
 
@@ -56,6 +65,10 @@ class TrainResult:
             delta of the ``fae.sync.bytes`` counter).
         schedule_rates: the scheduler's rate after each recorded segment
             (FAE only; shows Eq. 7 adapting).
+        world_shrinks: permanent rank deaths absorbed by continuing on a
+            smaller world (distributed chaos runs only).
+        degraded: whether the run lost its hot replicas and finished on
+            the cold/baseline path.
     """
 
     history: TrainingHistory
@@ -64,6 +77,8 @@ class TrainResult:
     sync_events: int = 0
     sync_bytes: int = 0
     schedule_rates: list[int] = field(default_factory=list)
+    world_shrinks: int = 0
+    degraded: bool = False
 
 
 class BaselineTrainer:
@@ -160,6 +175,9 @@ class FAETrainer:
         lr: SGD learning rate.
         num_replicas: GPU replica count for the hot bags.
         pooling: bag pooling mode; must match the model's bags.
+        fault_plan: optional fault-injection schedule (loader hiccups +
+            hot-replica eviction apply to this single-device trainer).
+        retry: retry policy for transient injected faults.
     """
 
     def __init__(
@@ -169,10 +187,14 @@ class FAETrainer:
         lr: float = 0.1,
         num_replicas: int = 1,
         pooling: str = "mean",
+        fault_plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.model = model
         self.plan = plan
         self.lr = lr
+        self.fault_plan = fault_plan
+        self.retry = retry
         self.replicator = EmbeddingReplicator(
             tables=model.tables,
             bag_specs=plan.bags,
@@ -197,12 +219,62 @@ class FAETrainer:
             self.model.set_bag(name, bag)
         return moved
 
+    def _degrade_to_cold(self, scheduler: ShuffleScheduler) -> int:
+        """Hot replicas evicted: salvage their rows, go cold for good."""
+        with span("resilience.degrade", num_replicas=self.replicator.num_replicas):
+            moved = self.replicator.sync_to_master()
+            self.replicator.evict()
+            scheduler.degrade()
+            for name, bag in self._master_bags.items():
+                self.model.set_bag(name, bag)
+        return moved
+
+    def _capture_checkpoint(
+        self,
+        step: int,
+        epoch: int,
+        cursors: dict[str, int],
+        scheduler: ShuffleScheduler,
+        last_loss: float,
+        last_acc: float,
+    ) -> TrainerCheckpoint:
+        """Snapshot at a segment boundary (masters are authoritative)."""
+        return TrainerCheckpoint(
+            step=step,
+            epoch=epoch,
+            cursors=dict(cursors),
+            scheduler_state=scheduler.state_dict(),
+            params=capture_training_state(
+                self.model.dense_parameters(), self.model.tables
+            ),
+            rng_state=self.fault_plan.state_dict() if self.fault_plan else None,
+            degraded=scheduler.degraded,
+            last_train_loss=last_loss,
+            last_train_accuracy=last_acc,
+        )
+
+    def _restore_checkpoint(self, resume, scheduler: ShuffleScheduler) -> TrainerCheckpoint:
+        """Restore parameters, scheduler, and fault state from ``resume``."""
+        ckpt = resume if isinstance(resume, TrainerCheckpoint) else load_checkpoint(resume)
+        restore_training_state(self.model.dense_parameters(), self.model.tables, ckpt.params)
+        scheduler.load_state_dict(ckpt.scheduler_state)
+        if ckpt.degraded:
+            # The run had already lost its hot replicas; stay cold.
+            self.replicator.evict()
+        else:
+            self.replicator.sync_from_master()
+        if ckpt.rng_state is not None and self.fault_plan is not None:
+            self.fault_plan.load_state_dict(ckpt.rng_state)
+        return ckpt
+
     def train(
         self,
         train_log: SyntheticClickLog,
         test_log: SyntheticClickLog,
         epochs: int = 1,
         eval_samples: int = 4096,
+        checkpoint: CheckpointManager | None = None,
+        resume=None,
     ) -> TrainResult:
         """Train over the plan's hot/cold batches for ``epochs``.
 
@@ -210,6 +282,14 @@ class FAETrainer:
         replicator increments ``fae.sync.events`` / ``fae.sync.bytes`` at
         every synchronization, and :class:`TrainResult` reports this
         run's deltas of those counters.
+
+        Args:
+            checkpoint: optional manager; a snapshot is taken at each due
+                segment boundary (after the post-segment evaluation, when
+                the CPU masters are authoritative), so a resumed run
+                reproduces the uninterrupted loss trajectory exactly.
+            resume: checkpoint path or :class:`TrainerCheckpoint` to
+                continue from, or None for a fresh run.
         """
         if epochs <= 0:
             raise ValueError("epochs must be positive")
@@ -247,47 +327,81 @@ class FAETrainer:
         mode = "cold"  # the model starts with master bags installed
         last_train_loss = 0.0
         last_train_acc = 0.0
+        start_epoch = 0
+        resume_cursors: dict[str, int] | None = None
+        segments_done = 0
 
-        for _epoch in range(epochs):
-            scheduler.reset_epoch()
-            cursors = {"hot": 0, "cold": 0}
+        if resume is not None:
+            ckpt = self._restore_checkpoint(resume, scheduler)
+            iteration = ckpt.step
+            start_epoch = ckpt.epoch
+            resume_cursors = dict(ckpt.cursors)
+            last_train_loss = ckpt.last_train_loss
+            last_train_acc = ckpt.last_train_accuracy
+
+        for _epoch in range(start_epoch, epochs):
+            if resume_cursors is not None:
+                # Mid-epoch resume: the scheduler already holds this
+                # epoch's remaining pools; do not refill them.
+                cursors = resume_cursors
+                resume_cursors = None
+            else:
+                scheduler.reset_epoch()
+                cursors = {"hot": 0, "cold": 0}
             for segment in scheduler.segments():
                 with span(
                     f"train.segment.{segment.kind}",
                     num_batches=segment.num_batches,
                     rate=segment.rate,
                 ):
-                    if segment.kind == "hot" and mode != "hot":
+                    if (
+                        self.fault_plan is not None
+                        and not scheduler.degraded
+                        and self.fault_plan.should_evict_hot(iteration)
+                    ):
+                        self._degrade_to_cold(scheduler)
+                        mode = "cold"
+                    # In degraded mode the segment still drains its planned
+                    # pool, but executes on the cold (master-table) path.
+                    run_hot = segment.kind == "hot" and not scheduler.degraded
+
+                    if run_hot and mode != "hot":
                         self._enter_hot()
                         mode = "hot"
                         transition_counters["hot"].inc()
-                    elif segment.kind == "cold" and mode != "cold":
+                    elif not run_hot and mode != "cold":
                         self._enter_cold()
                         mode = "cold"
                         transition_counters["cold"].inc()
 
-                    if segment.kind == "hot":
+                    if run_hot:
                         dense_optimizer = SGD(self.model.dense_parameters(), lr=self.lr)
                         replica_optimizers = [
                             SGD([bag.weight for bag in replica.values()], lr=self.lr)
                             for replica in self.replicator.replicas
                         ]
-                        pool = dataset.hot_batches
                     else:
                         optimizer = SGD(optimizer_params["cold"], lr=self.lr)
-                        pool = dataset.cold_batches
+                    pool_name = segment.drain_pool
+                    pool = (
+                        dataset.hot_batches if pool_name == "hot" else dataset.cold_batches
+                    )
 
                     losses = []
                     accs = []
-                    start = cursors[segment.kind]
+                    start = cursors[pool_name]
                     for index_array in pool[start : start + segment.num_batches]:
-                        batch = batch_from_log(
-                            train_log, index_array, hot=segment.kind == "hot"
+                        batch = fetch_batch(
+                            train_log,
+                            index_array,
+                            hot=run_hot,
+                            fault_plan=self.fault_plan,
+                            retry=self.retry,
                         )
                         logits = self.model.forward(batch)
                         loss = loss_fn.forward(logits, batch.labels)
                         self.model.backward(loss_fn.backward())
-                        if segment.kind == "hot":
+                        if run_hot:
                             # Data-parallel step: share the hot-bag gradients
                             # with every replica, then apply identical updates.
                             self.replicator.all_reduce_gradients()
@@ -300,7 +414,7 @@ class FAETrainer:
                         losses.append(loss)
                         accs.append(binary_accuracy(logits, batch.labels))
                     batch_counters[segment.kind].inc(segment.num_batches)
-                    cursors[segment.kind] = start + segment.num_batches
+                    cursors[pool_name] = start + segment.num_batches
 
                     # Evaluation must see the freshest parameters: flush hot
                     # rows to the masters (without leaving hot mode) first.
@@ -324,6 +438,18 @@ class FAETrainer:
                             segment_kind=segment.kind,
                         )
                     )
+                    segments_done += 1
+                    if checkpoint is not None and checkpoint.should_save(segments_done):
+                        checkpoint.save(
+                            self._capture_checkpoint(
+                                iteration,
+                                _epoch,
+                                cursors,
+                                scheduler,
+                                last_train_loss,
+                                last_train_acc,
+                            )
+                        )
 
         if mode == "hot":
             self._enter_cold()
@@ -350,6 +476,7 @@ class FAETrainer:
             sync_events=int(sync_events_counter.value - sync_events_start),
             sync_bytes=int(sync_bytes_counter.value - sync_bytes_start),
             schedule_rates=rates,
+            degraded=scheduler.degraded,
         )
 
 

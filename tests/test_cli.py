@@ -109,6 +109,86 @@ class TestTrain:
         assert "baseline:" in out and "FAE:" in out
 
 
+class TestTrainResilience:
+    CHAOS = [
+        "train",
+        "criteo-kaggle",
+        "--mode",
+        "fae",
+        "--samples",
+        "2000",
+        "--epochs",
+        "1",
+        "--batch-size",
+        "128",
+        "--gpus",
+        "2",
+        "--faults",
+        "seed=7,collective=0.05,death=1@10,evict=15,loader=0.02",
+    ]
+
+    def test_chaos_run_reports_summary(self, capsys, tmp_path):
+        code = main(self.CHAOS + ["--checkpoint-dir", str(tmp_path / "ckpts")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos:" in out
+        assert "world shrinks" in out
+        assert list((tmp_path / "ckpts").glob("ckpt-*.npz"))
+
+    def test_resume_picks_up_latest_checkpoint(self, capsys, tmp_path):
+        ckpt_dir = str(tmp_path / "ckpts")
+        assert main(self.CHAOS + ["--checkpoint-dir", ckpt_dir]) == 0
+        capsys.readouterr()
+        assert main(self.CHAOS + ["--checkpoint-dir", ckpt_dir, "--resume"]) == 0
+        assert "resuming from" in capsys.readouterr().out
+
+    def test_resume_without_checkpoints_starts_fresh(self, capsys, tmp_path):
+        argv = self.CHAOS + ["--checkpoint-dir", str(tmp_path / "empty"), "--resume"]
+        assert main(argv) == 0
+        assert "starting fresh" in capsys.readouterr().out
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(self.CHAOS + ["--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_faults_require_fae_mode(self, capsys):
+        argv = [
+            "train",
+            "criteo-kaggle",
+            "--mode",
+            "baseline",
+            "--samples",
+            "2000",
+            "--faults",
+            "seed=1",
+        ]
+        assert main(argv) == 2
+        assert "fae" in capsys.readouterr().err
+
+
+class TestErrorHandling:
+    BAD_SPEC = [
+        "train",
+        "criteo-kaggle",
+        "--mode",
+        "fae",
+        "--samples",
+        "2000",
+        "--faults",
+        "bogus=1",
+    ]
+
+    def test_failures_exit_nonzero_with_one_line_error(self, capsys):
+        assert main(self.BAD_SPEC) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_traceback_flag_reraises(self):
+        with pytest.raises(ValueError):
+            main(["--traceback"] + self.BAD_SPEC)
+
+
 class TestSimulate:
     def test_all_modes_reported(self, capsys):
         assert main(["simulate", "RMC2", "--gpus", "2"]) == 0

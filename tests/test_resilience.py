@@ -1,0 +1,705 @@
+"""Tests for the resilience layer: atomic writes, checkpoints, fault
+injection, retry policies, and the trainers' recovery paths (crash/resume
+trajectory equivalence, world shrink, and hot→cold degradation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import fae_preprocess
+from repro.core.fae_format import load_fae_dataset
+from repro.core.scheduler import ShuffleScheduler
+from repro.data import train_test_split
+from repro.data.loader import fetch_batch
+from repro.dist import DistributedFAETrainer
+from repro.models.dlrm import DLRM, DLRMConfig
+from repro.nn.optim import SGD, Adagrad
+from repro.obs import get_registry
+from repro.resilience import (
+    CheckpointCorruptionError,
+    CheckpointError,
+    CheckpointManager,
+    FaultPlan,
+    LoaderHiccup,
+    PermanentRankFailure,
+    RetryExhaustedError,
+    RetryPolicy,
+    TrainerCheckpoint,
+    TransientCollectiveError,
+    atomic_write,
+    atomic_write_text,
+    capture_training_state,
+    latest_checkpoint,
+    load_checkpoint,
+    restore_training_state,
+    save_checkpoint,
+    verify_checkpoint,
+    with_retries,
+)
+from repro.serve import InferenceEngine
+from repro.train import FAETrainer
+
+
+def small_dlrm(schema, seed=3):
+    return DLRM(schema, DLRMConfig("4-8", "8-1", seed=seed))
+
+
+def counter_value(name):
+    return get_registry().counter(name).value
+
+
+# ----------------------------------------------------------------------
+# Atomic writes
+# ----------------------------------------------------------------------
+
+
+class TestAtomicWrite:
+    def test_success_replaces_destination(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        target.write_text("old")
+        with atomic_write(target) as tmp:
+            tmp.write_text("new")
+        assert target.read_text() == "new"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_failure_leaves_destination_untouched(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        target.write_text("old")
+        with pytest.raises(RuntimeError):
+            with atomic_write(target) as tmp:
+                tmp.write_text("half-written")
+                raise RuntimeError("crash mid-write")
+        assert target.read_text() == "old"
+        # No stray temp files either.
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_temp_keeps_destination_suffix(self, tmp_path):
+        # np.savez appends ".npz" to suffix-less paths; the temp file must
+        # already end in ".npz" so the archive lands under the temp name.
+        with atomic_write(tmp_path / "packed.npz") as tmp:
+            assert tmp.suffix == ".npz"
+            np.savez(tmp, x=np.arange(3))
+        with np.load(tmp_path / "packed.npz") as archive:
+            np.testing.assert_array_equal(archive["x"], np.arange(3))
+
+    def test_atomic_write_text(self, tmp_path):
+        path = atomic_write_text(tmp_path / "note.txt", "hello\n")
+        assert path.read_text() == "hello\n"
+
+
+# ----------------------------------------------------------------------
+# Fault plans
+# ----------------------------------------------------------------------
+
+
+def _collective_fault_pattern(plan, calls):
+    pattern = []
+    for _ in range(calls):
+        try:
+            plan.check_collective()
+            pattern.append(False)
+        except TransientCollectiveError:
+            pattern.append(True)
+    return pattern
+
+
+class TestFaultPlan:
+    def test_same_seed_injects_identically(self):
+        a = FaultPlan(seed=5, collective_failure_rate=0.3)
+        b = FaultPlan(seed=5, collective_failure_rate=0.3)
+        assert _collective_fault_pattern(a, 50) == _collective_fault_pattern(b, 50)
+
+    def test_different_seeds_diverge(self):
+        a = FaultPlan(seed=5, collective_failure_rate=0.3)
+        b = FaultPlan(seed=6, collective_failure_rate=0.3)
+        assert _collective_fault_pattern(a, 200) != _collective_fault_pattern(b, 200)
+
+    def test_transient_failures_capped(self):
+        plan = FaultPlan(seed=0, collective_failure_rate=0.9, max_collective_failures=3)
+        fired = sum(_collective_fault_pattern(plan, 500))
+        assert fired == 3
+
+    def test_rank_death_fires_exactly_once(self):
+        plan = FaultPlan(seed=0, rank_death=(1, 3))
+        plan.check_collective()
+        plan.check_collective()
+        with pytest.raises(PermanentRankFailure) as excinfo:
+            plan.check_collective("all_reduce")
+        assert excinfo.value.rank == 1
+        # Already fired: survivors' future collectives proceed.
+        plan.check_collective()
+
+    def test_eviction_fires_exactly_once(self):
+        plan = FaultPlan(seed=0, hot_eviction_at=5)
+        assert not plan.should_evict_hot(4)
+        assert plan.should_evict_hot(5)
+        assert not plan.should_evict_hot(6)
+
+    def test_loader_hiccups_capped(self):
+        plan = FaultPlan(seed=0, loader_hiccup_rate=0.9, max_loader_hiccups=2)
+        fired = 0
+        for _ in range(200):
+            try:
+                plan.check_loader()
+            except LoaderHiccup:
+                fired += 1
+        assert fired == 2
+
+    def test_parse_full_spec(self):
+        plan = FaultPlan.parse("seed=7,collective=0.05,death=1@40,evict=80,loader=0.02")
+        assert plan.seed == 7
+        assert plan.collective_failure_rate == 0.05
+        assert plan.rank_death == (1, 40)
+        assert plan.hot_eviction_at == 80
+        assert plan.loader_hiccup_rate == 0.02
+
+    @pytest.mark.parametrize("spec", ["bogus=1", "collective", "death=1", "collective=x"])
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(collective_failure_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(rank_death=(0, 0))
+
+    def test_state_roundtrip_resumes_fault_schedule(self):
+        plan = FaultPlan(seed=9, collective_failure_rate=0.3)
+        _collective_fault_pattern(plan, 25)
+        state = plan.state_dict()
+        expected = _collective_fault_pattern(plan, 50)
+
+        fresh = FaultPlan(seed=9, collective_failure_rate=0.3)
+        fresh.load_state_dict(state)
+        assert _collective_fault_pattern(fresh, 50) == expected
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+
+
+class TestRetry:
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(base_delay=0.01, multiplier=2.0, max_delay=0.05)
+        assert policy.delay(0) == pytest.approx(0.01)
+        assert policy.delay(1) == pytest.approx(0.02)
+        assert policy.delay(2) == pytest.approx(0.04)
+        assert policy.delay(3) == pytest.approx(0.05)  # capped
+
+    def test_recovers_after_transient_failures(self):
+        recovered_before = counter_value("resilience.retry.recovered")
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientCollectiveError("flake")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=4, sleep_enabled=False)
+        assert with_retries(flaky, policy=policy) == "ok"
+        assert calls["n"] == 3
+        assert counter_value("resilience.retry.recovered") == recovered_before + 1
+
+    def test_exhaustion_raises_with_cause(self):
+        def always_fails():
+            raise LoaderHiccup("stalled")
+
+        policy = RetryPolicy(max_attempts=3, sleep_enabled=False)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            with_retries(always_fails, policy=policy, name="loader")
+        assert isinstance(excinfo.value.__cause__, LoaderHiccup)
+
+    def test_permanent_failures_not_retried(self):
+        calls = {"n": 0}
+
+        def dies():
+            calls["n"] += 1
+            raise PermanentRankFailure(2)
+
+        with pytest.raises(PermanentRankFailure):
+            with_retries(dies, policy=RetryPolicy(max_attempts=5, sleep_enabled=False))
+        assert calls["n"] == 1
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+
+
+def _make_checkpoint(schema, step=7, seed=3):
+    model = small_dlrm(schema, seed=seed)
+    scheduler = ShuffleScheduler(num_hot_batches=4, num_cold_batches=6)
+    return model, TrainerCheckpoint(
+        step=step,
+        epoch=1,
+        cursors={"hot": 2, "cold": 3},
+        scheduler_state=scheduler.state_dict(),
+        params=capture_training_state(model.dense_parameters(), model.tables),
+        rng_state={"collective_calls": 12},
+        last_train_loss=0.5,
+        metadata={"world_size": 2},
+    )
+
+
+class TestCheckpoint:
+    def test_save_load_roundtrip(self, tmp_path, tiny_schema):
+        _model, ckpt = _make_checkpoint(tiny_schema)
+        path = save_checkpoint(tmp_path, ckpt)
+        assert path.name == "ckpt-00000007.npz"
+        assert verify_checkpoint(path)
+
+        loaded = load_checkpoint(path)
+        assert loaded.step == 7
+        assert loaded.epoch == 1
+        assert loaded.cursors == {"hot": 2, "cold": 3}
+        assert loaded.scheduler_state["total_hot"] == 4
+        assert loaded.rng_state == {"collective_calls": 12}
+        assert loaded.metadata == {"world_size": 2}
+        assert loaded.last_train_loss == pytest.approx(0.5)
+        for key, value in ckpt.params.items():
+            np.testing.assert_array_equal(loaded.params[key], value)
+
+    def test_restore_overwrites_model(self, tmp_path, tiny_schema):
+        model, ckpt = _make_checkpoint(tiny_schema, seed=3)
+        path = save_checkpoint(tmp_path, ckpt)
+
+        other = small_dlrm(tiny_schema, seed=99)
+        loaded = load_checkpoint(path)
+        restore_training_state(other.dense_parameters(), other.tables, loaded.params)
+        for name in model.tables:
+            np.testing.assert_array_equal(
+                other.tables[name].weight.value, model.tables[name].weight.value
+            )
+        for p, q in zip(model.dense_parameters(), other.dense_parameters()):
+            np.testing.assert_array_equal(q.value, p.value)
+
+    def test_restore_rejects_wrong_model(self, tmp_path, tiny_schema):
+        _model, ckpt = _make_checkpoint(tiny_schema)
+        loaded = load_checkpoint(save_checkpoint(tmp_path, ckpt))
+        other = DLRM(tiny_schema, DLRMConfig("4-16-8", "8-4-1", seed=0))
+        with pytest.raises(CheckpointError):
+            restore_training_state(other.dense_parameters(), other.tables, loaded.params)
+
+    def test_bit_flip_detected_and_named(self, tmp_path, tiny_schema):
+        _model, ckpt = _make_checkpoint(tiny_schema)
+        path = save_checkpoint(tmp_path, ckpt)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+        assert not verify_checkpoint(path)
+        with pytest.raises(CheckpointCorruptionError) as excinfo:
+            load_checkpoint(path)
+        assert path.name in str(excinfo.value)
+
+    def test_missing_sidecar_is_corrupt(self, tmp_path, tiny_schema):
+        _model, ckpt = _make_checkpoint(tiny_schema)
+        path = save_checkpoint(tmp_path, ckpt)
+        path.with_name(path.name + ".sha256").unlink()
+        with pytest.raises(CheckpointCorruptionError):
+            load_checkpoint(path)
+
+    def test_latest_skips_corrupt_entries(self, tmp_path, tiny_schema):
+        _model, older = _make_checkpoint(tiny_schema, step=5)
+        _model, newer = _make_checkpoint(tiny_schema, step=9)
+        good = save_checkpoint(tmp_path, older)
+        bad = save_checkpoint(tmp_path, newer)
+        bad.write_bytes(bad.read_bytes()[: 100])
+
+        skipped_before = counter_value("resilience.checkpoint.corrupt_skipped")
+        assert latest_checkpoint(tmp_path) == good
+        assert counter_value("resilience.checkpoint.corrupt_skipped") > skipped_before
+
+    def test_latest_on_missing_or_empty_directory(self, tmp_path):
+        assert latest_checkpoint(tmp_path / "nope") is None
+        assert latest_checkpoint(tmp_path) is None
+
+    def test_manager_cadence_and_retention(self, tmp_path, tiny_schema):
+        manager = CheckpointManager(tmp_path, every=2, keep=2)
+        assert not manager.should_save(0)
+        assert not manager.should_save(1)
+        assert manager.should_save(2)
+        assert manager.should_save(4)
+
+        for step in (2, 4, 6):
+            _model, ckpt = _make_checkpoint(tiny_schema, step=step)
+            manager.save(ckpt)
+        names = sorted(p.name for p in tmp_path.glob("ckpt-*.npz"))
+        assert names == ["ckpt-00000004.npz", "ckpt-00000006.npz"]
+        # Pruned checkpoints take their sidecars with them.
+        assert len(list(tmp_path.glob("*.sha256"))) == 2
+        assert manager.latest() == tmp_path / "ckpt-00000006.npz"
+
+    def test_manager_validates_args(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, every=0)
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, keep=0)
+
+
+# ----------------------------------------------------------------------
+# Optimizer state
+# ----------------------------------------------------------------------
+
+
+class TestOptimizerState:
+    def test_sgd_is_stateless(self, tiny_schema):
+        opt = SGD(small_dlrm(tiny_schema).dense_parameters(), lr=0.1)
+        assert opt.state_dict() == {}
+        opt.load_state_dict({})
+        with pytest.raises(ValueError):
+            opt.load_state_dict({"accum.0000": np.zeros(1)})
+
+    def test_adagrad_roundtrip(self, tiny_schema):
+        model = small_dlrm(tiny_schema, seed=3)
+        opt = Adagrad(model.dense_parameters(), lr=0.1)
+        for param in opt.parameters:
+            param.grad = np.ones_like(param.value)
+        opt.step()
+        state = opt.state_dict()
+        assert state  # accumulators are non-trivial after a step
+
+        fresh = Adagrad(model.dense_parameters(), lr=0.1)
+        fresh.load_state_dict(state)
+        for key, value in fresh.state_dict().items():
+            np.testing.assert_array_equal(value, state[key])
+
+    def test_adagrad_rejects_mismatched_state(self, tiny_schema):
+        model = small_dlrm(tiny_schema, seed=3)
+        opt = Adagrad(model.dense_parameters(), lr=0.1)
+        bad = {key: np.zeros((1, 1)) for key in opt.state_dict()}
+        with pytest.raises(ValueError):
+            opt.load_state_dict(bad)
+
+
+# ----------------------------------------------------------------------
+# Scheduler degradation + state
+# ----------------------------------------------------------------------
+
+
+class TestSchedulerResilience:
+    def test_degraded_segments_run_cold_but_drain_hot_pool(self):
+        scheduler = ShuffleScheduler(num_hot_batches=10, num_cold_batches=10)
+        scheduler.degrade()
+        events = list(scheduler.segments())
+        assert all(event.kind == "cold" for event in events)
+        assert {event.drain_pool for event in events} == {"hot", "cold"}
+        assert sum(e.num_batches for e in events if e.drain_pool == "hot") == 10
+        assert sum(e.num_batches for e in events if e.drain_pool == "cold") == 10
+
+    def test_degrade_is_idempotent(self):
+        before = counter_value("scheduler.degraded")
+        scheduler = ShuffleScheduler(num_hot_batches=2, num_cold_batches=2)
+        scheduler.degrade()
+        scheduler.degrade()
+        assert counter_value("scheduler.degraded") == before + 1
+
+    def test_state_roundtrip_mid_epoch(self):
+        scheduler = ShuffleScheduler(num_hot_batches=20, num_cold_batches=20)
+        scheduler.next_segment()
+        scheduler.record_test_loss(0.6)
+        scheduler.next_segment()
+        scheduler.record_test_loss(0.55)
+        state = scheduler.state_dict()
+
+        fresh = ShuffleScheduler(num_hot_batches=20, num_cold_batches=20)
+        fresh.load_state_dict(state)
+        assert fresh.state_dict() == state
+        # Both plan the same continuation.
+        a, b = scheduler.next_segment(), fresh.next_segment()
+        assert (a.kind, a.num_batches, a.drain_pool) == (b.kind, b.num_batches, b.drain_pool)
+
+    def test_state_rejects_other_dataset(self):
+        scheduler = ShuffleScheduler(num_hot_batches=20, num_cold_batches=20)
+        other = ShuffleScheduler(num_hot_batches=5, num_cold_batches=20)
+        with pytest.raises(ValueError):
+            other.load_state_dict(scheduler.state_dict())
+
+
+# ----------------------------------------------------------------------
+# Loader fault injection
+# ----------------------------------------------------------------------
+
+
+class TestLoaderFaults:
+    def test_fetch_batch_retries_hiccups(self, tiny_log):
+        plan = FaultPlan(seed=0, loader_hiccup_rate=0.9, max_loader_hiccups=2)
+        retry = RetryPolicy(max_attempts=4, sleep_enabled=False)
+        batch = fetch_batch(tiny_log, np.arange(32), fault_plan=plan, retry=retry)
+        assert len(batch.labels) == 32
+
+    def test_fetch_batch_exhaustion_surfaces(self, tiny_log):
+        plan = FaultPlan(seed=1, loader_hiccup_rate=0.999999, max_loader_hiccups=64)
+        retry = RetryPolicy(max_attempts=2, sleep_enabled=False)
+        with pytest.raises(RetryExhaustedError):
+            fetch_batch(tiny_log, np.arange(8), fault_plan=plan, retry=retry)
+
+    def test_fetch_batch_without_plan_is_plain(self, tiny_log):
+        batch = fetch_batch(tiny_log, np.arange(16))
+        assert len(batch.labels) == 16
+
+
+# ----------------------------------------------------------------------
+# Packed-dataset corruption
+# ----------------------------------------------------------------------
+
+
+class TestPackedDatasetErrors:
+    def test_truncated_archive_names_file(self, tmp_path, tiny_plan):
+        path = tmp_path / "packed.npz"
+        tiny_plan.save(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(RuntimeError) as excinfo:
+            load_fae_dataset(path)
+        assert "packed.npz" in str(excinfo.value)
+
+    def test_garbage_file_names_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(RuntimeError) as excinfo:
+            load_fae_dataset(path)
+        assert "junk.npz" in str(excinfo.value)
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, unrelated=np.arange(3))
+        with pytest.raises(RuntimeError) as excinfo:
+            load_fae_dataset(path)
+        assert "format header" in str(excinfo.value)
+
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_fae_dataset(tmp_path / "absent.npz")
+
+
+# ----------------------------------------------------------------------
+# Serving deadline fallback
+# ----------------------------------------------------------------------
+
+
+class TestServeDeadline:
+    def _request(self, tiny_log):
+        table = next(iter(tiny_log.sparse))
+        context = {name: ids[0] for name, ids in tiny_log.sparse.items()}
+        return tiny_log.dense[0], context, table
+
+    def test_deadline_trips_to_fallback(self, tiny_schema, tiny_log):
+        engine = InferenceEngine(small_dlrm(tiny_schema), batch_size=64)
+        dense, context, table = self._request(tiny_log)
+        exceeded_before = counter_value("serve.deadline.exceeded")
+        result = engine.rank_candidates(
+            dense, context, table, np.arange(100), top_k=5, deadline_s=1e-9
+        )
+        assert result.degraded
+        assert len(result.item_ids) == 5
+        assert np.all(np.diff(result.scores) <= 0)
+        assert counter_value("serve.deadline.exceeded") > exceeded_before
+
+    def test_no_deadline_full_fidelity(self, tiny_schema, tiny_log):
+        engine = InferenceEngine(small_dlrm(tiny_schema), batch_size=64)
+        dense, context, table = self._request(tiny_log)
+        result = engine.rank_candidates(dense, context, table, np.arange(100), top_k=5)
+        assert not result.degraded
+
+    def test_generous_deadline_not_degraded(self, tiny_schema, tiny_log):
+        engine = InferenceEngine(small_dlrm(tiny_schema), batch_size=64, deadline_s=30.0)
+        dense, context, table = self._request(tiny_log)
+        result = engine.rank_candidates(dense, context, table, np.arange(64), top_k=3)
+        assert not result.degraded
+
+    def test_invalid_deadline_rejected(self, tiny_schema):
+        with pytest.raises(ValueError):
+            InferenceEngine(small_dlrm(tiny_schema), deadline_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# Trainer recovery: crash/resume, degradation, chaos
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fae_setup(request):
+    tiny_log = request.getfixturevalue("tiny_log")
+    config = request.getfixturevalue("tiny_fae_config")
+    train, test = train_test_split(tiny_log, 0.2, seed=4)
+    # drop_last keeps every batch at exactly 64 samples, so multi-replica
+    # sharding is exact (mirrors tests/test_dist.py).
+    plan = fae_preprocess(train, config, batch_size=64, drop_last=True)
+    return tiny_log.schema, train, test, plan
+
+
+class TestCrashResume:
+    def test_resumed_run_reproduces_loss_trajectory(self, tmp_path, fae_setup):
+        schema, train, test, plan = fae_setup
+
+        full_model = small_dlrm(schema, seed=21)
+        manager = CheckpointManager(tmp_path, every=1, keep=None)
+        full = FAETrainer(full_model, plan, lr=0.15).train(
+            train, test, epochs=1, checkpoint=manager
+        )
+        checkpoints = sorted(tmp_path.glob("ckpt-*.npz"))
+        assert len(checkpoints) >= 2
+
+        # "Crash" after an intermediate segment: resume a *differently
+        # initialized* model from that checkpoint; the restore overwrites
+        # every parameter, so the tail of the run must match exactly.
+        resumed_model = small_dlrm(schema, seed=777)
+        resumed = FAETrainer(resumed_model, plan, lr=0.15).train(
+            train, test, epochs=1, resume=checkpoints[len(checkpoints) // 2]
+        )
+
+        full_points = full.history.points
+        resumed_points = resumed.history.points
+        tail = full_points[len(full_points) - len(resumed_points) :]
+        assert len(tail) == len(resumed_points)
+        for expected, got in zip(tail, resumed_points):
+            assert got.iteration == expected.iteration
+            assert got.test_loss == pytest.approx(expected.test_loss, abs=1e-12)
+            assert got.train_loss == pytest.approx(expected.train_loss, abs=1e-12)
+        assert resumed.final_test_accuracy == pytest.approx(full.final_test_accuracy)
+
+        for name in full_model.tables:
+            np.testing.assert_array_equal(
+                resumed_model.tables[name].weight.value,
+                full_model.tables[name].weight.value,
+            )
+        for p, q in zip(full_model.dense_parameters(), resumed_model.dense_parameters()):
+            np.testing.assert_array_equal(q.value, p.value)
+
+    def test_resume_from_manager_latest(self, tmp_path, fae_setup):
+        schema, train, test, plan = fae_setup
+        manager = CheckpointManager(tmp_path, every=2, keep=3)
+        FAETrainer(small_dlrm(schema, seed=5), plan, lr=0.15).train(
+            train, test, epochs=1, checkpoint=manager
+        )
+        latest = manager.latest()
+        assert latest is not None
+        restores_before = counter_value("resilience.checkpoint.restores")
+        result = FAETrainer(small_dlrm(schema, seed=6), plan, lr=0.15).train(
+            train, test, epochs=1, resume=latest
+        )
+        assert counter_value("resilience.checkpoint.restores") == restores_before + 1
+        assert np.isfinite(result.final_test_accuracy)
+
+    def test_resume_rejects_other_dataset_checkpoint(self, tmp_path, fae_setup, tiny_schema):
+        schema, train, test, plan = fae_setup
+        _model, foreign = _make_checkpoint(tiny_schema)
+        path = save_checkpoint(tmp_path, foreign)
+        # Parameters may coincidentally match (same schema), but the
+        # scheduler pool sizes cannot: either rejection is acceptable.
+        with pytest.raises((CheckpointError, ValueError)):
+            FAETrainer(small_dlrm(schema, seed=5), plan, lr=0.15).train(
+                train, test, epochs=1, resume=path
+            )
+
+
+class TestDegradation:
+    def test_eviction_degrades_single_device_run(self, fae_setup):
+        schema, train, test, plan = fae_setup
+        plan_faults = FaultPlan(seed=3, hot_eviction_at=5)
+        trainer = FAETrainer(
+            small_dlrm(schema, seed=13), plan, lr=0.15, fault_plan=plan_faults
+        )
+        evictions_before = counter_value("fae.hot.evictions")
+        result = trainer.train(train, test, epochs=1)
+        assert result.degraded
+        assert trainer.replicator.evicted
+        assert trainer.replicator.num_replicas == 0
+        assert counter_value("fae.hot.evictions") == evictions_before + 1
+        # The whole dataset still trained (hot pool drained on the cold path).
+        assert result.history.final.iteration == len(plan.dataset.hot_batches) + len(
+            plan.dataset.cold_batches
+        )
+        assert np.isfinite(result.final_test_accuracy)
+
+    def test_degraded_checkpoint_resumes_degraded(self, tmp_path, fae_setup):
+        schema, train, test, plan = fae_setup
+        manager = CheckpointManager(tmp_path, every=1, keep=None)
+        FAETrainer(
+            small_dlrm(schema, seed=13),
+            plan,
+            lr=0.15,
+            fault_plan=FaultPlan(seed=3, hot_eviction_at=1),
+        ).train(train, test, epochs=1, checkpoint=manager)
+
+        ckpt = load_checkpoint(manager.latest())
+        assert ckpt.degraded
+        trainer = FAETrainer(small_dlrm(schema, seed=14), plan, lr=0.15)
+        result = trainer.train(train, test, epochs=1, resume=ckpt)
+        assert result.degraded
+        assert trainer.replicator.evicted
+
+
+class TestDistributedChaos:
+    def test_seeded_chaos_run_survives(self, fae_setup):
+        schema, train, test, plan = fae_setup
+        fault_plan = FaultPlan(
+            seed=7,
+            collective_failure_rate=0.05,
+            rank_death=(1, 10),
+            hot_eviction_at=20,
+            loader_hiccup_rate=0.02,
+        )
+        retry = RetryPolicy(max_attempts=6, sleep_enabled=False)
+        replicas = [small_dlrm(schema, seed=7) for _ in range(3)]
+        trainer = DistributedFAETrainer(
+            replicas, plan, lr=0.15, fault_plan=fault_plan, retry=retry
+        )
+
+        registry = get_registry()
+        attempts_before = counter_value("resilience.retry.attempts")
+        deaths_before = counter_value("faults.rank_death.injected")
+        result = trainer.train(train, test, epochs=1)
+
+        assert result.world_shrinks == 1
+        assert trainer.world_size == 2
+        assert len(trainer.replicas) == 2
+        assert result.degraded
+        assert counter_value("faults.rank_death.injected") == deaths_before + 1
+        assert counter_value("resilience.retry.attempts") > attempts_before
+        assert registry.gauge("dist.world_size").value == 2
+        assert np.isfinite(result.final_test_accuracy)
+
+    def test_rank_death_with_world_of_one_is_fatal(self, fae_setup):
+        schema, train, test, plan = fae_setup
+        fault_plan = FaultPlan(seed=7, rank_death=(0, 3))
+        trainer = DistributedFAETrainer(
+            [small_dlrm(schema, seed=7)],
+            plan,
+            lr=0.15,
+            fault_plan=fault_plan,
+            retry=RetryPolicy(sleep_enabled=False),
+        )
+        with pytest.raises(PermanentRankFailure):
+            trainer.train(train, test, epochs=1)
+
+    def test_chaos_checkpoint_resume_completes(self, tmp_path, fae_setup):
+        schema, train, test, plan = fae_setup
+        manager = CheckpointManager(tmp_path, every=1, keep=3)
+        DistributedFAETrainer(
+            [small_dlrm(schema, seed=8) for _ in range(2)],
+            plan,
+            lr=0.15,
+            fault_plan=FaultPlan(seed=11, collective_failure_rate=0.05),
+            retry=RetryPolicy(max_attempts=6, sleep_enabled=False),
+        ).train(train, test, epochs=1, checkpoint=manager)
+
+        latest = manager.latest()
+        assert latest is not None
+        result = DistributedFAETrainer(
+            [small_dlrm(schema, seed=9) for _ in range(2)],
+            plan,
+            lr=0.15,
+            fault_plan=FaultPlan(seed=11, collective_failure_rate=0.05),
+            retry=RetryPolicy(max_attempts=6, sleep_enabled=False),
+        ).train(train, test, epochs=1, resume=latest)
+        assert np.isfinite(result.final_test_accuracy)
