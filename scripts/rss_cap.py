@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Run a command under a hard address-space cap (``RLIMIT_AS``).
+
+CI uses this to prove the streaming preprocess is actually bounded: the
+same ``repro preprocess`` invocation that succeeds with ``--stream`` and
+a small ``--chunk-size`` dies with a MemoryError when it materializes
+the whole log, at a cap comfortably between the two footprints.
+
+Usage::
+
+    python scripts/rss_cap.py --limit-mb 512 -- python -m repro preprocess ...
+
+The limit applies to virtual address space, which upper-bounds RSS and —
+unlike RSS itself — is enforceable without a cgroup.  The command runs
+via ``os.execvp`` in this same process, so the limit cannot be escaped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import resource
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run a command under a hard RLIMIT_AS memory cap."
+    )
+    parser.add_argument(
+        "--limit-mb", type=int, required=True, help="address-space cap in MiB"
+    )
+    parser.add_argument(
+        "command", nargs=argparse.REMAINDER, help="command to run (prefix with --)"
+    )
+    args = parser.parse_args(argv)
+
+    command = args.command
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        parser.error("no command given")
+    if args.limit_mb <= 0:
+        parser.error("--limit-mb must be positive")
+
+    limit = args.limit_mb * 1024 * 1024
+    resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+    os.execvp(command[0], command)
+    return 1  # unreachable; execvp replaces the process
+
+
+if __name__ == "__main__":
+    sys.exit(main())

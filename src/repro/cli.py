@@ -31,7 +31,7 @@ import argparse
 import sys
 
 from repro import obs
-from repro.core import FAEConfig, fae_preprocess
+from repro.core import FAEConfig, fae_preprocess, fae_preprocess_source
 from repro.data import SyntheticClickLog, SyntheticConfig, dataset_by_name, train_test_split
 from repro.hw import Cluster, PowerModel, TrainingSimulator, characterize
 from repro.dist import DistributedFAETrainer
@@ -69,7 +69,30 @@ def build_parser() -> argparse.ArgumentParser:
     prep = sub.add_parser("preprocess", help="run the static FAE pipeline")
     _add_data_args(prep)
     prep.add_argument("--batch-size", type=int, default=256)
-    prep.add_argument("--out", default=None, help="write the packed dataset here (.npz)")
+    prep.add_argument(
+        "--out",
+        default=None,
+        help="write the packed dataset here (.npz file, or a directory with --shard-size)",
+    )
+    prep.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="stream the log through the pipeline in chunks of this many samples "
+        "(bounds preprocess memory; default processes the log in one chunk)",
+    )
+    prep.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="write --out as a sharded directory with this many batches per shard",
+    )
+    prep.add_argument(
+        "--stream",
+        action="store_true",
+        help="generate the synthetic log lazily chunk-by-chunk instead of "
+        "materializing it (constant memory in --samples; implies --chunk-size)",
+    )
     prep.add_argument(
         "--trace", action="store_true", help="record spans and print the summary tree"
     )
@@ -200,8 +223,26 @@ def cmd_info(args) -> int:
 
 def cmd_preprocess(args) -> int:
     with obs.tracing(enabled=args.trace or obs.tracing_enabled()):
-        log = _make_log(args)
-        plan = fae_preprocess(log, _make_config(args), batch_size=args.batch_size)
+        if args.stream:
+            from repro.data import SyntheticClickStream
+            from repro.data.chunk_source import StreamChunkSource
+
+            schema = dataset_by_name(args.dataset, _parse_scale(args.scale))
+            source = StreamChunkSource(
+                SyntheticClickStream(
+                    schema,
+                    total_samples=args.samples,
+                    chunk_size=args.chunk_size or 8192,
+                    seed=args.seed,
+                )
+            )
+        else:
+            from repro.data import LogChunkSource
+
+            source = LogChunkSource(_make_log(args), chunk_size=args.chunk_size)
+        plan = fae_preprocess_source(
+            source, _make_config(args), batch_size=args.batch_size
+        )
         print(plan.summary())
         print(
             f"calibration: {plan.calibration.total_seconds:.3f}s "
@@ -209,7 +250,7 @@ def cmd_preprocess(args) -> int:
             f"classification: {plan.classify_seconds:.3f}s"
         )
         if args.out:
-            plan.save(args.out)
+            plan.save(args.out, shard_size=args.shard_size)
             print(f"wrote {args.out}")
         if args.trace:
             print()

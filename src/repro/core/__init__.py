@@ -26,8 +26,8 @@ Runtime components:
 
 from repro.core.config import FAEConfig
 from repro.core.access_profile import AccessProfile, TableProfile
-from repro.core.sampler import SparseInputSampler
-from repro.core.embedding_logger import EmbeddingLogger
+from repro.core.sampler import BernoulliSampleStream, SparseInputSampler
+from repro.core.embedding_logger import EmbeddingLogger, ProfileAccumulator
 from repro.core.randem_box import RandEmBox, HotSizeEstimate
 from repro.core.optimizer import StatisticalOptimizer, CalibrationResult
 from repro.core.calibrator import Calibrator
@@ -36,8 +36,14 @@ from repro.core.input_processor import (
     InputProcessor,
     FAEDataset,
     all_hot_batch_probability,
+    compute_hot_mask,
 )
-from repro.core.fae_format import save_fae_dataset, load_fae_dataset
+from repro.core.fae_format import (
+    ShardBatchSequence,
+    load_fae_dataset,
+    save_fae_dataset,
+    save_fae_dataset_sharded,
+)
 from repro.core.drift import DriftDetector, DriftReport, recalibration_diff
 from repro.core.sketch import CountMinSketch, SketchLogger
 from repro.core.memory_planner import MemoryPlan, plan_memory_budget
@@ -45,11 +51,12 @@ from repro.core.streaming import ReservoirSampler, StreamingCalibrator, Streamin
 from repro.core.allocation import Allocation, greedy_product_allocation, threshold_allocation
 from repro.core.replicator import EmbeddingReplicator, HotBag, HotEmbeddingBag
 from repro.core.scheduler import ShuffleScheduler, ScheduleEvent
-from repro.core.pipeline import FAEPlan, fae_preprocess
+from repro.core.pipeline import FAEPlan, fae_preprocess, fae_preprocess_source
 
 __all__ = [
     "AccessProfile",
     "Allocation",
+    "BernoulliSampleStream",
     "CalibrationResult",
     "Calibrator",
     "CountMinSketch",
@@ -67,9 +74,11 @@ __all__ = [
     "HotSizeEstimate",
     "InputProcessor",
     "MemoryPlan",
+    "ProfileAccumulator",
     "RandEmBox",
     "ReservoirSampler",
     "ScheduleEvent",
+    "ShardBatchSequence",
     "ShuffleScheduler",
     "SketchLogger",
     "SparseInputSampler",
@@ -78,11 +87,14 @@ __all__ = [
     "StatisticalOptimizer",
     "TableProfile",
     "all_hot_batch_probability",
+    "compute_hot_mask",
     "fae_preprocess",
+    "fae_preprocess_source",
     "greedy_product_allocation",
     "load_fae_dataset",
     "plan_memory_budget",
     "recalibration_diff",
     "save_fae_dataset",
+    "save_fae_dataset_sharded",
     "threshold_allocation",
 ]

@@ -50,6 +50,17 @@ class TableProfile:
     def row_bytes(self) -> int:
         return self.dim * self.bytes_per_value
 
+    def accumulate(self, ids: np.ndarray) -> None:
+        """Add one chunk of sampled lookup ids to the counts.
+
+        The streaming profiler builds a table's profile as a running
+        ``np.bincount`` sum, one chunk at a time; summing per-chunk
+        bincounts is exactly the bincount of the concatenated ids, so
+        chunking never changes the final profile.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        self.counts += np.bincount(ids.ravel(), minlength=self.num_rows)
+
     def hot_mask(self, min_count: float) -> np.ndarray:
         """Boolean mask of rows with at least ``min_count`` accesses."""
         return self.counts >= min_count

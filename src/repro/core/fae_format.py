@@ -1,32 +1,84 @@
 """FAE format: persistence of the preprocessed dataset (paper SS III-B).
 
 Calibration, classification, and batch packing run *once* per dataset;
-subsequent training jobs load the result directly.  The on-disk format is
-a single ``.npz`` archive carrying the hot mask, the packed batch index
-arrays, the per-table hot bags, and the calibration threshold, plus a
-format version for forward compatibility.
+subsequent training jobs load the result directly.  Two layouts share
+the same logical content (hot mask, packed batch index arrays, per-table
+hot bags, calibration threshold, format version):
 
-Writes are atomic (temp file + ``os.replace``), so an interrupted save
-never leaves a truncated archive under the final name; loading a
-truncated or corrupt archive raises a :class:`RuntimeError` that names
-the offending file instead of a bare numpy stack trace.
+- **flat** — a single ``.npz`` archive (:func:`save_fae_dataset`), fine
+  for datasets whose batch index arrays fit in one file;
+- **sharded** — a directory of ``shard-%06d.npz`` files each holding
+  ``shard_size`` batches, plus ``bags.npz``, ``mask.npz``, and a JSON
+  manifest with per-shard SHA-256 checksums
+  (:func:`save_fae_dataset_sharded`).  Shards are loaded lazily through
+  :class:`ShardBatchSequence`, so a trainer never holds more than one
+  shard of batch indices in memory.
+
+Every file is written atomically (temp file + ``os.replace``), and the
+manifest is written *last* — an interrupted sharded save never leaves a
+directory that loads as complete.  :func:`load_fae_dataset` dispatches
+on the path (directory or manifest -> sharded, file -> flat); loading a
+truncated or corrupt artifact raises a :class:`RuntimeError` naming the
+offending file instead of a bare numpy stack trace.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import zipfile
 import zlib
+from bisect import bisect_right
 from pathlib import Path
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.core.classifier import HotEmbeddingBagSpec
 from repro.core.input_processor import FAEDataset
-from repro.resilience.atomic import atomic_write
+from repro.resilience.atomic import atomic_write, atomic_write_text
 
-__all__ = ["save_fae_dataset", "load_fae_dataset", "FORMAT_VERSION"]
+__all__ = [
+    "FORMAT_VERSION",
+    "ShardBatchSequence",
+    "load_fae_dataset",
+    "save_fae_dataset",
+    "save_fae_dataset_sharded",
+]
 
 FORMAT_VERSION = 1
+
+FAE_MANIFEST = "fae_manifest.json"
+SHARDED_FORMAT = "fae-sharded"
+
+
+def _bag_payload(bags: dict[str, HotEmbeddingBagSpec]) -> dict[str, np.ndarray]:
+    """Archive entries describing the hot bags (shared by both layouts)."""
+    names = sorted(bags)
+    payload: dict[str, np.ndarray] = {"bag_names": np.array(names)}
+    for name in names:
+        bag = bags[name]
+        payload[f"bag_{name}_hot_ids"] = bag.hot_ids
+        payload[f"bag_{name}_meta"] = np.array(
+            [bag.num_rows, bag.dim, int(bag.whole_table)], dtype=np.int64
+        )
+    return payload
+
+
+def _bags_from_archive(archive) -> dict[str, HotEmbeddingBagSpec]:
+    """Inverse of :func:`_bag_payload`."""
+    bags: dict[str, HotEmbeddingBagSpec] = {}
+    for name in archive["bag_names"]:
+        name = str(name)
+        num_rows, dim, whole = archive[f"bag_{name}_meta"]
+        bags[name] = HotEmbeddingBagSpec(
+            table_name=name,
+            hot_ids=archive[f"bag_{name}_hot_ids"],
+            num_rows=int(num_rows),
+            dim=int(dim),
+            whole_table=bool(whole),
+        )
+    return bags
 
 
 def save_fae_dataset(
@@ -55,15 +107,7 @@ def save_fae_dataset(
         payload[f"hot_batch_{i:06d}"] = batch
     for i, batch in enumerate(dataset.cold_batches):
         payload[f"cold_batch_{i:06d}"] = batch
-
-    names = sorted(bags)
-    payload["bag_names"] = np.array(names)
-    for name in names:
-        bag = bags[name]
-        payload[f"bag_{name}_hot_ids"] = bag.hot_ids
-        payload[f"bag_{name}_meta"] = np.array(
-            [bag.num_rows, bag.dim, int(bag.whole_table)], dtype=np.int64
-        )
+    payload.update(_bag_payload(bags))
     # np.savez appends ".npz" to suffix-less paths; resolve the final
     # name the same way so the atomic replace lands where numpy would.
     final = Path(path)
@@ -73,10 +117,227 @@ def save_fae_dataset(
         np.savez_compressed(tmp, **payload)
 
 
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def save_fae_dataset_sharded(
+    directory: str | Path,
+    dataset: FAEDataset,
+    bags: dict[str, HotEmbeddingBagSpec],
+    threshold: float,
+    shard_size: int = 256,
+) -> Path:
+    """Serialize a packed dataset as a sharded directory.
+
+    Batches are grouped ``shard_size`` to a file, hot stream first, each
+    shard written atomically and checksummed; the manifest goes last.
+
+    Returns:
+        The shard directory path.
+    """
+    if shard_size <= 0:
+        raise ValueError(f"shard_size must be positive, got {shard_size}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    with atomic_write(directory / "bags.npz") as tmp:
+        np.savez_compressed(tmp, **_bag_payload(bags))
+    with atomic_write(directory / "mask.npz") as tmp:
+        np.savez_compressed(tmp, hot_mask=dataset.hot_mask)
+
+    shards: list[dict] = []
+
+    def write_shards(batches, kind: str) -> None:
+        for start in range(0, len(batches), shard_size):
+            group = list(batches[start : start + shard_size])
+            name = f"shard-{len(shards):06d}.npz"
+            payload = {f"batch_{i:06d}": batch for i, batch in enumerate(group)}
+            with atomic_write(directory / name) as tmp:
+                np.savez_compressed(tmp, **payload)
+            shards.append(
+                {
+                    "file": name,
+                    "kind": kind,
+                    "start": start,
+                    "count": len(group),
+                    "sha256": _sha256(directory / name),
+                }
+            )
+
+    write_shards(dataset.hot_batches, "hot")
+    write_shards(dataset.cold_batches, "cold")
+
+    manifest = {
+        "format": SHARDED_FORMAT,
+        "format_version": FORMAT_VERSION,
+        "threshold": float(threshold),
+        "batch_size": int(dataset.batch_size),
+        "shard_size": int(shard_size),
+        "num_hot_batches": len(dataset.hot_batches),
+        "num_cold_batches": len(dataset.cold_batches),
+        "files": {"bags": "bags.npz", "mask": "mask.npz"},
+        "shards": shards,
+    }
+    atomic_write_text(directory / FAE_MANIFEST, json.dumps(manifest, indent=1) + "\n")
+    return directory
+
+
+class ShardBatchSequence(Sequence):
+    """Lazy list-of-batches view over checksummed shard files.
+
+    Supports ``len()``, integer indexing, slicing, and iteration — the
+    full surface the trainers use — while holding at most one decoded
+    shard in memory (iteration and slices walk shard by shard).  Each
+    shard's SHA-256 is verified on first load; corruption raises a
+    :class:`RuntimeError` naming the file.
+    """
+
+    def __init__(self, directory: Path, shards: list[dict]) -> None:
+        self._directory = directory
+        self._shards = shards
+        self._ends: list[int] = []
+        total = 0
+        for shard in shards:
+            total += int(shard["count"])
+            self._ends.append(total)
+        self._total = total
+        self._cache_index: int | None = None
+        self._cache: list[np.ndarray] = []
+        self._verified: set[int] = set()
+
+    def __len__(self) -> int:
+        return self._total
+
+    def _load_shard(self, shard_index: int) -> list[np.ndarray]:
+        if shard_index == self._cache_index:
+            return self._cache
+        shard = self._shards[shard_index]
+        path = self._directory / str(shard["file"])
+        if shard_index not in self._verified:
+            try:
+                actual = _sha256(path)
+            except FileNotFoundError:
+                raise RuntimeError(f"FAE shard {path} is missing") from None
+            expected = str(shard["sha256"])
+            if actual != expected:
+                raise RuntimeError(
+                    f"FAE shard {path} failed its checksum "
+                    f"(expected {expected[:12]}..., got {actual[:12]}...)"
+                )
+            self._verified.add(shard_index)
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                batches = [
+                    archive[f"batch_{i:06d}"] for i in range(int(shard["count"]))
+                ]
+        except (KeyError, OSError, ValueError, zipfile.BadZipFile, zlib.error) as exc:
+            raise RuntimeError(f"FAE shard {path} is truncated or corrupt: {exc}") from exc
+        self._cache_index = shard_index
+        self._cache = batches
+        return batches
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._total))]
+        if index < 0:
+            index += self._total
+        if not 0 <= index < self._total:
+            raise IndexError(f"batch index {index} out of range [0, {self._total})")
+        shard_index = bisect_right(self._ends, index)
+        offset = index - (self._ends[shard_index - 1] if shard_index else 0)
+        return self._load_shard(shard_index)[offset]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for shard_index in range(len(self._shards)):
+            yield from self._load_shard(shard_index)
+
+    def materialize(self) -> list[np.ndarray]:
+        """Decode every shard into a plain list (tests / small datasets)."""
+        return list(self)
+
+
+def _load_npz(path: Path, description: str):
+    try:
+        return np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        raise RuntimeError(f"{description} {path} is corrupt: {exc}") from exc
+
+
+def _load_sharded(directory: Path) -> tuple[FAEDataset, dict[str, HotEmbeddingBagSpec], float]:
+    manifest_path = directory / FAE_MANIFEST
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise
+    except (json.JSONDecodeError, OSError, UnicodeDecodeError) as exc:
+        raise RuntimeError(f"FAE manifest {manifest_path} is corrupt: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != SHARDED_FORMAT:
+        raise RuntimeError(f"FAE manifest {manifest_path} is not a {SHARDED_FORMAT} manifest")
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"FAE format version {version} unsupported (expected {FORMAT_VERSION})"
+        )
+    try:
+        threshold = float(manifest["threshold"])
+        batch_size = int(manifest["batch_size"])
+        num_hot = int(manifest["num_hot_batches"])
+        num_cold = int(manifest["num_cold_batches"])
+        shards = list(manifest["shards"])
+        files = manifest["files"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RuntimeError(
+            f"FAE manifest {manifest_path} is truncated: missing {exc}"
+        ) from exc
+
+    with _load_npz(directory / str(files["mask"]), "FAE hot mask") as archive:
+        try:
+            hot_mask = archive["hot_mask"]
+        except KeyError as exc:
+            raise RuntimeError(
+                f"FAE hot mask {directory / str(files['mask'])} is truncated: {exc}"
+            ) from exc
+    with _load_npz(directory / str(files["bags"]), "FAE hot bags") as archive:
+        try:
+            bags = _bags_from_archive(archive)
+        except KeyError as exc:
+            raise RuntimeError(
+                f"FAE hot bags {directory / str(files['bags'])} are truncated: {exc}"
+            ) from exc
+
+    hot_shards = [s for s in shards if s.get("kind") == "hot"]
+    cold_shards = [s for s in shards if s.get("kind") == "cold"]
+    hot_batches = ShardBatchSequence(directory, hot_shards)
+    cold_batches = ShardBatchSequence(directory, cold_shards)
+    if len(hot_batches) != num_hot or len(cold_batches) != num_cold:
+        raise RuntimeError(
+            f"FAE manifest {manifest_path} shard counts disagree with batch totals "
+            f"({len(hot_batches)}/{num_hot} hot, {len(cold_batches)}/{num_cold} cold)"
+        )
+    dataset = FAEDataset(
+        hot_batches=hot_batches,
+        cold_batches=cold_batches,
+        hot_mask=hot_mask,
+        batch_size=batch_size,
+    )
+    return dataset, bags, threshold
+
+
 def load_fae_dataset(
     path: str | Path,
 ) -> tuple[FAEDataset, dict[str, HotEmbeddingBagSpec], float]:
-    """Load a dataset previously written by :func:`save_fae_dataset`.
+    """Load a dataset written by either :func:`save_fae_dataset` variant.
+
+    A directory (or a path to its manifest) loads the sharded layout
+    with lazy, checksum-verified batch sequences; a file loads the flat
+    single-archive layout.
 
     Returns:
         ``(dataset, bags, threshold)``.
@@ -84,18 +345,15 @@ def load_fae_dataset(
     Raises:
         ValueError: on a format-version mismatch.
         FileNotFoundError: if ``path`` does not exist.
-        RuntimeError: if the archive is truncated or corrupt (the error
+        RuntimeError: if an artifact is truncated or corrupt (the error
             names the file).
     """
     path = Path(path)
-    try:
-        archive_cm = np.load(path, allow_pickle=False)
-    except FileNotFoundError:
-        raise
-    except (zipfile.BadZipFile, OSError, ValueError) as exc:
-        raise RuntimeError(
-            f"packed FAE dataset {path} is corrupt or not a dataset archive: {exc}"
-        ) from exc
+    if path.is_dir():
+        return _load_sharded(path)
+    if path.name == FAE_MANIFEST:
+        return _load_sharded(path.parent)
+    archive_cm = _load_npz(path, "packed FAE dataset")
     try:
         with archive_cm as archive:
             if "format_version" not in archive.files:
@@ -119,17 +377,7 @@ def load_fae_dataset(
                 archive[f"cold_batch_{i:06d}"]
                 for i in range(int(archive["num_cold_batches"]))
             ]
-            bags: dict[str, HotEmbeddingBagSpec] = {}
-            for name in archive["bag_names"]:
-                name = str(name)
-                num_rows, dim, whole = archive[f"bag_{name}_meta"]
-                bags[name] = HotEmbeddingBagSpec(
-                    table_name=name,
-                    hot_ids=archive[f"bag_{name}_hot_ids"],
-                    num_rows=int(num_rows),
-                    dim=int(dim),
-                    whole_table=bool(whole),
-                )
+            bags = _bags_from_archive(archive)
     except KeyError as exc:
         raise RuntimeError(
             f"packed FAE dataset {path} is truncated: missing entry {exc}"

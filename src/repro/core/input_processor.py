@@ -6,6 +6,13 @@ cold.  Mini-batches must be *pure*: a single cold input inside a batch
 would stall the whole batch on a CPU fetch (paper Fig 4 quantifies how
 fast the all-hot probability collapses under naive batching), so the
 processor packs hot and cold inputs into separate mini-batch streams.
+
+Packing is streaming: :meth:`InputProcessor.classify_and_pack_stream`
+classifies one chunk at a time and accumulates only *index* arrays (8
+bytes per input), never the feature columns, so packing a source never
+materializes the log.  The whole-log :meth:`InputProcessor.pack` is a
+thin wrapper over a single-chunk source and produces byte-identical
+batches for the same seed regardless of chunking.
 """
 
 from __future__ import annotations
@@ -15,10 +22,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.classifier import HotEmbeddingBagSpec
+from repro.data.chunk_source import ChunkSource, LogChunkSource
 from repro.data.synthetic import SyntheticClickLog
 from repro.obs import get_registry, span, timed
 
-__all__ = ["FAEDataset", "InputProcessor", "all_hot_batch_probability"]
+__all__ = [
+    "FAEDataset",
+    "InputProcessor",
+    "all_hot_batch_probability",
+    "compute_hot_mask",
+]
 
 
 def all_hot_batch_probability(hot_input_fraction: float, batch_size: int) -> float:
@@ -35,13 +48,42 @@ def all_hot_batch_probability(hot_input_fraction: float, batch_size: int) -> flo
     return float(hot_input_fraction**batch_size)
 
 
+def compute_hot_mask(
+    sparse: dict[str, np.ndarray],
+    bags: dict[str, HotEmbeddingBagSpec],
+    masks: dict[str, np.ndarray],
+    num_inputs: int,
+) -> np.ndarray:
+    """Boolean hot mask over ``num_inputs`` rows of sparse lookups.
+
+    One vectorized pass per table: an input stays hot while every id it
+    looks up is in that table's hot bag.  Shared by the input processor
+    and the streaming packer.
+
+    Raises:
+        KeyError: if a sparse table has no corresponding hot bag.
+    """
+    hot = np.ones(num_inputs, dtype=bool)
+    for name, ids in sparse.items():
+        bag = bags.get(name)
+        if bag is None:
+            raise KeyError(f"no hot bag for table {name!r}")
+        if bag.whole_table:
+            continue
+        hot &= masks[name][ids].all(axis=1)
+    return hot
+
+
 @dataclass
 class FAEDataset:
     """A click log pre-packed into pure-hot and pure-cold mini-batches.
 
     Attributes:
-        hot_batches: list of int64 index arrays, each a pure-hot batch.
-        cold_batches: list of int64 index arrays, each a pure-cold batch.
+        hot_batches: int64 index arrays, each a pure-hot batch.  Either a
+            plain list or a lazy shard-backed sequence (see
+            :class:`repro.core.fae_format.ShardBatchSequence`); both
+            support ``len()``, indexing, slicing, and iteration.
+        cold_batches: same, for pure-cold batches.
         hot_mask: per-input hotness over the full log.
         batch_size: packing batch size.
     """
@@ -67,6 +109,12 @@ class FAEDataset:
         return len(self.hot_batches), len(self.cold_batches)
 
 
+def _cut_batches(indices: np.ndarray, batch_size: int, drop_last: bool) -> list[np.ndarray]:
+    """Slice an index stream into consecutive batches (each computed once)."""
+    stop = (len(indices) // batch_size) * batch_size if drop_last else len(indices)
+    return [indices[start : start + batch_size] for start in range(0, stop, batch_size)]
+
+
 class InputProcessor:
     """Classifies inputs against hot bags and packs pure mini-batches.
 
@@ -82,20 +130,9 @@ class InputProcessor:
         self._masks = {name: bag.hot_mask() for name, bag in bags.items()}
 
     def classify_inputs(self, log: SyntheticClickLog) -> np.ndarray:
-        """Boolean hot mask over the log's inputs.
-
-        One vectorized pass per table: an input stays hot while every id
-        it looks up is in that table's hot bag.
-        """
+        """Boolean hot mask over the log's inputs."""
         with timed("classify", num_inputs=len(log)) as timer:
-            hot = np.ones(len(log), dtype=bool)
-            for name, ids in log.sparse.items():
-                bag = self.bags.get(name)
-                if bag is None:
-                    raise KeyError(f"no hot bag for table {name!r}")
-                if bag.whole_table:
-                    continue
-                hot &= self._masks[name][ids].all(axis=1)
+            hot = compute_hot_mask(log.sparse, self.bags, self._masks, len(log))
             hot_count = int(np.count_nonzero(hot))
             timer.set(num_hot=hot_count)
         # Thin alias over the span's wall time; kept for older callers.
@@ -126,27 +163,76 @@ class InputProcessor:
             The packed :class:`FAEDataset` (persist it with
             :func:`repro.core.fae_format.save_fae_dataset`).
         """
+        return self.classify_and_pack_stream(
+            LogChunkSource(log),
+            batch_size=batch_size,
+            drop_last=drop_last,
+            shuffle=shuffle,
+        )
+
+    def classify_and_pack_stream(
+        self,
+        source: ChunkSource,
+        batch_size: int,
+        drop_last: bool = False,
+        shuffle: bool = True,
+    ) -> FAEDataset:
+        """Fused classify+pack over a chunk source (pass 2 of preprocess).
+
+        Each chunk is classified against the hot masks and contributes
+        only its hot/cold *global index* arrays to the builders; the
+        feature columns are never retained, so memory is bounded by one
+        chunk plus 8 bytes per input.  The hot-then-cold shuffle consumes
+        one seeded generator exactly like the legacy whole-log pack, so
+        batch order is byte-identical for any chunking of the same input.
+        """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         with span("classify.pack", batch_size=batch_size) as pack_span:
-            hot_mask = self.classify_inputs(log)
+            mask_parts: list[np.ndarray] = []
+            hot_parts: list[np.ndarray] = []
+            cold_parts: list[np.ndarray] = []
+            classify_seconds = 0.0
+            num_inputs = 0
+            num_hot = 0
+            for start, chunk in source:
+                with timed("classify", num_inputs=len(chunk)) as timer:
+                    chunk_hot = compute_hot_mask(
+                        chunk.sparse, self.bags, self._masks, len(chunk)
+                    )
+                    chunk_hot_count = int(np.count_nonzero(chunk_hot))
+                    timer.set(num_hot=chunk_hot_count)
+                classify_seconds += timer.seconds
+                mask_parts.append(chunk_hot)
+                hot_parts.append((start + np.flatnonzero(chunk_hot)).astype(np.int64))
+                cold_parts.append((start + np.flatnonzero(~chunk_hot)).astype(np.int64))
+                num_inputs += len(chunk)
+                num_hot += chunk_hot_count
+
+            # Thin alias over the classify spans' wall time (summed).
+            self.last_classify_seconds = classify_seconds
+            registry = get_registry()
+            registry.counter("classify.inputs").inc(num_inputs)
+            registry.counter("classify.hot_inputs").inc(num_hot)
+            if num_inputs:
+                registry.gauge("train.batch.hot_fraction").set(num_hot / num_inputs)
+
+            hot_mask = (
+                np.concatenate(mask_parts) if mask_parts else np.zeros(0, dtype=bool)
+            )
             rng = np.random.default_rng(self.seed)
 
-            def chunk(indices: np.ndarray) -> list[np.ndarray]:
+            def build(parts: list[np.ndarray]) -> list[np.ndarray]:
+                indices = (
+                    np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+                )
                 if shuffle:
                     rng.shuffle(indices)
-                stop = (len(indices) // batch_size) * batch_size if drop_last else len(indices)
-                return [
-                    indices[start : start + batch_size]
-                    for start in range(0, stop, batch_size)
-                    if len(indices[start : start + batch_size]) > 0
-                ]
+                return _cut_batches(indices, batch_size, drop_last)
 
-            hot_indices = np.flatnonzero(hot_mask).astype(np.int64)
-            cold_indices = np.flatnonzero(~hot_mask).astype(np.int64)
             dataset = FAEDataset(
-                hot_batches=chunk(hot_indices),
-                cold_batches=chunk(cold_indices),
+                hot_batches=build(hot_parts),
+                cold_batches=build(cold_parts),
                 hot_mask=hot_mask,
                 batch_size=batch_size,
             )

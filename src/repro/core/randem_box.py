@@ -94,10 +94,11 @@ class RandEmBox:
             else:
                 rng = np.random.default_rng(self.seed)
                 starts = rng.integers(0, num_rows - m + 1, size=n)
-                chunk_counts = np.empty(n, dtype=np.float64)
-                for i, s in enumerate(starts):
-                    chunk = profile.counts[s : s + m]
-                    chunk_counts[i] = np.count_nonzero(chunk >= min_count)  # Eq. 2-3
+                # One gather for all n chunks: rows[i, j] = starts[i] + j.
+                rows = starts[:, None] + np.arange(m)
+                chunk_counts = (
+                    (profile.counts[rows] >= min_count).sum(axis=1).astype(np.float64)
+                )  # Eq. 2-3
 
                 mean = float(chunk_counts.mean())  # Eq. 4
                 std = float(chunk_counts.std(ddof=1))

@@ -6,6 +6,17 @@ of input positions; because inputs are i.i.d. draws from the underlying
 popularity distribution, the sampled access profile converges to the full
 profile (paper Fig 7 shows 5% suffices), at a 19-55x latency saving
 (Fig 8).
+
+Two sampling modes serve the chunked preprocess pipeline:
+
+- when the source length is known (:meth:`SparseInputSampler.sample` /
+  :meth:`~SparseInputSampler.sample_source`), the exact positions are
+  pre-drawn once and each chunk selects its slice of them — so the
+  sample, and everything downstream, is byte-identical no matter how the
+  input is chunked;
+- when the length is unknown (a true stream), the sampler hands out a
+  :class:`BernoulliSampleStream` drawing per-row keep masks at the
+  configured rate, one chunk at a time.
 """
 
 from __future__ import annotations
@@ -14,10 +25,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.data.chunk_source import ChunkSource
 from repro.data.synthetic import SyntheticClickLog
 from repro.obs import timed
 
-__all__ = ["SparseInputSampler", "SampleResult"]
+__all__ = ["BernoulliSampleStream", "SparseInputSampler", "SampleResult"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +55,33 @@ class SampleResult:
         return self.num_sampled / self.num_total_inputs
 
 
+class BernoulliSampleStream:
+    """Per-chunk Bernoulli keep masks for sources of unknown length.
+
+    Draws are consumed sequentially from one generator, so the kept set
+    depends only on row order, not on where chunk boundaries fall.
+
+    Args:
+        rate: keep probability per row, in ``(0, 1]``.
+        seed: draw seed.
+    """
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0 < rate <= 1:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        self.rate = rate
+        self.observed = 0
+        self.sampled = 0
+        self._rng = np.random.default_rng(seed)
+
+    def draw(self, n: int) -> np.ndarray:
+        """Keep mask for the next ``n`` rows of the stream."""
+        mask = self._rng.random(n) < self.rate
+        self.observed += int(n)
+        self.sampled += int(np.count_nonzero(mask))
+        return mask
+
+
 class SparseInputSampler:
     """Uniform random sampler over input positions.
 
@@ -57,14 +96,9 @@ class SparseInputSampler:
         self.sample_rate = sample_rate
         self.seed = seed
 
-    def sample(self, log: SyntheticClickLog) -> SampleResult:
-        """Draw the sample from ``log``.
-
-        At least one input is always kept so downstream stages never see
-        an empty profile.
-        """
+    def _sample_total(self, total: int) -> SampleResult:
+        """Exact-count draw over ``total`` known positions."""
         with timed("calibrate.sample", rate=self.sample_rate) as timer:
-            total = len(log)
             keep = max(1, int(round(total * self.sample_rate)))
             rng = np.random.default_rng(self.seed)
             indices = np.sort(rng.choice(total, size=keep, replace=False)).astype(np.int64)
@@ -75,10 +109,51 @@ class SparseInputSampler:
             elapsed_seconds=timer.seconds,
         )
 
+    def sample(self, log: SyntheticClickLog) -> SampleResult:
+        """Draw the sample from ``log``.
+
+        At least one input is always kept so downstream stages never see
+        an empty profile.
+        """
+        return self._sample_total(len(log))
+
+    def sample_source(self, source: ChunkSource) -> SampleResult:
+        """Draw the sample for a sized chunk source.
+
+        The positions are identical to :meth:`sample` over the
+        materialized equivalent — chunking never changes the sample.
+
+        Raises:
+            ValueError: if the source length is unknown (use
+                :meth:`bernoulli_stream` for those).
+        """
+        total = source.num_samples
+        if total is None:
+            raise ValueError(
+                "source length unknown; use bernoulli_stream() for unsized sources"
+            )
+        return self._sample_total(total)
+
+    def bernoulli_stream(self, full_profile: bool = False) -> BernoulliSampleStream:
+        """Streaming keep-mask sampler for sources of unknown length."""
+        rate = 1.0 if full_profile else self.sample_rate
+        return BernoulliSampleStream(rate, seed=self.seed)
+
     def sample_all(self, log: SyntheticClickLog) -> SampleResult:
         """The naive full-dataset "sample" (baseline for Fig 8)."""
+        return self._sample_all_total(len(log))
+
+    def sample_all_source(self, source: ChunkSource) -> SampleResult:
+        """Full "sample" over a sized chunk source (Fig 8 baseline)."""
+        total = source.num_samples
+        if total is None:
+            raise ValueError(
+                "source length unknown; use bernoulli_stream(full_profile=True)"
+            )
+        return self._sample_all_total(total)
+
+    def _sample_all_total(self, total: int) -> SampleResult:
         with timed("calibrate.sample", rate=1.0, full_profile=True) as timer:
-            total = len(log)
             indices = np.arange(total, dtype=np.int64)
             timer.set(num_sampled=total, num_total=total)
         return SampleResult(

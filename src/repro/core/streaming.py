@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.access_profile import AccessProfile, TableProfile
 from repro.core.classifier import EmbeddingClassifier, HotEmbeddingBagSpec
 from repro.core.config import FAEConfig
+from repro.core.input_processor import compute_hot_mask
 from repro.core.optimizer import CalibrationResult, StatisticalOptimizer
 from repro.core.sketch import CountMinSketch
 from repro.data.loader import MiniBatch
@@ -191,15 +192,7 @@ class StreamingPacker:
         self.emitted = {"hot": 0, "cold": 0}
 
     def _classify(self, chunk: ClickLog) -> np.ndarray:
-        hot = np.ones(len(chunk), dtype=bool)
-        for name, ids in chunk.sparse.items():
-            bag = self.bags.get(name)
-            if bag is None:
-                raise KeyError(f"no hot bag for table {name!r}")
-            if bag.whole_table:
-                continue
-            hot &= self._masks[name][ids].all(axis=1)
-        return hot
+        return compute_hot_mask(chunk.sparse, self.bags, self._masks, len(chunk))
 
     def _emit_from(self, hot: bool) -> Iterator[MiniBatch]:
         buffer = self._buffers[hot]

@@ -22,9 +22,18 @@ from repro.data.datasets import (
     dataset_by_name,
     taobao_like,
 )
-from repro.data.loader import BatchIterator, MiniBatch, train_test_split
+from repro.data.loader import BatchIterator, MiniBatch, iter_fae_batches, train_test_split
 from repro.data.log import ClickLog
 from repro.data.stream import SyntheticClickStream
+from repro.data.chunk_source import (
+    ChunkSource,
+    LogChunkSource,
+    ShardChunkSource,
+    StreamChunkSource,
+    UnsizedChunkSource,
+    as_chunk_source,
+    save_log_shards,
+)
 from repro.data.formats import (
     criteo_tsv_lines,
     parse_criteo_tsv,
@@ -33,7 +42,15 @@ from repro.data.formats import (
 
 __all__ = [
     "BatchIterator",
+    "ChunkSource",
     "ClickLog",
+    "LogChunkSource",
+    "ShardChunkSource",
+    "StreamChunkSource",
+    "UnsizedChunkSource",
+    "as_chunk_source",
+    "iter_fae_batches",
+    "save_log_shards",
     "criteo_tsv_lines",
     "parse_criteo_tsv",
     "parse_taobao_events",

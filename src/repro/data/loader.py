@@ -19,7 +19,14 @@ import numpy as np
 
 from repro.data.synthetic import SyntheticClickLog
 
-__all__ = ["MiniBatch", "BatchIterator", "batch_from_log", "fetch_batch", "train_test_split"]
+__all__ = [
+    "MiniBatch",
+    "BatchIterator",
+    "batch_from_log",
+    "fetch_batch",
+    "iter_fae_batches",
+    "train_test_split",
+]
 
 
 @dataclass(frozen=True)
@@ -99,6 +106,44 @@ def fetch_batch(
         return batch_from_log(log, indices, hot=hot)
 
     return with_retries(attempt, policy=retry, name="data.fetch_batch")
+
+
+def iter_fae_batches(
+    log: SyntheticClickLog,
+    dataset,
+    pool: str,
+    start: int = 0,
+    count: int | None = None,
+    hot: bool | None = None,
+    fault_plan=None,
+    retry=None,
+):
+    """Materialize mini-batches from one pool of a packed FAE dataset.
+
+    The FAE trainers drain ``dataset.hot_batches`` / ``cold_batches`` in
+    segments; this generator is their shared data path.  The pool is
+    sliced once, so in-memory lists and lazy shard-backed sequences
+    (:class:`repro.core.fae_format.ShardBatchSequence`) both stream the
+    index arrays without decoding more than they need.
+
+    Args:
+        log: source log the index arrays point into.
+        dataset: a :class:`~repro.core.input_processor.FAEDataset`.
+        pool: ``"hot"`` or ``"cold"`` — which batch stream to drain.
+        start: first batch position in the pool.
+        count: number of batches to yield (None drains to the end).
+        hot: FAE temperature tag for the fetched batches (may differ
+            from ``pool`` when a degraded run drains its planned hot
+            pool on the cold execution path).
+        fault_plan: optional loader-fault injection, per :func:`fetch_batch`.
+        retry: retry policy for injected hiccups.
+    """
+    if pool not in ("hot", "cold"):
+        raise ValueError(f"pool must be 'hot' or 'cold', got {pool!r}")
+    batches = dataset.hot_batches if pool == "hot" else dataset.cold_batches
+    stop = len(batches) if count is None else min(len(batches), start + count)
+    for index_array in batches[start:stop]:
+        yield fetch_batch(log, index_array, hot=hot, fault_plan=fault_plan, retry=retry)
 
 
 class BatchIterator:

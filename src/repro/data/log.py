@@ -58,6 +58,29 @@ class ClickLog:
                 raise ValueError(f"{spec.name}: ids out of range [0, {spec.num_rows})")
             self.sparse[spec.name] = ids
 
+    @classmethod
+    def from_trusted(
+        cls,
+        schema: DatasetSchema,
+        dense: np.ndarray,
+        sparse: dict[str, np.ndarray],
+        labels: np.ndarray,
+    ) -> "ClickLog":
+        """Construct without validation or copies.
+
+        For internal use on arrays that are already validated — e.g.
+        row-slice views handed out by
+        :class:`~repro.data.chunk_source.LogChunkSource`.  Skipping the
+        per-table range checks keeps chunk iteration free of extra full
+        scans over the sparse ids.
+        """
+        log = cls.__new__(cls)
+        log.schema = schema
+        log.dense = dense
+        log.sparse = sparse
+        log.labels = labels
+        return log
+
     def __len__(self) -> int:
         return int(self.labels.shape[0])
 

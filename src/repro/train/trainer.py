@@ -30,7 +30,7 @@ import numpy as np
 from repro.core.pipeline import FAEPlan
 from repro.core.replicator import EmbeddingReplicator
 from repro.core.scheduler import ShuffleScheduler
-from repro.data.loader import BatchIterator, fetch_batch
+from repro.data.loader import BatchIterator, iter_fae_batches
 from repro.data.synthetic import SyntheticClickLog
 from repro.models.base import RecModel
 from repro.nn.losses import BCEWithLogits
@@ -383,21 +383,20 @@ class FAETrainer:
                     else:
                         optimizer = SGD(optimizer_params["cold"], lr=self.lr)
                     pool_name = segment.drain_pool
-                    pool = (
-                        dataset.hot_batches if pool_name == "hot" else dataset.cold_batches
-                    )
 
                     losses = []
                     accs = []
                     start = cursors[pool_name]
-                    for index_array in pool[start : start + segment.num_batches]:
-                        batch = fetch_batch(
-                            train_log,
-                            index_array,
-                            hot=run_hot,
-                            fault_plan=self.fault_plan,
-                            retry=self.retry,
-                        )
+                    for batch in iter_fae_batches(
+                        train_log,
+                        dataset,
+                        pool_name,
+                        start=start,
+                        count=segment.num_batches,
+                        hot=run_hot,
+                        fault_plan=self.fault_plan,
+                        retry=self.retry,
+                    ):
                         logits = self.model.forward(batch)
                         loss = loss_fn.forward(logits, batch.labels)
                         self.model.backward(loss_fn.backward())

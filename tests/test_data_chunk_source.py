@@ -1,0 +1,174 @@
+"""Tests for the chunk-source abstraction in :mod:`repro.data.chunk_source`."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    LogChunkSource,
+    ShardChunkSource,
+    StreamChunkSource,
+    SyntheticClickLog,
+    SyntheticClickStream,
+    SyntheticConfig,
+    UnsizedChunkSource,
+    as_chunk_source,
+    save_log_shards,
+)
+from repro.data.chunk_source import SHARD_MANIFEST
+
+
+@pytest.fixture(scope="module")
+def small_log(tiny_schema):
+    return SyntheticClickLog(tiny_schema, SyntheticConfig(num_samples=1000, seed=5))
+
+
+def reassemble(source):
+    """Concatenate a source's chunks back into full columns."""
+    dense, labels = [], []
+    sparse = {name: [] for name in source.schema.table_names}
+    starts = []
+    for start, chunk in source:
+        starts.append((start, len(chunk)))
+        dense.append(chunk.dense)
+        labels.append(chunk.labels)
+        for name, ids in chunk.sparse.items():
+            sparse[name].append(ids)
+    return (
+        starts,
+        np.concatenate(dense),
+        {name: np.concatenate(parts) for name, parts in sparse.items()},
+        np.concatenate(labels),
+    )
+
+
+class TestLogChunkSource:
+    def test_single_chunk_default(self, small_log):
+        source = LogChunkSource(small_log)
+        chunks = list(source)
+        assert len(chunks) == 1
+        start, chunk = chunks[0]
+        assert start == 0
+        assert len(chunk) == len(small_log)
+        assert source.num_samples == len(small_log)
+
+    def test_chunks_are_views_not_copies(self, small_log):
+        source = LogChunkSource(small_log, chunk_size=256)
+        for start, chunk in source:
+            assert np.shares_memory(chunk.dense, small_log.dense)
+            for name, ids in chunk.sparse.items():
+                assert np.shares_memory(ids, small_log.sparse[name])
+
+    def test_reassembles_exactly(self, small_log):
+        starts, dense, sparse, labels = reassemble(LogChunkSource(small_log, chunk_size=77))
+        assert starts[0] == (0, 77)
+        assert starts[-1][0] + starts[-1][1] == len(small_log)
+        assert np.array_equal(dense, small_log.dense)
+        assert np.array_equal(labels, small_log.labels)
+        for name in sparse:
+            assert np.array_equal(sparse[name], small_log.sparse[name])
+
+    def test_reiterable(self, small_log):
+        source = LogChunkSource(small_log, chunk_size=300)
+        assert len(list(source)) == len(list(source)) == 4
+
+    def test_rejects_bad_chunk_size(self, small_log):
+        with pytest.raises(ValueError):
+            LogChunkSource(small_log, chunk_size=0)
+
+
+class TestStreamChunkSource:
+    def test_matches_stream(self, tiny_schema):
+        stream = SyntheticClickStream(tiny_schema, total_samples=500, chunk_size=128, seed=9)
+        source = StreamChunkSource(stream)
+        assert source.num_samples == 500
+        assert source.chunk_size == 128
+        starts, dense, _sparse, labels = reassemble(source)
+        assert sum(n for _s, n in starts) == 500
+        assert dense.shape[0] == 500 and labels.shape[0] == 500
+
+
+class TestUnsizedChunkSource:
+    def test_unknown_length_and_reiterable(self, tiny_schema):
+        stream = SyntheticClickStream(tiny_schema, total_samples=400, chunk_size=100, seed=2)
+        source = UnsizedChunkSource(tiny_schema, lambda: iter(stream), chunk_size=100)
+        assert source.num_samples is None
+        assert len(list(source)) == 4
+        assert len(list(source)) == 4
+
+
+class TestShardRoundTrip:
+    def test_round_trip(self, small_log, tmp_path):
+        directory = save_log_shards(
+            tmp_path / "shards", LogChunkSource(small_log, chunk_size=256)
+        )
+        source = ShardChunkSource(directory)
+        assert source.num_samples == len(small_log)
+        assert source.schema.table_names == small_log.schema.table_names
+        _starts, dense, sparse, labels = reassemble(source)
+        assert np.array_equal(dense, small_log.dense)
+        assert np.array_equal(labels, small_log.labels)
+        for name in sparse:
+            assert np.array_equal(sparse[name], small_log.sparse[name])
+
+    def test_schema_fields_survive(self, small_log, tmp_path):
+        directory = save_log_shards(tmp_path / "shards", small_log)
+        schema = ShardChunkSource(directory).schema
+        for spec, original in zip(schema.tables, small_log.schema.tables):
+            assert spec.name == original.name
+            assert spec.num_rows == original.num_rows
+            assert spec.dim == original.dim
+            assert spec.zipf_exponent == original.zipf_exponent
+            assert spec.multiplicity == original.multiplicity
+
+    def test_missing_manifest_raises(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(FileNotFoundError):
+            ShardChunkSource(tmp_path / "empty")
+
+    def test_corrupt_manifest_names_file(self, small_log, tmp_path):
+        directory = save_log_shards(tmp_path / "shards", small_log)
+        (directory / SHARD_MANIFEST).write_text("{not json", encoding="utf-8")
+        with pytest.raises(RuntimeError, match=SHARD_MANIFEST):
+            ShardChunkSource(directory)
+
+    def test_wrong_format_rejected(self, small_log, tmp_path):
+        directory = save_log_shards(tmp_path / "shards", small_log)
+        (directory / SHARD_MANIFEST).write_text(json.dumps({"format": "other"}))
+        with pytest.raises(RuntimeError, match="manifest"):
+            ShardChunkSource(directory)
+
+    def test_missing_shard_names_file(self, small_log, tmp_path):
+        directory = save_log_shards(
+            tmp_path / "shards", LogChunkSource(small_log, chunk_size=256)
+        )
+        (directory / "chunk-000001.npz").unlink()
+        with pytest.raises(RuntimeError, match="chunk-000001"):
+            list(ShardChunkSource(directory))
+
+    def test_truncated_shard_names_file(self, small_log, tmp_path):
+        directory = save_log_shards(
+            tmp_path / "shards", LogChunkSource(small_log, chunk_size=256)
+        )
+        shard = directory / "chunk-000000.npz"
+        shard.write_bytes(shard.read_bytes()[:40])
+        with pytest.raises(RuntimeError, match="chunk-000000"):
+            list(ShardChunkSource(directory))
+
+
+class TestAsChunkSource:
+    def test_passthrough(self, small_log):
+        source = LogChunkSource(small_log)
+        assert as_chunk_source(source) is source
+
+    def test_coerces_log_stream_and_path(self, small_log, tiny_schema, tmp_path):
+        assert isinstance(as_chunk_source(small_log), LogChunkSource)
+        stream = SyntheticClickStream(tiny_schema, total_samples=100, chunk_size=50)
+        assert isinstance(as_chunk_source(stream), StreamChunkSource)
+        directory = save_log_shards(tmp_path / "shards", small_log)
+        assert isinstance(as_chunk_source(directory), ShardChunkSource)
+
+    def test_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            as_chunk_source(42)

@@ -1,0 +1,37 @@
+"""The RLIMIT_AS wrapper backing CI's bounded-memory preprocess smoke."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+RSS_CAP = Path(__file__).resolve().parents[1] / "scripts" / "rss_cap.py"
+
+
+def run_capped(limit_mb: int, *command: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(RSS_CAP), "--limit-mb", str(limit_mb), "--", *command],
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestRssCap:
+    def test_command_within_cap_succeeds(self):
+        result = run_capped(512, sys.executable, "-c", "print('ok')")
+        assert result.returncode == 0
+        assert "ok" in result.stdout
+
+    def test_allocation_over_cap_fails(self):
+        result = run_capped(
+            128, sys.executable, "-c", "b = bytearray(512 * 1024 * 1024); print(len(b))"
+        )
+        assert result.returncode != 0
+        assert "512" not in result.stdout
+
+    def test_requires_a_command(self):
+        result = subprocess.run(
+            [sys.executable, str(RSS_CAP), "--limit-mb", "64"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode != 0

@@ -1,0 +1,272 @@
+"""Streaming preprocess: chunked equivalence, sharded FAE format, trainers.
+
+The refactor's acceptance bar is *byte-identical* output: running the
+sample -> profile -> classify -> pack pipeline chunk-by-chunk must
+reproduce the whole-log path exactly, for any chunk size, on the same
+seed.  These tests pin that, plus the sharded on-disk format's
+round-trip, lazy loading, and corruption detection.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Calibrator,
+    FAEConfig,
+    fae_preprocess,
+    fae_preprocess_source,
+    load_fae_dataset,
+)
+from repro.core.fae_format import FAE_MANIFEST, ShardBatchSequence
+from repro.data import (
+    ClickLog,
+    StreamChunkSource,
+    SyntheticClickStream,
+    UnsizedChunkSource,
+    iter_fae_batches,
+    train_test_split,
+)
+
+
+def assert_plans_equal(actual, expected):
+    """Byte-level equality of everything a plan persists."""
+    assert actual.threshold == expected.threshold
+    assert np.array_equal(actual.dataset.hot_mask, expected.dataset.hot_mask)
+    assert len(actual.dataset.hot_batches) == len(expected.dataset.hot_batches)
+    assert len(actual.dataset.cold_batches) == len(expected.dataset.cold_batches)
+    for got, want in zip(actual.dataset.hot_batches, expected.dataset.hot_batches):
+        assert np.array_equal(got, want)
+    for got, want in zip(actual.dataset.cold_batches, expected.dataset.cold_batches):
+        assert np.array_equal(got, want)
+    for name, bag in expected.bags.items():
+        assert np.array_equal(actual.bags[name].hot_ids, bag.hot_ids)
+
+
+class TestChunkedEquivalence:
+    @pytest.mark.parametrize("chunk_size", [37, 500, 4000, 8192])
+    def test_byte_identical_to_whole_log(self, tiny_log, tiny_fae_config, tiny_plan, chunk_size):
+        chunked = fae_preprocess(
+            tiny_log, tiny_fae_config, batch_size=64, chunk_size=chunk_size
+        )
+        assert_plans_equal(chunked, tiny_plan)
+
+    def test_profile_counts_identical(self, tiny_log, tiny_fae_config, tiny_plan):
+        chunked = fae_preprocess(tiny_log, tiny_fae_config, batch_size=64, chunk_size=123)
+        base = tiny_plan.calibration.profile
+        got = chunked.calibration.profile
+        assert got.num_sampled_inputs == base.num_sampled_inputs
+        assert set(got.tables) == set(base.tables)
+        for name, table in base.tables.items():
+            assert np.array_equal(got.tables[name].counts, table.counts)
+
+    def test_stream_source_matches_materialized(self, tiny_schema, tiny_fae_config):
+        stream = SyntheticClickStream(tiny_schema, total_samples=2000, chunk_size=256, seed=4)
+        streamed = fae_preprocess_source(
+            StreamChunkSource(stream), tiny_fae_config, batch_size=64
+        )
+        chunks = [chunk for _start, chunk in stream]
+        materialized = ClickLog(
+            schema=tiny_schema,
+            dense=np.concatenate([c.dense for c in chunks]),
+            sparse={
+                name: np.concatenate([c.sparse[name] for c in chunks])
+                for name in tiny_schema.table_names
+            },
+            labels=np.concatenate([c.labels for c in chunks]),
+        )
+        in_memory = fae_preprocess(materialized, tiny_fae_config, batch_size=64)
+        assert_plans_equal(streamed, in_memory)
+
+
+class TestUnsizedCalibration:
+    def test_bernoulli_fallback_for_unknown_length(self, tiny_schema, tiny_fae_config):
+        stream = SyntheticClickStream(tiny_schema, total_samples=4000, chunk_size=512, seed=8)
+        source = UnsizedChunkSource(tiny_schema, lambda: iter(stream), chunk_size=512)
+        output = Calibrator(tiny_fae_config).calibrate_source(source)
+        sampled = output.profile.num_sampled_inputs
+        # Binomial(4000, 0.2): mean 800, sd ~25 — 6 sigma on both sides.
+        assert 650 <= sampled <= 950
+        assert output.threshold > 0
+
+    def test_keeps_at_least_one_sample(self, tiny_schema):
+        config = FAEConfig(
+            gpu_memory_budget=16 * 1024,
+            sample_rate=1e-9,
+            large_table_min_bytes=1024,
+            seed=3,
+        )
+        stream = SyntheticClickStream(tiny_schema, total_samples=200, chunk_size=100, seed=1)
+        source = UnsizedChunkSource(tiny_schema, lambda: iter(stream), chunk_size=100)
+        output = Calibrator(config).calibrate_source(source)
+        assert output.profile.num_sampled_inputs == 1
+
+    def test_unsized_preprocess_end_to_end(self, tiny_schema, tiny_fae_config):
+        stream = SyntheticClickStream(tiny_schema, total_samples=1500, chunk_size=300, seed=6)
+        source = UnsizedChunkSource(tiny_schema, lambda: iter(stream), chunk_size=300)
+        plan = fae_preprocess_source(source, tiny_fae_config, batch_size=64)
+        assert len(plan.dataset.hot_mask) == 1500
+        total = sum(len(b) for b in plan.dataset.hot_batches)
+        total += sum(len(b) for b in plan.dataset.cold_batches)
+        assert total == 1500
+
+
+class TestShardedRoundTrip:
+    @pytest.fixture()
+    def sharded_dir(self, tiny_plan, tmp_path):
+        directory = tmp_path / "plan_shards"
+        tiny_plan.save(directory, shard_size=3)
+        return directory
+
+    def test_round_trip_equals_flat(self, tiny_plan, sharded_dir):
+        dataset, bags, threshold = load_fae_dataset(sharded_dir)
+        assert threshold == tiny_plan.threshold
+        assert dataset.batch_size == tiny_plan.dataset.batch_size
+        assert np.array_equal(dataset.hot_mask, tiny_plan.dataset.hot_mask)
+        for got, want in zip(dataset.hot_batches, tiny_plan.dataset.hot_batches):
+            assert np.array_equal(got, want)
+        for got, want in zip(dataset.cold_batches, tiny_plan.dataset.cold_batches):
+            assert np.array_equal(got, want)
+        for name, bag in tiny_plan.bags.items():
+            assert np.array_equal(bags[name].hot_ids, bag.hot_ids)
+            assert bags[name].num_rows == bag.num_rows
+            assert bags[name].whole_table == bag.whole_table
+
+    def test_accepts_manifest_path(self, sharded_dir):
+        dataset, _bags, _threshold = load_fae_dataset(sharded_dir / FAE_MANIFEST)
+        assert len(dataset.hot_batches) > 0
+
+    def test_lazy_sequence_surface(self, tiny_plan, sharded_dir):
+        dataset, _bags, _threshold = load_fae_dataset(sharded_dir)
+        hot = dataset.hot_batches
+        assert isinstance(hot, ShardBatchSequence)
+        n = len(hot)
+        assert n == len(tiny_plan.dataset.hot_batches)
+        assert np.array_equal(hot[0], tiny_plan.dataset.hot_batches[0])
+        assert np.array_equal(hot[-1], tiny_plan.dataset.hot_batches[n - 1])
+        sliced = hot[1:4]
+        assert isinstance(sliced, list)
+        for got, want in zip(sliced, tiny_plan.dataset.hot_batches[1:4]):
+            assert np.array_equal(got, want)
+        with pytest.raises(IndexError):
+            hot[n]
+        assert len(hot.materialize()) == n
+
+    def test_tampered_shard_fails_checksum(self, sharded_dir):
+        shard = sharded_dir / "shard-000000.npz"
+        data = bytearray(shard.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        shard.write_bytes(bytes(data))
+        dataset, _bags, _threshold = load_fae_dataset(sharded_dir)
+        with pytest.raises(RuntimeError, match="shard-000000"):
+            list(dataset.hot_batches)
+
+    def test_missing_shard_names_file(self, sharded_dir):
+        (sharded_dir / "shard-000000.npz").unlink()
+        dataset, _bags, _threshold = load_fae_dataset(sharded_dir)
+        with pytest.raises(RuntimeError, match="shard-000000"):
+            dataset.hot_batches[0]
+
+    def test_corrupt_manifest_names_file(self, sharded_dir):
+        (sharded_dir / FAE_MANIFEST).write_text("{oops", encoding="utf-8")
+        with pytest.raises(RuntimeError, match=FAE_MANIFEST):
+            load_fae_dataset(sharded_dir)
+
+    def test_version_mismatch_raises_value_error(self, sharded_dir):
+        manifest_path = sharded_dir / FAE_MANIFEST
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["format_version"] = 999
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(ValueError, match="999"):
+            load_fae_dataset(sharded_dir)
+
+    def test_shard_count_mismatch_detected(self, sharded_dir):
+        manifest_path = sharded_dir / FAE_MANIFEST
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["num_hot_batches"] += 1
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(RuntimeError, match="disagree"):
+            load_fae_dataset(sharded_dir)
+
+
+class TestShardBackedTraining:
+    def test_iter_fae_batches_over_shards(self, tiny_log, tiny_plan, tmp_path):
+        directory = tmp_path / "plan_shards"
+        tiny_plan.save(directory, shard_size=4)
+        dataset, _bags, _threshold = load_fae_dataset(directory)
+        batches = list(iter_fae_batches(tiny_log, dataset, "hot", hot=True))
+        assert len(batches) == len(tiny_plan.dataset.hot_batches)
+        assert all(b.hot for b in batches)
+        windowed = list(iter_fae_batches(tiny_log, dataset, "cold", start=1, count=2))
+        assert len(windowed) == min(2, max(0, len(dataset.cold_batches) - 1))
+
+    def test_fae_trainer_on_shard_backed_plan(self, tiny_log, tiny_fae_config, tmp_path):
+        from repro.models.dlrm import DLRM, DLRMConfig
+        from repro.train import FAETrainer
+
+        train, test = train_test_split(tiny_log, 0.2, seed=7)
+        plan = fae_preprocess(train, tiny_fae_config, batch_size=64)
+        directory = tmp_path / "plan_shards"
+        plan.save(directory, shard_size=5)
+        dataset, _bags, _threshold = load_fae_dataset(directory)
+        shard_backed = dataclasses.replace(plan, dataset=dataset)
+
+        model = DLRM(train.schema, DLRMConfig("4-8", "8-1", seed=1))
+        result = FAETrainer(model, shard_backed, lr=0.2).train(train, test, epochs=1)
+        assert 0.0 <= result.final_test_accuracy <= 1.0
+
+
+class TestPreprocessCLI:
+    def test_chunked_sharded_preprocess(self, tmp_path):
+        from repro.cli import main
+
+        out_dir = tmp_path / "plan_shards"
+        code = main(
+            [
+                "preprocess",
+                "criteo-kaggle",
+                "--samples",
+                "4000",
+                "--batch-size",
+                "128",
+                "--chunk-size",
+                "1000",
+                "--shard-size",
+                "8",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        dataset, _bags, threshold = load_fae_dataset(out_dir)
+        total = sum(len(b) for b in dataset.hot_batches)
+        total += sum(len(b) for b in dataset.cold_batches)
+        assert total == 4000
+        assert threshold > 0
+
+    def test_stream_flag(self, tmp_path):
+        from repro.cli import main
+
+        out_file = tmp_path / "plan.npz"
+        code = main(
+            [
+                "preprocess",
+                "criteo-kaggle",
+                "--samples",
+                "3000",
+                "--batch-size",
+                "128",
+                "--stream",
+                "--chunk-size",
+                "800",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        dataset, _bags, _threshold = load_fae_dataset(out_file)
+        total = sum(len(b) for b in dataset.hot_batches)
+        total += sum(len(b) for b in dataset.cold_batches)
+        assert total == 3000
