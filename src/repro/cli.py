@@ -18,8 +18,17 @@ fault-tolerant operation: ``--checkpoint-dir``/``--checkpoint-every``/
 chaos injection, and ``--gpus N`` to run the distributed FAE trainer
 (whose world shrinks on an injected rank death).
 
+Data-integrity guardrails: ``train --mode fae --guards [SPEC]`` arms the
+NaN/loss-spike numeric guard (rollback to the last good checkpoint with
+learning-rate backoff); ``--validate POLICY`` on ``train`` and
+``preprocess`` runs ingest validation (``raise`` | ``clamp`` |
+``quarantine``, or per-field like ``sparse=quarantine,dense=clamp``)
+with quarantined records written to ``--quarantine-dir``'s JSONL ledger.
+
 Top-level failures exit nonzero with a one-line error; pass
 ``--traceback`` (before the subcommand) to re-raise with the full stack.
+A :class:`~repro.resilience.guards.GuardAbort` additionally prints which
+guard gave up and where the ledger / last good checkpoints live.
 
 Every command is pure-library orchestration; all heavy lifting lives in
 the packages this module imports.
@@ -36,7 +45,16 @@ from repro.data import SyntheticClickLog, SyntheticConfig, dataset_by_name, trai
 from repro.hw import Cluster, PowerModel, TrainingSimulator, characterize
 from repro.dist import DistributedFAETrainer
 from repro.models import build_model, workload_by_name
-from repro.resilience import CheckpointManager, FaultPlan, latest_checkpoint
+from repro.resilience import (
+    CheckpointManager,
+    FaultPlan,
+    GuardAbort,
+    IngestPolicy,
+    NumericGuard,
+    NumericGuardConfig,
+    QuarantineLedger,
+    latest_checkpoint,
+)
 from repro.train import BaselineTrainer, FAETrainer, roc_auc
 from repro.train.metrics import evaluate_model
 
@@ -96,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     prep.add_argument(
         "--trace", action="store_true", help="record spans and print the summary tree"
     )
+    _add_validate_args(prep)
 
     train = sub.add_parser("train", help="train on a synthetic log")
     _add_data_args(train)
@@ -137,9 +156,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help=(
             "inject seeded faults, e.g. "
-            "'seed=7,collective=0.05,death=1@40,evict=80,loader=0.02'"
+            "'seed=7,collective=0.05,death=1@40,evict=80,loader=0.02,"
+            "ingest=0.01,bad_batch=0.02,bad_grad=30,bad_row=5,corrupt=bitflip'"
         ),
     )
+    train.add_argument(
+        "--guards",
+        nargs="?",
+        const="default",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "arm the numeric guard (--mode fae): NaN/Inf batch & gradient "
+            "screening plus EMA loss-spike rollback; optional SPEC like "
+            "'spike=4.0,ema=0.9,warmup=8,rollbacks=2,backoff=0.5,skips=16'"
+        ),
+    )
+    _add_validate_args(train)
 
     trace = sub.add_parser(
         "trace", help="run preprocess + train with tracing on; print the span tree"
@@ -175,6 +208,44 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", default="REPORT.md")
 
     return parser
+
+
+def _add_validate_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--validate",
+        default=None,
+        metavar="POLICY",
+        help=(
+            "validate ingest records: 'raise', 'clamp', 'quarantine', or "
+            "per-field like 'sparse=quarantine,dense=clamp'"
+        ),
+    )
+    sub.add_argument(
+        "--quarantine-dir",
+        default=None,
+        help=(
+            "write quarantined records to DIR/quarantine.jsonl (required by "
+            "any 'quarantine' policy; implies --validate quarantine)"
+        ),
+    )
+
+
+def _ingest_policy(args) -> tuple[IngestPolicy | None, QuarantineLedger | None]:
+    """Resolve --validate/--quarantine-dir into a policy + ledger pair.
+
+    Raises:
+        ValueError: when a quarantine policy has nowhere to write.
+    """
+    spec = args.validate
+    if spec is None and args.quarantine_dir:
+        spec = "quarantine"
+    if spec is None:
+        return None, None
+    policy = IngestPolicy.parse(spec)
+    ledger = QuarantineLedger(args.quarantine_dir) if args.quarantine_dir else None
+    if policy.quarantines and ledger is None:
+        raise ValueError("a 'quarantine' policy requires --quarantine-dir")
+    return policy, ledger
 
 
 def _add_data_args(sub: argparse.ArgumentParser) -> None:
@@ -240,10 +311,17 @@ def cmd_preprocess(args) -> int:
             from repro.data import LogChunkSource
 
             source = LogChunkSource(_make_log(args), chunk_size=args.chunk_size)
+        policy, ledger = _ingest_policy(args)
+        if policy is not None:
+            from repro.data import ValidatingChunkSource
+
+            source = ValidatingChunkSource(source, policy, ledger)
         plan = fae_preprocess_source(
             source, _make_config(args), batch_size=args.batch_size
         )
         print(plan.summary())
+        if ledger is not None:
+            print(f"ingest: quarantined {len(ledger)} record(s) -> {ledger.path}")
         print(
             f"calibration: {plan.calibration.total_seconds:.3f}s "
             f"({plan.calibration.result.iterations} thresholds evaluated), "
@@ -259,10 +337,19 @@ def cmd_preprocess(args) -> int:
 
 
 def cmd_train(args) -> int:
-    resilience_flags = args.checkpoint_dir or args.resume or args.faults or args.gpus > 1
+    resilience_flags = (
+        args.checkpoint_dir
+        or args.resume
+        or args.faults
+        or args.gpus > 1
+        or args.guards is not None
+        or args.validate
+        or args.quarantine_dir
+    )
     if resilience_flags and args.mode != "fae":
         print(
-            "error: --gpus/--checkpoint-dir/--resume/--faults require --mode fae",
+            "error: --gpus/--checkpoint-dir/--resume/--faults/--guards/"
+            "--validate/--quarantine-dir require --mode fae",
             file=sys.stderr,
         )
         return 2
@@ -290,6 +377,27 @@ def cmd_train(args) -> int:
 
         if args.mode in ("fae", "both"):
             fault_plan = FaultPlan.parse(args.faults) if args.faults else None
+            guards = (
+                NumericGuard(NumericGuardConfig.parse(args.guards))
+                if args.guards is not None
+                else None
+            )
+            if fault_plan is not None:
+                injected = fault_plan.corrupt_ingest(train)
+                if injected:
+                    print(f"chaos: poisoned {len(injected)} ingest row(s)")
+            policy, ledger = _ingest_policy(args)
+            if policy is not None:
+                from repro.data import validated_log
+
+                before = len(train)
+                train = validated_log(train, policy, ledger)
+                repaired = before - len(train)
+                where = f" -> {ledger.path}" if ledger is not None else ""
+                print(
+                    f"ingest: {before} records validated, "
+                    f"{repaired} quarantined{where}"
+                )
             manager = (
                 CheckpointManager(
                     args.checkpoint_dir,
@@ -315,8 +423,10 @@ def cmd_train(args) -> int:
                     for _ in range(args.gpus)
                 ]
                 trainer = DistributedFAETrainer(
-                    replicas, plan, lr=args.lr, fault_plan=fault_plan
+                    replicas, plan, lr=args.lr, fault_plan=fault_plan, guards=guards
                 )
+                if ledger is not None:
+                    trainer.guard_ledger_path = str(ledger.path)
                 result = trainer.train(
                     train,
                     test,
@@ -327,7 +437,12 @@ def cmd_train(args) -> int:
                 model = trainer.replicas[0]
             else:
                 model = build_model(spec, schema=log.schema, seed=args.seed + 1)
-                result = FAETrainer(model, plan, lr=args.lr, fault_plan=fault_plan).train(
+                trainer = FAETrainer(
+                    model, plan, lr=args.lr, fault_plan=fault_plan, guards=guards
+                )
+                if ledger is not None:
+                    trainer.guard_ledger_path = str(ledger.path)
+                result = trainer.train(
                     train,
                     test,
                     epochs=args.epochs,
@@ -335,6 +450,12 @@ def cmd_train(args) -> int:
                     resume=resume_path,
                 )
             print(f"FAE syncs: {result.sync_events}, rate trace: {result.schedule_rates}")
+            if guards is not None:
+                print(
+                    f"guards: rollbacks {result.rollbacks}, "
+                    f"skipped batches {result.skipped_batches}, "
+                    f"skipped steps {result.skipped_steps}"
+                )
             if fault_plan is not None:
                 registry = obs.get_registry()
                 print(
@@ -449,6 +570,25 @@ def main(argv: list[str] | None = None) -> int:
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 130
+    except GuardAbort as exc:
+        if args.traceback:
+            raise
+        print(f"error: GuardAbort[{exc.guard}]: {exc}", file=sys.stderr)
+        for hint in exc.hints():
+            print(f"  {hint}", file=sys.stderr)
+        if exc.guard == "numeric":
+            print(
+                "  hint: raise the rollback budget (--guards rollbacks=N), "
+                "lower --lr, or inspect the quarantine ledger for dirty input",
+                file=sys.stderr,
+            )
+        elif exc.guard == "ingest":
+            print(
+                "  hint: relax the policy (--validate clamp) or fix the "
+                "records listed in the ledger",
+                file=sys.stderr,
+            )
+        return 3
     except Exception as exc:
         if args.traceback:
             raise

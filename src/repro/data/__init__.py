@@ -39,6 +39,7 @@ from repro.data.formats import (
     parse_criteo_tsv,
     parse_taobao_events,
 )
+from repro.data.validate import ValidatingChunkSource, validated_log
 
 __all__ = [
     "BatchIterator",
@@ -48,7 +49,9 @@ __all__ = [
     "ShardChunkSource",
     "StreamChunkSource",
     "UnsizedChunkSource",
+    "ValidatingChunkSource",
     "as_chunk_source",
+    "validated_log",
     "iter_fae_batches",
     "save_log_shards",
     "criteo_tsv_lines",

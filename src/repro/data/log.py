@@ -26,6 +26,15 @@ class ClickLog:
         dense: float32 ``(N, num_dense)``.
         sparse: table name -> int64 ``(N, multiplicity)``.
         labels: float32 ``(N,)`` in {0, 1}.
+        quarantined_indices: input-row indices dropped under
+            ``oov_policy="quarantine"`` (empty otherwise).
+
+    ``oov_policy`` controls how out-of-range sparse ids are handled at
+    construction: ``raise`` (default, historical behavior) aborts,
+    ``clamp`` clips ids into ``[0, num_rows)``, ``quarantine`` drops the
+    offending rows and records them in ``quarantined_indices``.  For
+    richer per-field policies and a persistent ledger, use
+    :class:`~repro.data.validate.ValidatingChunkSource`.
     """
 
     def __init__(
@@ -34,11 +43,17 @@ class ClickLog:
         dense: np.ndarray,
         sparse: dict[str, np.ndarray],
         labels: np.ndarray,
+        oov_policy: str = "raise",
     ) -> None:
+        if oov_policy not in ("raise", "clamp", "quarantine"):
+            raise ValueError(
+                f"oov_policy must be 'raise', 'clamp', or 'quarantine', got {oov_policy!r}"
+            )
         self.schema = schema
         self.dense = np.ascontiguousarray(dense, dtype=np.float32)
         self.labels = np.ascontiguousarray(labels, dtype=np.float32)
         self.sparse = {}
+        self.quarantined_indices: np.ndarray = np.empty(0, dtype=np.int64)
         n = self.labels.shape[0]
         if self.dense.shape != (n, schema.num_dense):
             raise ValueError(
@@ -48,6 +63,7 @@ class ClickLog:
             raise ValueError(
                 f"sparse tables {sorted(sparse)} != schema tables {sorted(schema.table_names)}"
             )
+        drop = np.zeros(n, dtype=bool)
         for spec in schema.tables:
             ids = np.ascontiguousarray(sparse[spec.name], dtype=np.int64)
             if ids.shape != (n, spec.multiplicity):
@@ -55,8 +71,19 @@ class ClickLog:
                     f"{spec.name}: ids shape {ids.shape} != ({n}, {spec.multiplicity})"
                 )
             if n and (ids.min() < 0 or ids.max() >= spec.num_rows):
-                raise ValueError(f"{spec.name}: ids out of range [0, {spec.num_rows})")
+                if oov_policy == "raise":
+                    raise ValueError(f"{spec.name}: ids out of range [0, {spec.num_rows})")
+                if oov_policy == "clamp":
+                    ids = np.clip(ids, 0, spec.num_rows - 1)
+                else:  # quarantine: mark offending rows for removal
+                    drop |= ((ids < 0) | (ids >= spec.num_rows)).any(axis=1)
             self.sparse[spec.name] = ids
+        if drop.any():
+            self.quarantined_indices = np.flatnonzero(drop).astype(np.int64)
+            keep = ~drop
+            self.dense = self.dense[keep]
+            self.labels = self.labels[keep]
+            self.sparse = {name: ids[keep] for name, ids in self.sparse.items()}
 
     @classmethod
     def from_trusted(

@@ -1,0 +1,127 @@
+"""Validating chunk source: ingest guardrails over any data backend.
+
+The data layer's entry point into :mod:`repro.resilience.guards`:
+:class:`ValidatingChunkSource` wraps any
+:class:`~repro.data.chunk_source.ChunkSource` and applies an
+:class:`~repro.resilience.guards.IngestPolicy` to every chunk — OOV
+sparse ids, non-finite dense features, and invalid labels are raised on,
+clamped, or quarantined to an atomic JSONL ledger, per field.  Because
+every decision is per-row and content-based, the surviving stream and
+the ledger are identical for any chunking of the same source — the same
+invariant the streaming preprocess pins for its own output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.chunk_source import ChunkSource, as_chunk_source
+from repro.data.log import ClickLog
+from repro.obs import span
+from repro.obs.metrics import get_registry
+from repro.resilience.guards import (
+    GuardAbort,
+    IngestPolicy,
+    QuarantineLedger,
+    validate_chunk,
+)
+
+__all__ = ["ValidatingChunkSource", "validated_log"]
+
+
+class ValidatingChunkSource(ChunkSource):
+    """A :class:`ChunkSource` wrapper that validates every chunk.
+
+    Surviving rows are renumbered densely (start indices reflect the
+    *clean* stream, which is what downstream positional sampling
+    consumes); the ledger records *source* indices so quarantined rows
+    are attributable to the original data.
+
+    Args:
+        source: anything :func:`~repro.data.chunk_source.as_chunk_source`
+            accepts.
+        policy: per-field validation policy.
+        ledger: quarantine destination (required when any field uses the
+            ``quarantine`` policy).
+    """
+
+    def __init__(
+        self,
+        source,
+        policy: IngestPolicy,
+        ledger: QuarantineLedger | None = None,
+    ) -> None:
+        self.source = as_chunk_source(source)
+        self.policy = policy
+        self.ledger = ledger
+        if policy.quarantines and ledger is None:
+            raise ValueError("a quarantine policy requires a ledger")
+        self.schema = self.source.schema
+        self.chunk_size = self.source.chunk_size
+        self._clean_total: int | None = None
+        self._checked = get_registry().counter("guards.ingest.records_checked")
+
+    @property
+    def num_samples(self) -> int | None:
+        if not self.policy.quarantines:
+            return self.source.num_samples
+        if self.source.num_samples is None:
+            return None
+        if self._clean_total is None:
+            # One counting pass (sources are re-iterable and validation
+            # is deterministic, so this agrees with later iterations).
+            total = 0
+            for _start, chunk in self.chunks():
+                total += len(chunk)
+            self._clean_total = total
+        return self._clean_total
+
+    def chunks(self) -> Iterator[tuple[int, ClickLog]]:
+        clean_start = 0
+        with span("guards.ingest.validate", policy=repr(self.policy)):
+            for start, chunk in self.source:
+                self._checked.inc(len(chunk))
+                clean, _dropped = validate_chunk(chunk, start, self.policy, self.ledger)
+                if len(clean):
+                    yield clean_start, clean
+                    clean_start += len(clean)
+        if self.ledger is not None:
+            self.ledger.flush()
+
+
+def validated_log(
+    log,
+    policy: IngestPolicy,
+    ledger: QuarantineLedger | None = None,
+    chunk_size: int | None = None,
+) -> ClickLog:
+    """Validate an in-memory log and materialize the clean survivor.
+
+    Convenience for the training CLI: corrupt records are clamped or
+    quarantined per ``policy`` before the log reaches preprocessing and
+    the trainers.
+
+    Raises:
+        GuardAbort: when every record was quarantined.
+    """
+    source = ValidatingChunkSource(
+        as_chunk_source(log, chunk_size=chunk_size), policy, ledger
+    )
+    chunks = [chunk for _start, chunk in source]
+    if not chunks:
+        raise GuardAbort(
+            "ingest",
+            "every record was quarantined; nothing left to train on",
+            ledger_path=ledger.path if ledger is not None else None,
+        )
+    return ClickLog(
+        schema=source.schema,
+        dense=np.concatenate([c.dense for c in chunks]),
+        sparse={
+            name: np.concatenate([c.sparse[name] for c in chunks])
+            for name in source.schema.table_names
+        },
+        labels=np.concatenate([c.labels for c in chunks]),
+    )

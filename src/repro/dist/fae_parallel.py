@@ -29,6 +29,8 @@ uninterrupted loss trajectory.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.core.pipeline import FAEPlan
@@ -50,7 +52,8 @@ from repro.resilience.checkpoint import (
     load_checkpoint,
     restore_training_state,
 )
-from repro.resilience.faults import FaultPlan, PermanentRankFailure
+from repro.resilience.faults import FaultPlan, PermanentRankFailure, popular_local_row
+from repro.resilience.guards import LossSpikeError, NumericGuard
 from repro.resilience.retry import RetryPolicy
 from repro.train.history import HistoryPoint, TrainingHistory
 from repro.train.trainer import TrainResult, evaluate_with_master_bags
@@ -72,8 +75,13 @@ class DistributedFAETrainer:
         pooling: embedding pooling mode, matching the models.
         fault_plan: optional fault-injection schedule; consulted by the
             process group (collectives), the data path, and the trainer
-            (hot-replica eviction).
+            (hot-replica eviction + data corruption).
         retry: retry policy for transient faults (collectives + loader).
+        guards: optional :class:`~repro.resilience.guards.NumericGuard`;
+            when set, corrupt batches are skipped, non-finite gradients
+            discard the step on every replica, and a non-finite or
+            spiking loss rolls the run back to the last good checkpoint
+            with LR backoff.
     """
 
     def __init__(
@@ -84,6 +92,7 @@ class DistributedFAETrainer:
         pooling: str = "mean",
         fault_plan: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
+        guards: NumericGuard | None = None,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
@@ -93,6 +102,9 @@ class DistributedFAETrainer:
         self.pooling = pooling
         self.fault_plan = fault_plan
         self.retry = retry
+        self.guards = guards
+        # Set by the CLI so GuardAbort can point at the quarantine ledger.
+        self.guard_ledger_path: str | None = None
         self.group = ProcessGroup(
             world_size=len(replicas), fault_plan=fault_plan, retry=retry
         )
@@ -155,13 +167,46 @@ class DistributedFAETrainer:
             for p, g in zip(rank_params, combined):
                 p.grad = g
 
-    def _step_cold(self, batch, dense_optimizers, master_optimizer) -> float:
+    def _guard_step(self, losses: list[float], iteration: int, step_params) -> bool:
+        """Shared pre-step guard: loss check, grad poison, grad check.
+
+        Returns False when the step must be discarded (non-finite
+        gradients); pending gradients are already cleared in that case.
+
+        Raises:
+            LossSpikeError: via the guard, on a non-finite/spiking loss.
+        """
+        loss = float(np.mean(losses))
+        if self.guards is not None:
+            # A bad loss from a clean batch means the parameters are
+            # poisoned: raises LossSpikeError, answered by rollback.
+            self.guards.check_loss(loss, iteration)
+        if (
+            self.fault_plan is not None
+            and self.fault_plan.should_corrupt_gradient(iteration)
+        ):
+            target = self.replicas[0].dense_parameters()[0]
+            if target.grad is not None:
+                self.fault_plan.corrupt_array(target.grad)
+        if self.guards is not None and not self.guards.grads_ok(step_params, iteration):
+            # Poisoned *gradients*: discard the step on every replica
+            # before any collective shares them.
+            self._clear_pending_grads()
+            return False
+        return True
+
+    def _step_cold(self, batch, dense_optimizers, master_optimizer, iteration=0):
         shards = shard_batch(batch, self.world_size)
         losses = []
         for model, shard in zip(self.replicas, shards):
             logits = model.forward(shard)
             losses.append(self._loss.forward(logits, shard.labels))
             model.backward(self._loss.backward() / self.world_size)
+        step_params = [p for m in self.replicas for p in m.dense_parameters()] + [
+            t.weight for t in self.master_tables.values()
+        ]
+        if not self._guard_step(losses, iteration, step_params):
+            return None
         self._dense_all_reduce()
         for optimizer in dense_optimizers:
             optimizer.step()
@@ -170,13 +215,18 @@ class DistributedFAETrainer:
         master_optimizer.step()
         return float(np.mean(losses))
 
-    def _step_hot(self, batch, dense_optimizers, replica_optimizers) -> float:
+    def _step_hot(self, batch, dense_optimizers, replica_optimizers, iteration=0):
         shards = shard_batch(batch, self.world_size)
         losses = []
         for model, shard in zip(self.replicas, shards):
             logits = model.forward(shard)
             losses.append(self._loss.forward(logits, shard.labels))
             model.backward(self._loss.backward() / self.world_size)
+        step_params = [p for m in self.replicas for p in m.dense_parameters()] + [
+            bag.weight for replica in self.replicator.replicas for bag in replica.values()
+        ]
+        if not self._guard_step(losses, iteration, step_params):
+            return None
         # Fused all-reduce: dense buffers + hot-bag sparse grads.
         self._dense_all_reduce()
         self.replicator.all_reduce_gradients()
@@ -296,6 +346,33 @@ class DistributedFAETrainer:
     # Training loop
     # ------------------------------------------------------------------
 
+    def _rollback(
+        self,
+        exc: LossSpikeError,
+        checkpoint: CheckpointManager | None,
+        initial: TrainerCheckpoint,
+    ) -> TrainerCheckpoint:
+        """Answer a loss spike: back off the LR, return the resume point.
+
+        Raises:
+            GuardAbort: when the guard's rollback budget is exhausted.
+        """
+        guards = self.guards
+        guards.note_rollback(
+            str(exc),
+            checkpoint_dir=checkpoint.directory if checkpoint is not None else None,
+            ledger_path=self.guard_ledger_path,
+        )
+        with span("guards.rollback", iteration=exc.iteration, loss=exc.loss):
+            self.lr *= guards.config.lr_backoff
+            self._clear_pending_grads()
+            target = checkpoint.latest() if checkpoint is not None else None
+            ckpt = load_checkpoint(target) if target is not None else initial
+        # Never restore the fault plan's RNG on rollback: fired-once
+        # faults stay fired, so the replay does not re-inject the same
+        # corruption and loop forever.
+        return replace(ckpt, rng_state=None)
+
     def train(
         self,
         train_log: SyntheticClickLog,
@@ -307,12 +384,58 @@ class DistributedFAETrainer:
     ) -> TrainResult:
         """Train over the plan's hot/cold batches; mirrors FAETrainer.
 
+        With ``guards`` set, a :class:`LossSpikeError` (poisoned
+        parameters) rolls the run back to the newest good checkpoint (or
+        the captured initial state) with learning-rate backoff, bounded
+        by the guard's rollback budget — same recovery as the
+        single-device :class:`~repro.train.trainer.FAETrainer`.
+
         Args:
             checkpoint: optional manager; a snapshot is taken at each
                 due segment boundary (masters authoritative).
             resume: checkpoint path or :class:`TrainerCheckpoint` to
                 continue from, or None for a fresh run.
         """
+        if self.guards is None:
+            return self._train(train_log, test_log, epochs, eval_samples, checkpoint, resume)
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        dataset = self.plan.dataset
+        if resume is None:
+            # Snapshot the starting state against a pristine scheduler:
+            # resuming from it is equivalent to restarting the run.
+            pristine = ShuffleScheduler(
+                num_hot_batches=len(dataset.hot_batches),
+                num_cold_batches=len(dataset.cold_batches),
+                initial_rate=self.plan.config.scheduler_initial_rate,
+                strip_length=self.plan.config.scheduler_strip_length,
+            )
+            initial = self._capture_checkpoint(0, 0, {"hot": 0, "cold": 0}, pristine, 0.0, 0.0)
+        else:
+            initial = resume if isinstance(resume, TrainerCheckpoint) else load_checkpoint(resume)
+        attempt = resume
+        while True:
+            try:
+                result = self._train(
+                    train_log, test_log, epochs, eval_samples, checkpoint, attempt
+                )
+                result.rollbacks = self.guards.rollbacks
+                result.skipped_batches = self.guards.skipped_batches
+                result.skipped_steps = self.guards.skipped_steps
+                return result
+            except LossSpikeError as exc:
+                attempt = self._rollback(exc, checkpoint, initial)
+
+    def _train(
+        self,
+        train_log: SyntheticClickLog,
+        test_log: SyntheticClickLog,
+        epochs: int = 1,
+        eval_samples: int = 4096,
+        checkpoint: CheckpointManager | None = None,
+        resume=None,
+    ) -> TrainResult:
+        """One training attempt (the guarded :meth:`train` may retry it)."""
         if epochs <= 0:
             raise ValueError("epochs must be positive")
         dataset = self.plan.dataset
@@ -379,6 +502,30 @@ class DistributedFAETrainer:
                     )
                     mode = wanted
 
+                if (
+                    self.fault_plan is not None
+                    and run_hot
+                    and self.fault_plan.should_corrupt_hot_row(iteration)
+                ):
+                    # Poison the same row of every replica (replicas must
+                    # stay bit-equal); the damage spreads to the masters
+                    # at the next sync unless the guard trips first.
+                    # Target the most-accessed row of the upcoming hot
+                    # batch so the fault is guaranteed to be exercised.
+                    name = next(iter(self.replicator.replicas[0]))
+                    bag = self.replicator.replicas[0][name]
+                    cursor = cursors.get("hot", 0)
+                    upcoming = (
+                        train_log.sparse[name][dataset.hot_batches[cursor]]
+                        if cursor < len(dataset.hot_batches)
+                        else np.empty(0, dtype=np.int64)
+                    )
+                    row = popular_local_row(bag, upcoming)
+                    for replica in self.replicator.replicas:
+                        self.fault_plan.corrupt_row(
+                            replica[name].weight.value, row=row
+                        )
+
                 replica_optimizers: list[SGD] = []
                 if run_hot:
                     replica_optimizers = [
@@ -407,14 +554,21 @@ class DistributedFAETrainer:
                             fault_plan=self.fault_plan,
                             retry=self.retry,
                         )
+                        if self.fault_plan is not None:
+                            batch = self.fault_plan.maybe_corrupt_batch(batch)
+                        if self.guards is not None and not self.guards.batch_ok(batch):
+                            # Poisoned *inputs*: dropping the batch costs
+                            # one update and nothing else.
+                            self.skipped_inputs += len(index_array)
+                            break
                         try:
                             if run_hot:
                                 loss = self._step_hot(
-                                    batch, dense_optimizers, replica_optimizers
+                                    batch, dense_optimizers, replica_optimizers, iteration
                                 )
                             else:
                                 loss = self._step_cold(
-                                    batch, dense_optimizers, master_optimizer
+                                    batch, dense_optimizers, master_optimizer, iteration
                                 )
                         except PermanentRankFailure as exc:
                             if self.world_size <= 1:
@@ -439,6 +593,10 @@ class DistributedFAETrainer:
                 test_loss, test_acc = evaluate_with_master_bags(
                     self.replicas[0], master_bags, test_log, eval_samples
                 )
+                if self.guards is not None:
+                    # Catch poisoned state before it contaminates the
+                    # scheduler's loss feedback: raises LossSpikeError.
+                    self.guards.check_eval_loss(test_loss, iteration)
                 scheduler.record_test_loss(test_loss)
                 rates.append(scheduler.rate)
                 last_loss = float(np.mean(losses)) if losses else last_loss
@@ -454,11 +612,13 @@ class DistributedFAETrainer:
                 )
                 segments_done += 1
                 if checkpoint is not None and checkpoint.should_save(segments_done):
-                    checkpoint.save(
-                        self._capture_checkpoint(
-                            iteration, epoch, cursors, scheduler, last_loss, last_acc
-                        )
+                    snapshot = self._capture_checkpoint(
+                        iteration, epoch, cursors, scheduler, last_loss, last_acc
                     )
+                    # Checkpoint hygiene: never persist a snapshot
+                    # carrying NaN/Inf — rollback must not restore poison.
+                    if self.guards is None or self.guards.state_ok(snapshot.params):
+                        checkpoint.save(snapshot)
 
         if mode == "hot":
             sync_bytes += self._install_cold()

@@ -13,7 +13,11 @@ package is the robustness backbone the rest of the stack leans on:
   deterministically injects transient collective failures, permanent
   rank deaths, loader hiccups, and hot-replica evictions;
 - :mod:`repro.resilience.retry` — bounded exponential-backoff retry
-  around transient faults.
+  around transient faults;
+- :mod:`repro.resilience.guards` — data-integrity guardrails: ingest
+  validation with per-field ``raise``/``clamp``/``quarantine`` policies
+  and an atomic JSONL quarantine ledger, NaN/loss-spike detection with
+  checkpoint rollback, and a serving circuit breaker.
 
 Recovery policies live where the state lives: the collectives retry
 in :class:`~repro.dist.collectives.ProcessGroup`, the distributed FAE
@@ -37,6 +41,20 @@ from repro.resilience.checkpoint import (
     save_checkpoint,
     verify_checkpoint,
 )
+from repro.resilience.guards import (
+    GUARD_POLICIES,
+    CircuitBreaker,
+    GuardAbort,
+    GuardError,
+    IngestPolicy,
+    IngestValidationError,
+    LoadShedError,
+    LossSpikeError,
+    NumericGuard,
+    NumericGuardConfig,
+    QuarantineLedger,
+    validate_chunk,
+)
 from repro.resilience.faults import (
     FaultError,
     FaultPlan,
@@ -56,10 +74,21 @@ __all__ = [
     "CheckpointCorruptionError",
     "CheckpointError",
     "CheckpointManager",
+    "CircuitBreaker",
     "FaultError",
     "FaultPlan",
+    "GUARD_POLICIES",
+    "GuardAbort",
+    "GuardError",
+    "IngestPolicy",
+    "IngestValidationError",
+    "LoadShedError",
     "LoaderHiccup",
+    "LossSpikeError",
+    "NumericGuard",
+    "NumericGuardConfig",
     "PermanentRankFailure",
+    "QuarantineLedger",
     "RETRYABLE_FAULTS",
     "RetryExhaustedError",
     "RetryPolicy",
@@ -67,6 +96,7 @@ __all__ = [
     "TransientCollectiveError",
     "atomic_write",
     "atomic_write_text",
+    "validate_chunk",
     "capture_training_state",
     "latest_checkpoint",
     "load_checkpoint",

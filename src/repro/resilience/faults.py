@@ -19,6 +19,23 @@ points — that the trainers and the collective layer consult:
   pressure evicting the hot bags; the trainers degrade to the cold
   (CPU-master) path instead of crashing.
 
+Data-corruption faults (exercising :mod:`repro.resilience.guards`):
+
+- **ingest corruption** — :meth:`FaultPlan.corrupt_ingest` poisons a
+  seeded subset of an in-memory log's rows (non-finite dense features,
+  out-of-range sparse ids, invalid labels) *before* training, so ingest
+  validation and the quarantine ledger have something to catch;
+- **batch corruption** — :meth:`FaultPlan.maybe_corrupt_batch` poisons
+  a fetched mini-batch's dense features with a configured probability
+  (NaN or bit-flip, per ``corruption_mode``);
+- **gradient corruption** — :meth:`FaultPlan.should_corrupt_gradient`
+  fires once at a configured iteration; the trainer then passes its
+  gradient buffers to :meth:`FaultPlan.corrupt_array`;
+- **hot-row corruption** — :meth:`FaultPlan.should_corrupt_hot_row`
+  fires once; the trainer poisons the same row of every hot replica
+  (:meth:`FaultPlan.corrupt_row`), modeling the paper's worst case of a
+  corrupted popular row replicated to every GPU.
+
 Every injected fault increments a ``faults.*`` counter so chaos runs are
 fully traceable through :mod:`repro.obs`.
 """
@@ -37,7 +54,28 @@ __all__ = [
     "LoaderHiccup",
     "PermanentRankFailure",
     "TransientCollectiveError",
+    "popular_local_row",
 ]
+
+
+def popular_local_row(bag, global_ids: np.ndarray) -> int:
+    """Bag-local row of the most frequent global id in ``global_ids``.
+
+    Hot-row corruption must poison a row the model is about to *read*:
+    hot ids are stored sorted by id, not by popularity, so a fixed local
+    row (e.g. 0) may belong to an id that barely appears in training and
+    the injected fault would never flow through a forward pass.  Callers
+    pass the sparse ids of the upcoming hot batch — all of them are in
+    the bag by construction — and poison the returned row, modeling the
+    paper's worst case: the *popular* row, replicated to every GPU, goes
+    bad.  Returns 0 when ``global_ids`` is empty.
+    """
+    ids = np.asarray(global_ids).ravel()
+    if ids.size == 0:
+        return 0
+    values, counts = np.unique(ids, return_counts=True)
+    target = values[int(np.argmax(counts))]
+    return int(bag.to_local(np.asarray([target], dtype=np.int64))[0])
 
 
 class FaultError(RuntimeError):
@@ -81,6 +119,20 @@ class FaultPlan:
         max_loader_hiccups: cap on injected loader hiccups.
         hot_eviction_at: training iteration at which the hot replicas are
             evicted (simulated GPU memory pressure), or None.
+        ingest_corruption_rate: fraction of log rows poisoned by
+            :meth:`corrupt_ingest` before training.
+        max_ingest_corruptions: cap on poisoned ingest rows.
+        batch_corruption_rate: per-batch probability that the fetched
+            mini-batch's dense features are poisoned.
+        max_batch_corruptions: cap on poisoned batches.
+        gradient_corruption_at: iteration at which gradient buffers are
+            poisoned once, or None.
+        hot_row_corruption_at: iteration at which one hot-replica row is
+            poisoned (identically on every replica) once, or None.
+        corruption_mode: ``"nan"`` (values become NaN) or ``"bitflip"``
+            (a high exponent bit is flipped, yielding huge-but-usually-
+            finite values that trip the spike detector instead of the
+            NaN checks).
     """
 
     seed: int = 0
@@ -90,6 +142,13 @@ class FaultPlan:
     loader_hiccup_rate: float = 0.0
     max_loader_hiccups: int = 64
     hot_eviction_at: int | None = None
+    ingest_corruption_rate: float = 0.0
+    max_ingest_corruptions: int = 64
+    batch_corruption_rate: float = 0.0
+    max_batch_corruptions: int = 8
+    gradient_corruption_at: int | None = None
+    hot_row_corruption_at: int | None = None
+    corruption_mode: str = "nan"
 
     _rng: np.random.Generator = field(init=False, repr=False)
     _collective_calls: int = field(default=0, init=False)
@@ -97,12 +156,23 @@ class FaultPlan:
     _loader_hiccups: int = field(default=0, init=False)
     _rank_death_fired: bool = field(default=False, init=False)
     _eviction_fired: bool = field(default=False, init=False)
+    _batch_corruptions: int = field(default=0, init=False)
+    _gradient_corruption_fired: bool = field(default=False, init=False)
+    _hot_row_corruption_fired: bool = field(default=False, init=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.collective_failure_rate < 1.0:
             raise ValueError("collective_failure_rate must be in [0, 1)")
         if not 0.0 <= self.loader_hiccup_rate < 1.0:
             raise ValueError("loader_hiccup_rate must be in [0, 1)")
+        if not 0.0 <= self.ingest_corruption_rate < 1.0:
+            raise ValueError("ingest_corruption_rate must be in [0, 1)")
+        if not 0.0 <= self.batch_corruption_rate < 1.0:
+            raise ValueError("batch_corruption_rate must be in [0, 1)")
+        if self.corruption_mode not in ("nan", "bitflip"):
+            raise ValueError(
+                f"corruption_mode must be 'nan' or 'bitflip', got {self.corruption_mode!r}"
+            )
         if self.rank_death is not None:
             rank, at_call = self.rank_death
             if rank < 0 or at_call < 1:
@@ -161,6 +231,121 @@ class FaultPlan:
         return False
 
     # ------------------------------------------------------------------
+    # Data corruption (chaos for repro.resilience.guards)
+    # ------------------------------------------------------------------
+
+    def _poison(self, values: np.ndarray) -> np.ndarray:
+        """Corrupt ``values`` per ``corruption_mode``; returns the result."""
+        if self.corruption_mode == "nan":
+            return np.full_like(values, np.nan)
+        # Bit-flip: XOR the high exponent bit of each float32, turning
+        # ordinary magnitudes into astronomically large (finite or inf)
+        # ones — the classic silent-memory-corruption signature.
+        bits = np.ascontiguousarray(values, dtype=np.float32).view(np.uint32)
+        return (bits ^ np.uint32(1 << 30)).view(np.float32).astype(values.dtype)
+
+    def corrupt_array(self, array: np.ndarray, k: int = 4) -> None:
+        """Poison up to ``k`` seeded positions of ``array`` in place."""
+        size = array.size
+        if size == 0:
+            return
+        positions = self._rng.integers(0, size, size=min(k, size))
+        array.flat[positions] = self._poison(np.asarray(array.flat[positions]))
+
+    def corrupt_row(self, matrix: np.ndarray, row: int = 0) -> None:
+        """Poison one full row of a 2-D weight matrix in place.
+
+        Callers apply this to the *same* row of every hot replica so the
+        replicas stay bit-equal — the failure modeled is a corrupted
+        popular row that FAE has replicated everywhere.
+        """
+        matrix[row, :] = self._poison(matrix[row, :])
+
+    def corrupt_ingest(self, log) -> dict[int, str]:
+        """Poison a seeded subset of ``log``'s rows in place, pre-training.
+
+        Row selection uses a dedicated RNG substream derived from
+        ``seed`` (not the shared fault stream), so the poisoned set is
+        identical no matter how the log is later chunked, and the other
+        fault draws are unperturbed.  Each poisoned row gets one of the
+        three corruption kinds, round-robin: non-finite dense features,
+        an out-of-range sparse id, or an invalid label.
+
+        Returns:
+            Mapping of poisoned row index -> corruption kind
+            (``dense`` | ``sparse`` | ``label``).
+        """
+        if self.ingest_corruption_rate <= 0.0 or len(log) == 0:
+            return {}
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, 0xDA7A]))
+        draws = rng.random(len(log))
+        rows = np.flatnonzero(draws < self.ingest_corruption_rate)
+        rows = rows[: self.max_ingest_corruptions]
+        tables = sorted(log.sparse)
+        kinds: dict[int, str] = {}
+        for position, index in enumerate(rows.tolist()):
+            kind = ("dense", "sparse", "label")[position % 3]
+            if kind == "dense":
+                log.dense[index, 0] = (
+                    np.nan if self.corruption_mode == "nan" else np.inf
+                )
+            elif kind == "sparse":
+                table = tables[position % len(tables)]
+                log.sparse[table][index, 0] = log.schema.table(table).num_rows + 7
+            else:
+                log.labels[index] = np.nan if self.corruption_mode == "nan" else 3.0
+            kinds[index] = kind
+        if kinds:
+            get_registry().counter("faults.ingest_corruption.injected").inc(len(kinds))
+        return kinds
+
+    def maybe_corrupt_batch(self, batch):
+        """Return ``batch``, possibly with poisoned dense features.
+
+        Fires with ``batch_corruption_rate`` per call, up to
+        ``max_batch_corruptions`` times.  The batch arrays are copied
+        before poisoning so the source log stays clean.
+        """
+        if (
+            self.batch_corruption_rate <= 0.0
+            or self._batch_corruptions >= self.max_batch_corruptions
+            or self._rng.random() >= self.batch_corruption_rate
+        ):
+            return batch
+        self._batch_corruptions += 1
+        get_registry().counter("faults.batch_corruption.injected").inc()
+        dense = batch.dense.copy()
+        row = int(self._rng.integers(0, dense.shape[0])) if dense.shape[0] else 0
+        dense[row, :] = self._poison(dense[row, :])
+        return type(batch)(
+            dense=dense,
+            sparse=batch.sparse,
+            labels=batch.labels,
+            indices=batch.indices,
+            hot=batch.hot,
+        )
+
+    def should_corrupt_gradient(self, iteration: int) -> bool:
+        """True exactly once, at the configured gradient-poison point."""
+        if self.gradient_corruption_at is None or self._gradient_corruption_fired:
+            return False
+        if iteration >= self.gradient_corruption_at:
+            self._gradient_corruption_fired = True
+            get_registry().counter("faults.gradient_corruption.injected").inc()
+            return True
+        return False
+
+    def should_corrupt_hot_row(self, iteration: int) -> bool:
+        """True exactly once, at the configured hot-row-poison point."""
+        if self.hot_row_corruption_at is None or self._hot_row_corruption_fired:
+            return False
+        if iteration >= self.hot_row_corruption_at:
+            self._hot_row_corruption_fired = True
+            get_registry().counter("faults.hot_row_corruption.injected").inc()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
     # Checkpointable state
     # ------------------------------------------------------------------
 
@@ -173,6 +358,9 @@ class FaultPlan:
             "loader_hiccups": self._loader_hiccups,
             "rank_death_fired": self._rank_death_fired,
             "eviction_fired": self._eviction_fired,
+            "batch_corruptions": self._batch_corruptions,
+            "gradient_corruption_fired": self._gradient_corruption_fired,
+            "hot_row_corruption_fired": self._hot_row_corruption_fired,
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -183,6 +371,13 @@ class FaultPlan:
         self._loader_hiccups = int(state["loader_hiccups"])
         self._rank_death_fired = bool(state["rank_death_fired"])
         self._eviction_fired = bool(state["eviction_fired"])
+        self._batch_corruptions = int(state.get("batch_corruptions", 0))
+        self._gradient_corruption_fired = bool(
+            state.get("gradient_corruption_fired", False)
+        )
+        self._hot_row_corruption_fired = bool(
+            state.get("hot_row_corruption_fired", False)
+        )
 
     # ------------------------------------------------------------------
     # CLI spec parsing
@@ -195,10 +390,15 @@ class FaultPlan:
         Comma-separated ``key=value`` entries::
 
             seed=7,collective=0.05,death=1@40,evict=80,loader=0.02
+            seed=7,ingest=0.01,bad_batch=0.05,bad_row=40,corrupt=nan
 
         Keys: ``seed``, ``collective`` (transient failure rate),
         ``max_collective``, ``loader`` (hiccup rate), ``max_loader``,
-        ``death`` (``RANK@COLLECTIVE_CALL``), ``evict`` (iteration).
+        ``death`` (``RANK@COLLECTIVE_CALL``), ``evict`` (iteration),
+        ``ingest`` (row corruption rate), ``max_ingest``, ``bad_batch``
+        (batch corruption rate), ``max_bad_batch``, ``bad_grad``
+        (iteration), ``bad_row`` (iteration), ``corrupt``
+        (``nan`` | ``bitflip``).
 
         Raises:
             ValueError: on an unknown key or malformed entry.
@@ -229,6 +429,20 @@ class FaultPlan:
                     kwargs["rank_death"] = (int(rank_str), int(call_str))
                 elif key == "evict":
                     kwargs["hot_eviction_at"] = int(value)
+                elif key == "ingest":
+                    kwargs["ingest_corruption_rate"] = float(value)
+                elif key == "max_ingest":
+                    kwargs["max_ingest_corruptions"] = int(value)
+                elif key == "bad_batch":
+                    kwargs["batch_corruption_rate"] = float(value)
+                elif key == "max_bad_batch":
+                    kwargs["max_batch_corruptions"] = int(value)
+                elif key == "bad_grad":
+                    kwargs["gradient_corruption_at"] = int(value)
+                elif key == "bad_row":
+                    kwargs["hot_row_corruption_at"] = int(value)
+                elif key == "corrupt":
+                    kwargs["corruption_mode"] = value
                 else:
                     raise ValueError(f"unknown fault spec key {key!r}")
             except ValueError as exc:

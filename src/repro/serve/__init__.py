@@ -14,9 +14,22 @@ Centaur).
   latency simulation (Poisson arrivals, dynamic batching) comparing
   CPU-embedding serving against hot-resident serving on the calibrated
   cost model.
+
+Admission control (candidate-id bounds validation, circuit-breaker load
+shedding) lives on the engine; the breaker itself is
+:class:`~repro.resilience.guards.CircuitBreaker`, re-exported here with
+:class:`~repro.resilience.guards.LoadShedError` for convenience.
 """
 
+from repro.resilience.guards import CircuitBreaker, LoadShedError
 from repro.serve.engine import InferenceEngine, RankedItems
 from repro.serve.simulator import LatencyStats, ServingSimulator
 
-__all__ = ["InferenceEngine", "LatencyStats", "RankedItems", "ServingSimulator"]
+__all__ = [
+    "CircuitBreaker",
+    "InferenceEngine",
+    "LatencyStats",
+    "LoadShedError",
+    "RankedItems",
+    "ServingSimulator",
+]

@@ -13,6 +13,16 @@ squashed through a sigmoid) instead of the full model forward, so the
 request completes degraded rather than late.  Fallback use is recorded
 under ``serve.deadline.exceeded`` / ``serve.fallback.candidates`` and
 flagged on the returned :class:`RankedItems`.
+
+Admission control: candidate ids are bounds-checked against the
+candidate table before any scoring (a single wild id would otherwise
+index out of the embedding matrix deep inside the forward pass), and an
+optional :class:`~repro.resilience.guards.CircuitBreaker` sheds load
+when the recent degraded-request rate crosses its threshold —
+:meth:`InferenceEngine.rank_candidates` raises
+:class:`~repro.resilience.guards.LoadShedError` while the breaker is
+open, and :meth:`InferenceEngine.health` reports the breaker state plus
+request counters for external monitoring.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ from repro.data.loader import MiniBatch, batch_from_log
 from repro.models.base import RecModel
 from repro.nn.activations import sigmoid
 from repro.obs import get_registry, span
+from repro.resilience.guards import CircuitBreaker, LoadShedError
 
 __all__ = ["InferenceEngine", "RankedItems"]
 
@@ -56,6 +67,10 @@ class InferenceEngine:
         batch_size: maximum scoring batch.
         deadline_s: default per-request ranking deadline in seconds, or
             None for no deadline.
+        breaker: optional circuit breaker; when its rolling degraded-rate
+            trips, :meth:`rank_candidates` sheds requests with
+            :class:`~repro.resilience.guards.LoadShedError` instead of
+            queueing more work behind an overloaded model.
     """
 
     def __init__(
@@ -64,6 +79,7 @@ class InferenceEngine:
         hot_bags: dict[str, HotEmbeddingBagSpec] | None = None,
         batch_size: int = 2048,
         deadline_s: float | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -72,6 +88,7 @@ class InferenceEngine:
         self.model = model
         self.batch_size = batch_size
         self.deadline_s = deadline_s
+        self.breaker = breaker
         self._hot_masks = (
             {name: bag.hot_mask() for name, bag in hot_bags.items()} if hot_bags else None
         )
@@ -132,10 +149,18 @@ class InferenceEngine:
 
         Raises:
             KeyError: if the candidate table is unknown.
+            ValueError: if any candidate id is outside the table.
+            LoadShedError: if the circuit breaker is open.
         """
+        if self.breaker is not None and not self.breaker.allow():
+            raise LoadShedError(
+                f"serving circuit breaker is {self.breaker.state} "
+                f"(recent failure rate {self.breaker.failure_rate():.2f}); "
+                "request shed — retry after the cooldown"
+            )
         if candidate_table not in self.model.tables:
             raise KeyError(f"unknown candidate table {candidate_table!r}")
-        candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+        candidate_ids = self._check_candidate_ids(candidate_table, candidate_ids)
         count = len(candidate_ids)
         if count == 0:
             raise ValueError("need at least one candidate")
@@ -143,9 +168,36 @@ class InferenceEngine:
             deadline_s = self.deadline_s
 
         with span("serve.rank", candidates=count, top_k=top_k):
-            return self._rank(
+            result = self._rank(
                 dense, sparse_context, candidate_table, candidate_ids, top_k, deadline_s
             )
+        if self.breaker is not None:
+            # A degraded (deadline-tripped) response counts as a failure:
+            # a sustained run of them means the engine cannot keep up and
+            # should shed rather than degrade every caller.
+            self.breaker.record(success=not result.degraded)
+        return result
+
+    def _check_candidate_ids(
+        self, candidate_table: str, candidate_ids: np.ndarray
+    ) -> np.ndarray:
+        """Bounds-check candidate ids against the candidate table.
+
+        Raises:
+            ValueError: naming the table, the offending id, and the valid
+                range — a wild id would otherwise fault deep inside the
+                embedding gather where the cause is unrecoverable.
+        """
+        candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+        num_rows = self.model.tables[candidate_table].num_rows
+        bad = (candidate_ids < 0) | (candidate_ids >= num_rows)
+        if bad.any():
+            offender = int(candidate_ids[bad][0])
+            raise ValueError(
+                f"candidate id {offender} is out of range for table "
+                f"{candidate_table!r} (valid ids are [0, {num_rows}))"
+            )
+        return candidate_ids
 
     def _fallback_scores(self, candidate_table: str, candidate_ids: np.ndarray) -> np.ndarray:
         """Cheap deadline-fallback score: squashed mean of the candidate row.
@@ -154,6 +206,7 @@ class InferenceEngine:
         candidate.  Far less accurate than the full model, but orders of
         magnitude cheaper, which is the point of a deadline fallback.
         """
+        candidate_ids = self._check_candidate_ids(candidate_table, candidate_ids)
         rows = self.model.tables[candidate_table].subset(candidate_ids)
         return sigmoid(rows.mean(axis=1).astype(np.float64))
 
@@ -203,6 +256,20 @@ class InferenceEngine:
         return RankedItems(
             item_ids=candidate_ids[order], scores=scores[order], degraded=degraded
         )
+
+    def health(self) -> dict:
+        """JSON-ready serving health snapshot.
+
+        Combines the engine's request counters with the breaker state (a
+        ``breaker`` key, or None when admission control is disabled) —
+        the payload a load balancer's health probe would poll.
+        """
+        return {
+            "requests": self._requests.value,
+            "deadline_exceeded": self._deadline_exceeded.value,
+            "fallback_candidates": self._fallback_candidates.value,
+            "breaker": None if self.breaker is None else self.breaker.health(),
+        }
 
     def hot_request_mask(self, log, indices: np.ndarray | None = None) -> np.ndarray:
         """Which requests touch only hot rows (GPU-servable end to end).

@@ -23,7 +23,7 @@ the paper (and our Table III bench) sees matching final accuracy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -43,7 +43,8 @@ from repro.resilience.checkpoint import (
     load_checkpoint,
     restore_training_state,
 )
-from repro.resilience.faults import FaultPlan
+from repro.resilience.faults import FaultPlan, popular_local_row
+from repro.resilience.guards import LossSpikeError, NumericGuard
 from repro.resilience.retry import RetryPolicy
 from repro.train.history import HistoryPoint, TrainingHistory
 from repro.train.metrics import binary_accuracy, evaluate_model
@@ -69,6 +70,9 @@ class TrainResult:
             smaller world (distributed chaos runs only).
         degraded: whether the run lost its hot replicas and finished on
             the cold/baseline path.
+        rollbacks: loss-spike rollbacks performed by the numeric guard.
+        skipped_batches: corrupt batches the guard dropped pre-forward.
+        skipped_steps: optimizer steps discarded over non-finite grads.
     """
 
     history: TrainingHistory
@@ -79,6 +83,9 @@ class TrainResult:
     schedule_rates: list[int] = field(default_factory=list)
     world_shrinks: int = 0
     degraded: bool = False
+    rollbacks: int = 0
+    skipped_batches: int = 0
+    skipped_steps: int = 0
 
 
 class BaselineTrainer:
@@ -175,9 +182,14 @@ class FAETrainer:
         lr: SGD learning rate.
         num_replicas: GPU replica count for the hot bags.
         pooling: bag pooling mode; must match the model's bags.
-        fault_plan: optional fault-injection schedule (loader hiccups +
-            hot-replica eviction apply to this single-device trainer).
+        fault_plan: optional fault-injection schedule (loader hiccups,
+            hot-replica eviction, and data corruption apply to this
+            single-device trainer).
         retry: retry policy for transient injected faults.
+        guards: optional :class:`~repro.resilience.guards.NumericGuard`;
+            when set, corrupt batches are skipped, non-finite gradients
+            discard the step, and a non-finite or spiking loss rolls the
+            run back to the last good checkpoint with LR backoff.
     """
 
     def __init__(
@@ -189,12 +201,16 @@ class FAETrainer:
         pooling: str = "mean",
         fault_plan: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
+        guards: NumericGuard | None = None,
     ) -> None:
         self.model = model
         self.plan = plan
         self.lr = lr
         self.fault_plan = fault_plan
         self.retry = retry
+        self.guards = guards
+        # Set by the CLI so GuardAbort can point at the quarantine ledger.
+        self.guard_ledger_path: str | None = None
         self.replicator = EmbeddingReplicator(
             tables=model.tables,
             bag_specs=plan.bags,
@@ -267,6 +283,51 @@ class FAETrainer:
             self.fault_plan.load_state_dict(ckpt.rng_state)
         return ckpt
 
+    @staticmethod
+    def _clear_pending_grads(parameters) -> None:
+        """Drop accumulated gradients so a skipped step applies nothing."""
+        for param in parameters:
+            param.zero_grad()
+
+    def _rollback(
+        self,
+        exc: LossSpikeError,
+        checkpoint: CheckpointManager | None,
+        initial: TrainerCheckpoint,
+    ) -> TrainerCheckpoint:
+        """Answer a loss spike: back off the LR, return the resume point.
+
+        Raises:
+            GuardAbort: when the guard's rollback budget is exhausted.
+        """
+        guards = self.guards
+        guards.note_rollback(
+            str(exc),
+            checkpoint_dir=checkpoint.directory if checkpoint is not None else None,
+            ledger_path=self.guard_ledger_path,
+        )
+        with span("guards.rollback", iteration=exc.iteration, loss=exc.loss):
+            self.lr *= guards.config.lr_backoff
+            # Drop half-applied gradients and reinstall the master bags:
+            # the next attempt must start from the canonical cold state.
+            self._clear_pending_grads(
+                self.model.dense_parameters()
+                + [t.weight for t in self.model.tables.values()]
+                + [
+                    bag.weight
+                    for replica in self.replicator.replicas
+                    for bag in replica.values()
+                ]
+            )
+            for name, bag in self._master_bags.items():
+                self.model.set_bag(name, bag)
+            target = checkpoint.latest() if checkpoint is not None else None
+            ckpt = load_checkpoint(target) if target is not None else initial
+        # Never restore the fault plan's RNG on rollback: fired-once
+        # faults stay fired, so the replay does not re-inject the same
+        # corruption and loop forever.
+        return replace(ckpt, rng_state=None)
+
     def train(
         self,
         train_log: SyntheticClickLog,
@@ -283,6 +344,12 @@ class FAETrainer:
         every synchronization, and :class:`TrainResult` reports this
         run's deltas of those counters.
 
+        With ``guards`` set, a :class:`LossSpikeError` (non-finite or
+        spiking loss from clean inputs — i.e. poisoned parameters) rolls
+        the run back to the newest good checkpoint (or the captured
+        initial state) with learning-rate backoff, bounded by the
+        guard's rollback budget.
+
         Args:
             checkpoint: optional manager; a snapshot is taken at each due
                 segment boundary (after the post-segment evaluation, when
@@ -291,6 +358,47 @@ class FAETrainer:
             resume: checkpoint path or :class:`TrainerCheckpoint` to
                 continue from, or None for a fresh run.
         """
+        if self.guards is None:
+            return self._train(train_log, test_log, epochs, eval_samples, checkpoint, resume)
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        dataset = self.plan.dataset
+        if resume is None:
+            # Snapshot the starting state against a pristine scheduler:
+            # full pools, zero cursors, epoch 0 — resuming from it is
+            # equivalent to restarting the run.
+            pristine = ShuffleScheduler(
+                num_hot_batches=len(dataset.hot_batches),
+                num_cold_batches=len(dataset.cold_batches),
+                initial_rate=self.plan.config.scheduler_initial_rate,
+                strip_length=self.plan.config.scheduler_strip_length,
+            )
+            initial = self._capture_checkpoint(0, 0, {"hot": 0, "cold": 0}, pristine, 0.0, 0.0)
+        else:
+            initial = resume if isinstance(resume, TrainerCheckpoint) else load_checkpoint(resume)
+        attempt = resume
+        while True:
+            try:
+                result = self._train(
+                    train_log, test_log, epochs, eval_samples, checkpoint, attempt
+                )
+                result.rollbacks = self.guards.rollbacks
+                result.skipped_batches = self.guards.skipped_batches
+                result.skipped_steps = self.guards.skipped_steps
+                return result
+            except LossSpikeError as exc:
+                attempt = self._rollback(exc, checkpoint, initial)
+
+    def _train(
+        self,
+        train_log: SyntheticClickLog,
+        test_log: SyntheticClickLog,
+        epochs: int = 1,
+        eval_samples: int = 4096,
+        checkpoint: CheckpointManager | None = None,
+        resume=None,
+    ) -> TrainResult:
+        """One training attempt (the guarded :meth:`train` may retry it)."""
         if epochs <= 0:
             raise ValueError("epochs must be positive")
         dataset = self.plan.dataset
@@ -374,14 +482,45 @@ class FAETrainer:
                         mode = "cold"
                         transition_counters["cold"].inc()
 
+                    if (
+                        self.fault_plan is not None
+                        and run_hot
+                        and self.fault_plan.should_corrupt_hot_row(iteration)
+                    ):
+                        # Poison the same row on every replica (replicas
+                        # must stay bit-identical); the damage spreads to
+                        # the masters at the next sync unless the guard
+                        # trips first.  Target the most-accessed row of
+                        # the upcoming hot batch so the fault is
+                        # guaranteed to be exercised.
+                        name = next(iter(self.replicator.replicas[0]))
+                        bag = self.replicator.replicas[0][name]
+                        cursor = cursors.get("hot", 0)
+                        upcoming = (
+                            train_log.sparse[name][dataset.hot_batches[cursor]]
+                            if cursor < len(dataset.hot_batches)
+                            else np.empty(0, dtype=np.int64)
+                        )
+                        row = popular_local_row(bag, upcoming)
+                        for replica in self.replicator.replicas:
+                            self.fault_plan.corrupt_row(
+                                replica[name].weight.value, row=row
+                            )
+
                     if run_hot:
                         dense_optimizer = SGD(self.model.dense_parameters(), lr=self.lr)
                         replica_optimizers = [
                             SGD([bag.weight for bag in replica.values()], lr=self.lr)
                             for replica in self.replicator.replicas
                         ]
+                        step_params = self.model.dense_parameters() + [
+                            bag.weight
+                            for replica in self.replicator.replicas
+                            for bag in replica.values()
+                        ]
                     else:
                         optimizer = SGD(optimizer_params["cold"], lr=self.lr)
+                        step_params = optimizer_params["cold"]
                     pool_name = segment.drain_pool
 
                     losses = []
@@ -397,9 +536,35 @@ class FAETrainer:
                         fault_plan=self.fault_plan,
                         retry=self.retry,
                     ):
+                        if self.fault_plan is not None:
+                            batch = self.fault_plan.maybe_corrupt_batch(batch)
+                        if self.guards is not None and not self.guards.batch_ok(batch):
+                            # Poisoned *inputs*: dropping the batch costs
+                            # one update and nothing else.
+                            iteration += 1
+                            continue
                         logits = self.model.forward(batch)
                         loss = loss_fn.forward(logits, batch.labels)
+                        if self.guards is not None:
+                            # A bad loss from a clean batch means the
+                            # parameters are poisoned: raises LossSpikeError.
+                            self.guards.check_loss(loss, iteration)
                         self.model.backward(loss_fn.backward())
+                        if (
+                            self.fault_plan is not None
+                            and self.fault_plan.should_corrupt_gradient(iteration)
+                        ):
+                            target = self.model.dense_parameters()[0]
+                            if target.grad is not None:
+                                self.fault_plan.corrupt_array(target.grad)
+                        if self.guards is not None and not self.guards.grads_ok(
+                            step_params, iteration
+                        ):
+                            # Poisoned *gradients*: discard the step, the
+                            # parameters stay good.
+                            self._clear_pending_grads(step_params)
+                            iteration += 1
+                            continue
                         if run_hot:
                             # Data-parallel step: share the hot-bag gradients
                             # with every replica, then apply identical updates.
@@ -423,6 +588,10 @@ class FAETrainer:
                         test_loss, test_acc = evaluate_with_master_bags(
                             self.model, self._master_bags, test_log, eval_samples
                         )
+                    if self.guards is not None:
+                        # Catch poisoned state before it contaminates the
+                        # scheduler's loss feedback: raises LossSpikeError.
+                        self.guards.check_eval_loss(test_loss, iteration)
                     scheduler.record_test_loss(test_loss)
                     rates.append(scheduler.rate)
                     last_train_loss = float(np.mean(losses)) if losses else last_train_loss
@@ -439,16 +608,18 @@ class FAETrainer:
                     )
                     segments_done += 1
                     if checkpoint is not None and checkpoint.should_save(segments_done):
-                        checkpoint.save(
-                            self._capture_checkpoint(
-                                iteration,
-                                _epoch,
-                                cursors,
-                                scheduler,
-                                last_train_loss,
-                                last_train_acc,
-                            )
+                        snapshot = self._capture_checkpoint(
+                            iteration,
+                            _epoch,
+                            cursors,
+                            scheduler,
+                            last_train_loss,
+                            last_train_acc,
                         )
+                        # Checkpoint hygiene: never persist a snapshot
+                        # carrying NaN/Inf — rollback must not restore poison.
+                        if self.guards is None or self.guards.state_ok(snapshot.params):
+                            checkpoint.save(snapshot)
 
         if mode == "hot":
             self._enter_cold()

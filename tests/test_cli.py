@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -164,6 +166,91 @@ class TestTrainResilience:
         ]
         assert main(argv) == 2
         assert "fae" in capsys.readouterr().err
+
+
+class TestTrainGuards:
+    BASE = [
+        "train",
+        "criteo-kaggle",
+        "--mode",
+        "fae",
+        "--samples",
+        "2000",
+        "--epochs",
+        "1",
+        "--batch-size",
+        "128",
+        "--gpus",
+        "2",
+    ]
+
+    def test_guarded_chaos_run_completes(self, capsys, tmp_path):
+        argv = self.BASE + [
+            "--guards",
+            "rollbacks=2,skips=6",
+            "--validate",
+            "quarantine",
+            "--quarantine-dir",
+            str(tmp_path / "quarantine"),
+            "--checkpoint-dir",
+            str(tmp_path / "ckpts"),
+            "--faults",
+            "seed=7,ingest=0.01,bad_row=5,corrupt=bitflip,bad_batch=0.05,max_bad_batch=3",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+        assert "guards: rollbacks" in out
+
+        ledger = tmp_path / "quarantine" / "quarantine.jsonl"
+        entries = [json.loads(line) for line in ledger.read_text().splitlines()]
+        assert entries
+        assert all("reasons" in entry for entry in entries)
+
+    def test_rollback_budget_exhaustion_exits_3_with_hints(self, capsys, tmp_path):
+        argv = self.BASE + [
+            "--guards",
+            "rollbacks=0,skips=2",
+            "--checkpoint-dir",
+            str(tmp_path / "ckpts"),
+            "--faults",
+            "seed=7,bad_row=5,corrupt=bitflip",
+        ]
+        assert main(argv) == 3
+        err = capsys.readouterr().err
+        assert "GuardAbort[numeric]" in err
+        # The error must be actionable: tell the operator which knob to turn.
+        assert "--guards rollbacks=" in err
+
+    def test_guards_require_fae_mode(self, capsys):
+        argv = [
+            "train",
+            "criteo-kaggle",
+            "--mode",
+            "baseline",
+            "--samples",
+            "2000",
+            "--guards",
+            "rollbacks=1",
+        ]
+        assert main(argv) == 2
+        assert "fae" in capsys.readouterr().err
+
+    def test_quarantine_policy_requires_dir(self, capsys):
+        argv = self.BASE + ["--validate", "quarantine"]
+        assert main(argv) == 1
+        assert "--quarantine-dir" in capsys.readouterr().err
+
+    def test_preprocess_accepts_validate_policy(self):
+        argv = [
+            "preprocess",
+            "criteo-kaggle",
+            "--samples",
+            "1000",
+            "--validate",
+            "clamp",
+        ]
+        assert main(argv) == 0
 
 
 class TestErrorHandling:

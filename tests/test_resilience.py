@@ -344,6 +344,47 @@ class TestCheckpoint:
         with pytest.raises(ValueError):
             CheckpointManager(tmp_path, keep=0)
 
+    def test_prune_keep_one_retains_only_newest(self, tmp_path, tiny_schema):
+        manager = CheckpointManager(tmp_path, keep=1)
+        for step in (1, 2, 3):
+            _model, ckpt = _make_checkpoint(tiny_schema, step=step)
+            manager.save(ckpt)
+        assert [p.name for p in tmp_path.glob("ckpt-*.npz")] == ["ckpt-00000003.npz"]
+        assert [p.name for p in tmp_path.glob("*.sha256")] == [
+            "ckpt-00000003.npz.sha256"
+        ]
+
+    def test_prune_keep_larger_than_count_keeps_all(self, tmp_path, tiny_schema):
+        manager = CheckpointManager(tmp_path, keep=10)
+        for step in (1, 2, 3):
+            _model, ckpt = _make_checkpoint(tiny_schema, step=step)
+            manager.save(ckpt)
+        assert len(list(tmp_path.glob("ckpt-*.npz"))) == 3
+        assert len(list(tmp_path.glob("*.sha256"))) == 3
+
+    def test_prune_keep_none_is_unlimited(self, tmp_path, tiny_schema):
+        manager = CheckpointManager(tmp_path, keep=None)
+        for step in range(1, 6):
+            _model, ckpt = _make_checkpoint(tiny_schema, step=step)
+            manager.save(ckpt)
+        assert len(list(tmp_path.glob("ckpt-*.npz"))) == 5
+
+    def test_manager_latest_falls_back_past_corrupt_newest(
+        self, tmp_path, tiny_schema
+    ):
+        # The resume path must land on the newest *good* checkpoint even
+        # when the newest file on disk is a truncated crash remnant.
+        manager = CheckpointManager(tmp_path, keep=None)
+        for step in (3, 6, 9):
+            _model, ckpt = _make_checkpoint(tiny_schema, step=step)
+            manager.save(ckpt)
+        newest = tmp_path / "ckpt-00000009.npz"
+        newest.write_bytes(newest.read_bytes()[:64])
+
+        fallback = manager.latest()
+        assert fallback == tmp_path / "ckpt-00000006.npz"
+        assert load_checkpoint(fallback).step == 6
+
 
 # ----------------------------------------------------------------------
 # Optimizer state

@@ -7,7 +7,7 @@ from repro.core import fae_preprocess
 from repro.hw import Cluster, characterize
 from repro.models import workload_by_name
 from repro.models.dlrm import DLRM, DLRMConfig
-from repro.serve import InferenceEngine, ServingSimulator
+from repro.serve import CircuitBreaker, InferenceEngine, LoadShedError, ServingSimulator
 
 
 @pytest.fixture(scope="module")
@@ -103,6 +103,96 @@ class TestInferenceEngine:
         model = trained[0]
         with pytest.raises(ValueError):
             InferenceEngine(model, batch_size=0)
+
+
+class TestAdmissionControl:
+    @staticmethod
+    def _request(trained, tiny_schema):
+        model, train, _test, _plan = trained
+        context = {name: train.sparse[name][0] for name in tiny_schema.table_names}
+        return model, train.dense[0], context
+
+    def test_out_of_range_candidate_names_table_and_id(self, trained, tiny_schema):
+        model, dense, context = self._request(trained, tiny_schema)
+        engine = InferenceEngine(model)
+        num_rows = model.tables["table_00"].num_rows
+        with pytest.raises(ValueError) as excinfo:
+            engine.rank_candidates(
+                dense, context, "table_00", np.array([0, num_rows, 1])
+            )
+        message = str(excinfo.value)
+        assert "table_00" in message
+        assert str(num_rows) in message
+
+    def test_negative_candidate_rejected(self, trained, tiny_schema):
+        model, dense, context = self._request(trained, tiny_schema)
+        engine = InferenceEngine(model)
+        with pytest.raises(ValueError, match="table_00"):
+            engine.rank_candidates(dense, context, "table_00", np.array([2, -1]))
+
+    def test_fallback_scores_bounds_checked(self, trained):
+        engine = InferenceEngine(trained[0])
+        with pytest.raises(ValueError, match="table_00"):
+            engine._fallback_scores("table_00", np.array([-3]))
+
+    def test_breaker_trips_and_sheds(self, trained, tiny_schema):
+        model, dense, context = self._request(trained, tiny_schema)
+        engine = InferenceEngine(
+            model,
+            breaker=CircuitBreaker(
+                window=8, failure_threshold=0.5, min_requests=2, cooldown=2
+            ),
+        )
+        candidates = np.arange(40)
+        # An impossible deadline degrades every request; degraded
+        # responses count as failures and trip the breaker.
+        for _ in range(2):
+            result = engine.rank_candidates(
+                dense, context, "table_00", candidates, deadline_s=1e-9
+            )
+            assert result.degraded
+        assert engine.breaker.state == "open"
+        with pytest.raises(LoadShedError, match="open"):
+            engine.rank_candidates(dense, context, "table_00", candidates)
+        assert engine.breaker.shed_requests == 1
+
+    def test_breaker_recovers_after_cooldown(self, trained, tiny_schema):
+        model, dense, context = self._request(trained, tiny_schema)
+        breaker = CircuitBreaker(
+            window=8, failure_threshold=0.5, min_requests=2, cooldown=1
+        )
+        engine = InferenceEngine(model, breaker=breaker)
+        candidates = np.arange(40)
+        for _ in range(2):
+            engine.rank_candidates(
+                dense, context, "table_00", candidates, deadline_s=1e-9
+            )
+        assert breaker.state == "open"
+        with pytest.raises(LoadShedError):
+            engine.rank_candidates(dense, context, "table_00", candidates)
+        # Cooldown elapsed: the next request is the half-open probe, and
+        # its (undegraded) success closes the breaker.
+        result = engine.rank_candidates(dense, context, "table_00", candidates)
+        assert not result.degraded
+        assert breaker.state == "closed"
+
+    def test_health_snapshot(self, trained, tiny_schema):
+        model, dense, context = self._request(trained, tiny_schema)
+        plain = InferenceEngine(model)
+        assert plain.health()["breaker"] is None
+
+        engine = InferenceEngine(model, breaker=CircuitBreaker())
+        engine.rank_candidates(dense, context, "table_00", np.arange(10))
+        health = engine.health()
+        assert health["requests"] >= 1
+        assert set(health["breaker"]) == {
+            "state",
+            "failure_rate",
+            "window_size",
+            "trips",
+            "shed_requests",
+        }
+        assert health["breaker"]["state"] == "closed"
 
 
 @pytest.fixture(scope="module")
