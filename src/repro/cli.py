@@ -8,11 +8,23 @@ Commands:
 - ``train``       — train baseline or FAE on a synthetic log and report
                     accuracy/AUC.
 - ``simulate``    — price baseline/FAE/NvOPT epochs on the paper's server.
-- ``trace``       — run the pipeline with tracing on and print the span
-                    summary tree (optionally dumping JSONL).
+- ``trace run``   — run the pipeline with tracing on and print the span
+                    summary tree (optionally dumping JSONL).  Plain
+                    ``repro trace ...`` still works (``run`` is implied).
+- ``trace analyze`` — profile an exported trace JSONL: per-span self
+                    time, hotspot table, critical path (text and JSON).
+- ``serve-bench`` — Zipf traffic-replay SLO harness over the inference
+                    engine: seeded bursty load, P50/P95/P99 + shed-rate
+                    report, byte-deterministic per seed in the default
+                    simulated-clock mode.
+- ``bench``       — run the canonical perf suite (preprocess throughput,
+                    train step time + sync share, serve latency) and
+                    write a schema-versioned ``BENCH_<date>.json``;
+                    ``--baseline`` gates on regressions.
 
 ``preprocess`` and ``train`` also accept ``--trace`` to print the same
-summary tree after the run.  ``train --mode fae`` additionally supports
+summary tree after the run, and both report a resource summary (peak
+RSS, CPU) from the background sampler.  ``train --mode fae`` additionally supports
 fault-tolerant operation: ``--checkpoint-dir``/``--checkpoint-every``/
 ``--resume`` for atomic checkpoint/resume, ``--faults SPEC`` for seeded
 chaos injection, and ``--gpus N`` to run the distributed FAE trainer
@@ -37,7 +49,10 @@ the packages this module imports.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+from pathlib import Path
 
 from repro import obs
 from repro.core import FAEConfig, fae_preprocess, fae_preprocess_source
@@ -175,19 +190,122 @@ def build_parser() -> argparse.ArgumentParser:
     _add_validate_args(train)
 
     trace = sub.add_parser(
-        "trace", help="run preprocess + train with tracing on; print the span tree"
+        "trace", help="run the pipeline under tracing, or analyze an exported trace"
     )
-    trace.add_argument("dataset", nargs="?", default="criteo-kaggle", choices=_DATASET_CHOICES)
-    trace.add_argument("--scale", default="small")
-    trace.add_argument("--rows", type=int, default=4096, help="synthetic log size")
-    trace.add_argument("--seed", type=int, default=0)
-    trace.add_argument("--budget-bytes", type=int, default=256 * 1024)
-    trace.add_argument("--large-table-min-bytes", type=int, default=1024)
-    trace.add_argument("--batch-size", type=int, default=128)
-    trace.add_argument("--epochs", type=int, default=1)
-    trace.add_argument("--lr", type=float, default=0.15)
-    trace.add_argument(
+    trace_sub = trace.add_subparsers(dest="trace_cmd", required=True)
+    trace_run = trace_sub.add_parser(
+        "run", help="run preprocess + train with tracing on; print the span tree"
+    )
+    trace_run.add_argument(
+        "dataset", nargs="?", default="criteo-kaggle", choices=_DATASET_CHOICES
+    )
+    trace_run.add_argument("--scale", default="small")
+    trace_run.add_argument("--rows", type=int, default=4096, help="synthetic log size")
+    trace_run.add_argument("--seed", type=int, default=0)
+    trace_run.add_argument("--budget-bytes", type=int, default=256 * 1024)
+    trace_run.add_argument("--large-table-min-bytes", type=int, default=1024)
+    trace_run.add_argument("--batch-size", type=int, default=128)
+    trace_run.add_argument("--epochs", type=int, default=1)
+    trace_run.add_argument("--lr", type=float, default=0.15)
+    trace_run.add_argument(
         "--out", default=None, help="also dump spans + metric snapshots as JSONL here"
+    )
+    trace_analyze = trace_sub.add_parser(
+        "analyze",
+        help="profile a trace JSONL: self time, hotspots, critical path",
+    )
+    trace_analyze.add_argument("path", help="trace JSONL exported by 'trace run --out'")
+    trace_analyze.add_argument(
+        "--top", type=int, default=10, help="hotspot table depth"
+    )
+    trace_analyze.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the analysis as JSON ('-' prints to stdout instead of text)",
+    )
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="Zipf traffic-replay SLO report over the inference engine",
+    )
+    serve_bench.add_argument("--requests", type=int, default=512)
+    serve_bench.add_argument("--candidates", type=int, default=512)
+    serve_bench.add_argument("--top-k", type=int, default=10)
+    serve_bench.add_argument("--seed", type=int, default=7)
+    serve_bench.add_argument(
+        "--dataset", choices=_DATASET_CHOICES, default="criteo-kaggle"
+    )
+    serve_bench.add_argument("--scale", default="tiny")
+    serve_bench.add_argument(
+        "--rate", type=float, default=200.0, help="steady arrival rate, req/s"
+    )
+    serve_bench.add_argument(
+        "--burst-factor", type=float, default=4.0, help="arrival-rate multiplier in bursts"
+    )
+    serve_bench.add_argument(
+        "--hot-exponent", type=float, default=1.05, help="candidate-key Zipf skew"
+    )
+    serve_bench.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=25.0,
+        help="per-request ranking deadline; <= 0 disables",
+    )
+    serve_bench.add_argument(
+        "--mode",
+        choices=("simulated", "wall"),
+        default="simulated",
+        help="simulated = virtual clock, byte-deterministic; wall = real clock",
+    )
+    serve_bench.add_argument(
+        "--slow",
+        default=None,
+        metavar="START:STOP[:FACTOR]",
+        help="inject a slow-replica fault over that request-index window",
+    )
+    serve_bench.add_argument(
+        "--out-dir", default="benchmarks/out", help="bench artifact directory"
+    )
+    serve_bench.add_argument(
+        "--out", default=None, help="report JSON path (default OUT_DIR/slo_report.json)"
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the canonical perf suite; write BENCH_<date>.json; gate on --baseline",
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="CI-sized suite (seconds, same code paths)"
+    )
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument(
+        "--out-dir", default="benchmarks/out", help="bench artifact directory"
+    )
+    bench.add_argument(
+        "--sections",
+        default=None,
+        help="comma-separated subset of preprocess,train,serve (default all)",
+    )
+    bench.add_argument(
+        "--baseline", default=None, help="compare against this BENCH_*.json snapshot"
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative worsening that counts as a regression",
+    )
+    bench.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (cross-host CI)",
+    )
+    bench.add_argument(
+        "--check",
+        default=None,
+        metavar="SNAPSHOT",
+        help="compare an existing snapshot instead of running the suite",
     )
 
     sim = sub.add_parser("simulate", help="price training on the paper's server")
@@ -293,7 +411,9 @@ def cmd_info(args) -> int:
 
 
 def cmd_preprocess(args) -> int:
-    with obs.tracing(enabled=args.trace or obs.tracing_enabled()):
+    with obs.ResourceSampler() as sampler, obs.tracing(
+        enabled=args.trace or obs.tracing_enabled()
+    ):
         if args.stream:
             from repro.data import SyntheticClickStream
             from repro.data.chunk_source import StreamChunkSource
@@ -333,6 +453,7 @@ def cmd_preprocess(args) -> int:
         if args.trace:
             print()
             print(obs.summary_tree())
+    print(sampler.format_summary())
     return 0
 
 
@@ -360,7 +481,9 @@ def cmd_train(args) -> int:
         print("error: --gpus must be >= 1", file=sys.stderr)
         return 2
 
-    with obs.tracing(enabled=args.trace or obs.tracing_enabled()):
+    with obs.ResourceSampler() as sampler, obs.tracing(
+        enabled=args.trace or obs.tracing_enabled()
+    ):
         log = _make_log(args)
         train, test = train_test_split(log, 0.15, seed=args.seed)
         spec = workload_by_name(_WORKLOAD_FOR_DATASET[args.dataset])
@@ -474,10 +597,36 @@ def cmd_train(args) -> int:
         if args.trace:
             print()
             print(obs.summary_tree())
+    print(sampler.format_summary())
     return 0
 
 
 def cmd_trace(args) -> int:
+    """Dispatch ``trace run`` / ``trace analyze``."""
+    if args.trace_cmd == "analyze":
+        return cmd_trace_analyze(args)
+    return cmd_trace_run(args)
+
+
+def cmd_trace_analyze(args) -> int:
+    """Profile an exported trace JSONL: self time, hotspots, critical path."""
+    analysis = obs.analyze_file(args.path)
+    if args.json == "-":
+        print(json.dumps(analysis.to_dict(top=args.top), indent=2, sort_keys=True))
+        return 0
+    print(obs.render_analysis(analysis, top=args.top))
+    if args.json:
+        from repro.resilience.atomic import atomic_write_text
+
+        atomic_write_text(
+            Path(args.json),
+            json.dumps(analysis.to_dict(top=args.top), indent=2, sort_keys=True) + "\n",
+        )
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def cmd_trace_run(args) -> int:
     """Run the full pipeline under tracing and print the span tree."""
     schema = dataset_by_name(args.dataset, _parse_scale(args.scale))
     log = SyntheticClickLog(
@@ -550,13 +699,103 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _parse_slow_window(spec: str | None) -> dict:
+    """Parse ``START:STOP[:FACTOR]`` into ReplayConfig overrides."""
+    if spec is None:
+        return {}
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError(f"--slow expects START:STOP[:FACTOR], got {spec!r}")
+    overrides = {"slow_start": int(parts[0]), "slow_stop": int(parts[1])}
+    if len(parts) == 3:
+        overrides["slow_factor"] = float(parts[2])
+    return overrides
+
+
+def cmd_serve_bench(args) -> int:
+    """Seeded Zipf traffic replay; print + persist the SLO report."""
+    from repro.resilience.atomic import atomic_write_text
+    from repro.serve import ReplayConfig, format_slo_report, run_slo_replay
+
+    config = ReplayConfig(
+        requests=args.requests,
+        candidates=args.candidates,
+        top_k=args.top_k,
+        seed=args.seed,
+        dataset=args.dataset,
+        scale=args.scale,
+        base_rate=args.rate,
+        burst_factor=args.burst_factor,
+        hot_exponent=args.hot_exponent,
+        deadline_s=args.deadline_ms / 1e3 if args.deadline_ms > 0 else None,
+        mode=args.mode,
+        **_parse_slow_window(args.slow),
+    )
+    report = run_slo_replay(config)
+    print(format_slo_report(report))
+    out = Path(args.out) if args.out else Path(args.out_dir) / "slo_report.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(out, json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Run (or check) the canonical perf suite; gate on a baseline.
+
+    Exit codes: 0 on success, 4 when the baseline compare finds a
+    regression and ``--warn-only`` is not set.
+    """
+    from repro.obs import bench as bench_mod
+
+    if args.check:
+        current = json.loads(Path(args.check).read_text(encoding="utf-8"))
+        print(f"checking existing snapshot {args.check}")
+    else:
+        config = (
+            bench_mod.BenchConfig.quick_preset(seed=args.seed)
+            if args.quick
+            else bench_mod.BenchConfig.full_preset(seed=args.seed)
+        )
+        sections = (
+            tuple(part.strip() for part in args.sections.split(",") if part.strip())
+            if args.sections
+            else ()
+        )
+        current, path = bench_mod.run_bench(config, args.out_dir, sections)
+        print(bench_mod.format_snapshot(current))
+        print(f"wrote {path}")
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+        result = bench_mod.compare_bench(current, baseline, threshold=args.threshold)
+        print()
+        print(bench_mod.format_compare(result))
+        if result["regressions"] and not args.warn_only:
+            return 4
+    return 0
+
+
+def _normalize_argv(argv: list[str] | None) -> list[str]:
+    """Back-compat shim: ``repro trace <dataset/flags>`` implies ``trace run``."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    i = 0
+    while i < len(argv) and argv[i].startswith("-"):
+        i += 1
+    if i < len(argv) and argv[i] == "trace":
+        follower = argv[i + 1] if i + 1 < len(argv) else None
+        if follower not in ("run", "analyze", "-h", "--help"):
+            argv.insert(i + 1, "run")
+    return argv
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code.
 
     Failures exit nonzero with a one-line error on stderr; pass
-    ``--traceback`` to re-raise with the full stack instead.
+    ``--traceback`` to re-raise with the full stack instead.  ``bench``
+    additionally exits 4 when the baseline compare finds a regression.
     """
-    args = build_parser().parse_args(argv)
+    args = build_parser().parse_args(_normalize_argv(argv))
     handlers = {
         "info": cmd_info,
         "preprocess": cmd_preprocess,
@@ -564,6 +803,8 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": cmd_simulate,
         "report": cmd_report,
         "trace": cmd_trace,
+        "serve-bench": cmd_serve_bench,
+        "bench": cmd_bench,
     }
     try:
         return handlers[args.command](args)
@@ -589,6 +830,13 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
         return 3
+    except BrokenPipeError:
+        # Downstream consumer (head, less) closed the pipe: normal for
+        # paged output, not an error.  Detach stdout so the interpreter
+        # shutdown doesn't print its own BrokenPipeError warning.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     except Exception as exc:
         if args.traceback:
             raise

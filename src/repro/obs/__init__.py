@@ -12,11 +12,28 @@ substrate every perf PR regresses against:
   with snapshot/reset semantics and percentile summaries.
 - :mod:`repro.obs.export` — JSONL trace/metric dumps, the human-readable
   span summary tree, and per-run artifact directories.
+- :mod:`repro.obs.analyze` — trace profiling: per-span self time,
+  call-tree aggregation, hotspot tables, and critical-path extraction
+  over exported span JSONL (``repro trace analyze``).
+- :mod:`repro.obs.sampler` — background RSS/CPU sampling into registry
+  gauges with a peak/mean summary, wired into preprocess/train/bench
+  runs.
+- :mod:`repro.obs.bench` — the ``repro bench`` canonical perf suite:
+  schema-versioned ``BENCH_<date>.json`` snapshots and the baseline
+  regression gate.  (Imported lazily by the CLI, not re-exported here:
+  it depends on ``repro.core``/``train``/``serve``, which themselves
+  import this package.)
 
 Enable tracing with :func:`enable_tracing`, ``REPRO_TRACE=1``, the
 ``--trace`` CLI flag, or the ``repro trace`` subcommand.
 """
 
+from repro.obs.analyze import (
+    TraceAnalysis,
+    analyze_file,
+    analyze_records,
+    render_analysis,
+)
 from repro.obs.export import (
     export_jsonl,
     export_run,
@@ -31,6 +48,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
 )
+from repro.obs.sampler import ResourceSampler, read_rss_bytes
 from repro.obs.trace import (
     Span,
     SpanRecord,
@@ -50,10 +68,14 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ResourceSampler",
     "Span",
     "SpanRecord",
     "Timer",
+    "TraceAnalysis",
     "Tracer",
+    "analyze_file",
+    "analyze_records",
     "disable_tracing",
     "enable_tracing",
     "export_jsonl",
@@ -62,6 +84,8 @@ __all__ = [
     "get_tracer",
     "load_jsonl",
     "metric_records",
+    "read_rss_bytes",
+    "render_analysis",
     "span",
     "summary_tree",
     "timed",

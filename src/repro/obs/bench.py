@@ -1,0 +1,395 @@
+"""`repro bench`: the canonical perf suite and its regression gate.
+
+Every perf PR needs a number, and the number needs a place to live.
+This module runs a canonical three-section suite and freezes the result
+into a schema-versioned ``BENCH_<date>.json`` snapshot:
+
+- **preprocess** — synthetic-log FAE preprocessing throughput
+  (rows/second) with peak-RSS context from the resource sampler;
+- **train** — FAE trainer step-time distribution (the
+  ``train.step.latency`` histogram both trainers feed) plus the
+  hot<->cold sync overhead share, attributed from a live trace via the
+  analyzer (total ``replicate.sync`` span time over root wall time);
+- **serve** — inference-engine batch-scoring latency percentiles and
+  row throughput, measured on the wall clock.
+
+``compare_bench`` diffs two snapshots over a fixed metric list, each
+tagged with its good direction (throughput up, latency down), and flags
+any metric that got worse by more than the threshold — the CLI exits
+non-zero on a flagged regression unless ``--warn-only``.  CI runs the
+quick suite on every push and compares against the committed seed
+baseline (warn-only: absolute numbers differ across hosts; the gate is
+for same-host use, the warn stream for trend spotting).
+
+Sections reset the instruments they measure (tracer, step/latency
+histograms): a bench invocation is a measurement run, not a production
+counter stream.  All snapshot writes are atomic and land under one
+``--out-dir`` — nothing scatters into the working tree.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import asdict, dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.analyze import analyze_records
+from repro.obs.metrics import get_registry
+from repro.obs.sampler import ResourceSampler
+from repro.obs.trace import get_tracer, timed, tracing
+from repro.resilience.atomic import atomic_write_text
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchConfig",
+    "compare_bench",
+    "format_compare",
+    "format_snapshot",
+    "run_bench",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+_WORKLOAD_FOR_DATASET = {
+    "criteo-kaggle": "RMC2",
+    "criteo-terabyte": "RMC3",
+    "taobao": "RMC1",
+}
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Sizes for one bench run; ``quick()`` is the CI-speed preset."""
+
+    quick: bool = False
+    seed: int = 7
+    dataset: str = "criteo-kaggle"
+    scale: str = "small"
+    preprocess_samples: int = 60_000
+    train_samples: int = 12_000
+    train_epochs: int = 1
+    batch_size: int = 256
+    serve_batches: int = 400
+    serve_batch_size: int = 512
+    budget_bytes: int = 256 * 1024
+    large_table_min_bytes: int = 1024
+
+    @classmethod
+    def quick_preset(cls, seed: int = 7) -> BenchConfig:
+        """Small enough for a CI smoke (~seconds), same code paths."""
+        return cls(
+            quick=True,
+            seed=seed,
+            scale="tiny",
+            preprocess_samples=8_000,
+            train_samples=2_500,
+            serve_batches=100,
+            serve_batch_size=256,
+        )
+
+    @classmethod
+    def full_preset(cls, seed: int = 7) -> BenchConfig:
+        return cls(seed=seed)
+
+
+# -- sections -----------------------------------------------------------
+
+
+def _fae_config(config: BenchConfig):
+    from repro.core import FAEConfig
+
+    return FAEConfig(
+        gpu_memory_budget=config.budget_bytes,
+        large_table_min_bytes=config.large_table_min_bytes,
+        chunk_size=64,
+        seed=config.seed,
+    )
+
+
+def _make_log(config: BenchConfig, samples: int):
+    from repro.data import SyntheticClickLog, SyntheticConfig, dataset_by_name
+
+    schema = dataset_by_name(config.dataset, config.scale)
+    return SyntheticClickLog(
+        schema, SyntheticConfig(num_samples=samples, seed=config.seed)
+    )
+
+
+def bench_preprocess(config: BenchConfig) -> dict:
+    """FAE preprocess throughput over a synthetic log."""
+    from repro.core import fae_preprocess
+
+    log = _make_log(config, config.preprocess_samples)
+    with ResourceSampler() as sampler:
+        with timed("bench.preprocess") as timer:
+            plan = fae_preprocess(log, _fae_config(config), batch_size=config.batch_size)
+    resources = sampler.summary()
+    return {
+        "samples": len(log),
+        "seconds": timer.seconds,
+        "rows_per_sec": len(log) / timer.seconds if timer.seconds > 0 else 0.0,
+        "hot_input_fraction": plan.dataset.hot_input_fraction,
+        "rss_peak_bytes": resources["rss_peak_bytes"],
+    }
+
+
+def bench_train(config: BenchConfig) -> dict:
+    """FAE trainer step time + sync overhead share (trace-attributed)."""
+    from repro.core import fae_preprocess
+    from repro.data import train_test_split
+    from repro.models import build_model, workload_by_name
+    from repro.train import FAETrainer
+
+    registry = get_registry()
+    step_hist = registry.histogram("train.step.latency")
+    step_hist.reset()
+    sync_events = registry.counter("fae.sync.events")
+    sync_events_start = sync_events.value
+
+    log = _make_log(config, config.train_samples)
+    train_log, test_log = train_test_split(log, 0.15, seed=config.seed)
+    plan = fae_preprocess(train_log, _fae_config(config), batch_size=config.batch_size)
+    model = build_model(
+        workload_by_name(_WORKLOAD_FOR_DATASET[config.dataset]),
+        schema=log.schema,
+        seed=config.seed + 1,
+    )
+
+    with tracing(enabled=True) as tracer:
+        tracer.reset()
+        with timed("bench.train") as timer:
+            FAETrainer(model, plan, lr=0.15).train(
+                train_log, test_log, epochs=config.train_epochs
+            )
+        records = tracer.records()
+        tracer.reset()
+
+    analysis = analyze_records(records)
+    sync_total = sum(
+        stat.total for stat in analysis.aggregates if stat.name == "replicate.sync"
+    )
+    steps = step_hist.count
+    return {
+        "samples": len(train_log),
+        "epochs": config.train_epochs,
+        "seconds": timer.seconds,
+        "steps": steps,
+        "step_mean_s": step_hist.total / steps if steps else 0.0,
+        "step_p50_s": step_hist.percentile(50) if steps else 0.0,
+        "step_p99_s": step_hist.percentile(99) if steps else 0.0,
+        "sync_events": int(sync_events.value - sync_events_start),
+        "sync_seconds": sync_total,
+        "sync_share": sync_total / analysis.roots_total if analysis.roots_total else 0.0,
+    }
+
+
+def bench_serve(config: BenchConfig) -> dict:
+    """Engine batch-scoring latency percentiles on the wall clock."""
+    from repro.data.loader import batch_from_log
+    from repro.models import build_model, workload_by_name
+    from repro.serve import InferenceEngine
+
+    registry = get_registry()
+    latency = registry.histogram("serve.request.latency")
+    latency.reset()
+
+    log = _make_log(config, max(config.serve_batch_size * 4, 4_096))
+    model = build_model(
+        workload_by_name(_WORKLOAD_FOR_DATASET[config.dataset]),
+        schema=log.schema,
+        seed=config.seed + 1,
+    )
+    engine = InferenceEngine(model, batch_size=config.serve_batch_size)
+    rng = np.random.default_rng(config.seed)
+    batches = [
+        batch_from_log(
+            log, rng.integers(0, len(log), size=config.serve_batch_size)
+        )
+        for _ in range(min(8, config.serve_batches))
+    ]
+    with timed("bench.serve") as timer:
+        for i in range(config.serve_batches):
+            engine.predict_batch(batches[i % len(batches)])
+    rows = config.serve_batches * config.serve_batch_size
+    return {
+        "batches": config.serve_batches,
+        "batch_size": config.serve_batch_size,
+        "seconds": timer.seconds,
+        "rows_per_sec": rows / timer.seconds if timer.seconds > 0 else 0.0,
+        "p50_s": latency.percentile(50),
+        "p95_s": latency.percentile(95),
+        "p99_s": latency.percentile(99),
+    }
+
+
+# -- snapshot -----------------------------------------------------------
+
+
+def run_bench(
+    config: BenchConfig, out_dir: str | Path, sections: tuple[str, ...] = ()
+) -> tuple[dict, Path]:
+    """Run the suite and write ``BENCH_<date>.json`` under ``out_dir``.
+
+    Args:
+        config: suite sizes (use :meth:`BenchConfig.quick_preset` in CI).
+        out_dir: single destination directory for every bench artifact.
+        sections: subset to run (all three when empty).
+
+    Returns:
+        The snapshot dict and the path it was written to.
+    """
+    runners = {
+        "preprocess": bench_preprocess,
+        "train": bench_train,
+        "serve": bench_serve,
+    }
+    chosen = sections or tuple(runners)
+    unknown = set(chosen) - set(runners)
+    if unknown:
+        raise ValueError(f"unknown bench sections: {sorted(unknown)}")
+
+    now = datetime.now(timezone.utc)
+    snapshot = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "bench",
+        "created_utc": now.isoformat(timespec="seconds"),
+        "quick": config.quick,
+        "seed": config.seed,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": asdict(config),
+        "sections": {name: runners[name](config) for name in chosen},
+    }
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{now.strftime('%Y-%m-%d')}.json"
+    atomic_write_text(path, json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return snapshot, path
+
+
+def format_snapshot(snapshot: dict) -> str:
+    """Human-readable digest of a bench snapshot."""
+    lines = [
+        f"bench snapshot (schema v{snapshot['schema_version']}, "
+        f"seed {snapshot['seed']}, quick={snapshot['quick']}):"
+    ]
+    sections = snapshot["sections"]
+    if "preprocess" in sections:
+        s = sections["preprocess"]
+        lines.append(
+            f"  preprocess: {s['samples']} rows in {s['seconds']:.3f}s "
+            f"({s['rows_per_sec']:.0f} rows/s, peak rss "
+            f"{s['rss_peak_bytes'] / 2**20:.1f} MiB)"
+        )
+    if "train" in sections:
+        s = sections["train"]
+        lines.append(
+            f"  train:      {s['steps']} steps, mean {1e3 * s['step_mean_s']:.3f} ms "
+            f"(p99 {1e3 * s['step_p99_s']:.3f} ms), sync share "
+            f"{100 * s['sync_share']:.1f}% over {s['sync_events']} syncs"
+        )
+    if "serve" in sections:
+        s = sections["serve"]
+        lines.append(
+            f"  serve:      {s['batches']}x{s['batch_size']} rows, "
+            f"p50 {1e3 * s['p50_s']:.3f} ms  p95 {1e3 * s['p95_s']:.3f} ms  "
+            f"p99 {1e3 * s['p99_s']:.3f} ms ({s['rows_per_sec']:.0f} rows/s)"
+        )
+    return "\n".join(lines)
+
+
+# -- baseline compare ---------------------------------------------------
+
+# Metric paths into snapshot["sections"], tagged with the good direction.
+COMPARE_METRICS: tuple[tuple[str, str], ...] = (
+    ("preprocess.rows_per_sec", "higher"),
+    ("train.step_mean_s", "lower"),
+    ("train.step_p99_s", "lower"),
+    ("train.sync_share", "lower"),
+    ("serve.p50_s", "lower"),
+    ("serve.p99_s", "lower"),
+    ("serve.rows_per_sec", "higher"),
+)
+
+
+def _lookup(sections: dict, dotted: str):
+    node = sections
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def compare_bench(current: dict, baseline: dict, threshold: float = 0.25) -> dict:
+    """Diff two snapshots; flag metrics worse than ``threshold``.
+
+    "Worse" is direction-aware: a throughput metric regresses when it
+    drops by more than the threshold fraction, a latency metric when it
+    rises by more.  Metrics missing on either side produce a ``missing``
+    entry, never a regression (new benches must not fail old baselines).
+
+    Raises:
+        ValueError: on a snapshot schema-version mismatch.
+    """
+    for name, snap in (("current", current), ("baseline", baseline)):
+        version = snap.get("schema_version")
+        if version != BENCH_SCHEMA_VERSION:
+            raise ValueError(
+                f"{name} snapshot has schema_version {version!r}, "
+                f"expected {BENCH_SCHEMA_VERSION}"
+            )
+    entries = []
+    regressions = []
+    for metric, direction in COMPARE_METRICS:
+        cur = _lookup(current.get("sections", {}), metric)
+        base = _lookup(baseline.get("sections", {}), metric)
+        if cur is None or base is None or base == 0:
+            entries.append({"metric": metric, "status": "missing"})
+            continue
+        delta = (cur - base) / abs(base)
+        worsening = -delta if direction == "higher" else delta
+        status = "regression" if worsening > threshold else "ok"
+        entries.append(
+            {
+                "metric": metric,
+                "status": status,
+                "direction": direction,
+                "current": cur,
+                "baseline": base,
+                "delta": delta,
+            }
+        )
+        if status == "regression":
+            regressions.append(metric)
+    return {"threshold": threshold, "entries": entries, "regressions": regressions}
+
+
+def format_compare(result: dict) -> str:
+    """Human-readable compare table."""
+    lines = [f"baseline compare (threshold {100 * result['threshold']:.0f}%):"]
+    for entry in result["entries"]:
+        if entry["status"] == "missing":
+            lines.append(f"  {entry['metric']:<28} (missing — skipped)")
+            continue
+        arrow = "+" if entry["delta"] >= 0 else ""
+        flag = "  << REGRESSION" if entry["status"] == "regression" else ""
+        lines.append(
+            f"  {entry['metric']:<28} {entry['current']:12.6g} vs "
+            f"{entry['baseline']:12.6g}  ({arrow}{100 * entry['delta']:.1f}%, "
+            f"{entry['direction']} is better){flag}"
+        )
+    if result["regressions"]:
+        lines.append(
+            f"  {len(result['regressions'])} regression(s): "
+            + ", ".join(result["regressions"])
+        )
+    else:
+        lines.append("  no regressions")
+    return "\n".join(lines)

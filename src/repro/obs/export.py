@@ -117,14 +117,19 @@ def _build_tree(records: list[SpanRecord]) -> _Node:
     return root
 
 
-def _render(node: _Node, lines: list[str], depth: int, name_width: int) -> None:
-    for child in sorted(node.children.values(), key=lambda n: -n.total):
+def _render(
+    node: _Node, lines: list[str], depth: int, name_width: int, wall: float
+) -> None:
+    # Deterministic order — total time descending, then name — so the
+    # summary is diff-stable across runs with equal-cost siblings.
+    for child in sorted(node.children.values(), key=lambda n: (-n.total, n.name)):
         label = "  " * depth + child.name
         lines.append(
             f"{label:<{name_width}} total {child.total:9.4f}s  "
-            f"self {child.self_time:9.4f}s  count {child.count:5d}"
+            f"self {child.self_time:9.4f}s  "
+            f"self% {100 * child.self_time / wall:5.1f}  count {child.count:5d}"
         )
-        _render(child, lines, depth + 1, name_width)
+        _render(child, lines, depth + 1, name_width, wall)
 
 
 def summary_tree(
@@ -148,8 +153,12 @@ def summary_tree(
             return width
 
         name_width = max(24, widest(root, 0) + 2)
-        lines.append(f"{'span':<{name_width}} {'time':>15}  {'self':>14}  {'calls':>11}")
-        _render(root, lines, 0, name_width)
+        wall = sum(child.total for child in root.children.values()) or 1.0
+        lines.append(
+            f"{'span':<{name_width}} {'time':>15}  {'self':>14}  "
+            f"{'self%':>11}  {'calls':>11}"
+        )
+        _render(root, lines, 0, name_width, wall)
 
     if include_metrics:
         snapshot = (registry or get_registry()).snapshot()

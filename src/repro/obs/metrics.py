@@ -116,9 +116,16 @@ class Gauge:
 class Histogram:
     """Sample collector with percentile summaries.
 
-    Retains at most ``max_samples`` observations (a uniform stride of
-    later samples replaces earlier ones past the cap, bounding memory on
-    long runs); count/sum/min/max stay exact regardless.
+    Retains at most ``max_samples`` observations.  Past the cap, new
+    observations overwrite the buffer cyclically (a ring keyed on the
+    running count), so the retained set is approximately the **most
+    recent** ``max_samples`` observations — *not* a uniform reservoir
+    over the whole stream.  Interior percentiles therefore reflect the
+    trailing window once the cap is exceeded (fine for steady-state
+    latency distributions, biased for drifting ones), while ``count`` /
+    ``sum`` / ``min`` / ``max`` stay exact over the full stream, and
+    ``percentile(0)`` / ``percentile(100)`` always return the exact
+    stream min/max.
     """
 
     __slots__ = ("name", "max_samples", "_lock", "_samples", "_count", "_sum", "_min", "_max")
@@ -162,15 +169,25 @@ class Histogram:
     def percentile(self, p: float) -> float:
         """Linear-interpolated percentile over retained samples.
 
+        Edge cases (pinned by tests): an empty histogram raises
+        ``ValueError``; ``p=0`` and ``p=100`` return the *exact* stream
+        min/max (tracked independently of the retention buffer, so they
+        are immune to the ring-buffer bias documented on the class); a
+        single retained sample is returned for every ``p``.
+
         Args:
             p: percentile in [0, 100].
         """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         with self._lock:
+            if self._count == 0:
+                raise ValueError(f"histogram {self.name} has no samples")
+            if p == 0:
+                return self._min
+            if p == 100:
+                return self._max
             samples = sorted(self._samples)
-        if not samples:
-            raise ValueError(f"histogram {self.name} has no samples")
         if len(samples) == 1:
             return samples[0]
         rank = p / 100 * (len(samples) - 1)
@@ -194,6 +211,7 @@ class Histogram:
         return base | {
             "p50": self.percentile(50),
             "p90": self.percentile(90),
+            "p95": self.percentile(95),
             "p99": self.percentile(99),
         }
 

@@ -14,6 +14,11 @@ Centaur).
   latency simulation (Poisson arrivals, dynamic batching) comparing
   CPU-embedding serving against hot-resident serving on the calibrated
   cost model.
+- :mod:`repro.serve.replay` — the Zipf traffic-replay SLO harness
+  (``repro serve-bench``): a seeded, bursty, hot-key-skewed load
+  generator driving a real engine, byte-deterministic per seed via an
+  injected :class:`~repro.serve.replay.VirtualClock`, reporting
+  P50/P95/P99 latency, throughput, and degraded/shed rates.
 
 Admission control (candidate-id bounds validation, circuit-breaker load
 shedding) lives on the engine; the breaker itself is
@@ -23,6 +28,12 @@ shedding) lives on the engine; the breaker itself is
 
 from repro.resilience.guards import CircuitBreaker, LoadShedError
 from repro.serve.engine import InferenceEngine, RankedItems
+from repro.serve.replay import (
+    ReplayConfig,
+    VirtualClock,
+    format_slo_report,
+    run_slo_replay,
+)
 from repro.serve.simulator import LatencyStats, ServingSimulator
 
 __all__ = [
@@ -31,5 +42,9 @@ __all__ = [
     "LatencyStats",
     "LoadShedError",
     "RankedItems",
+    "ReplayConfig",
     "ServingSimulator",
+    "VirtualClock",
+    "format_slo_report",
+    "run_slo_replay",
 ]

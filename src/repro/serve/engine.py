@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -71,6 +72,10 @@ class InferenceEngine:
             trips, :meth:`rank_candidates` sheds requests with
             :class:`~repro.resilience.guards.LoadShedError` instead of
             queueing more work behind an overloaded model.
+        clock: monotonic-seconds source used for latency measurement and
+            deadline checks (``time.perf_counter`` by default).  The SLO
+            replay harness injects a virtual clock here so a seeded load
+            test measures byte-identical latencies run after run.
     """
 
     def __init__(
@@ -80,6 +85,7 @@ class InferenceEngine:
         batch_size: int = 2048,
         deadline_s: float | None = None,
         breaker: CircuitBreaker | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -89,12 +95,15 @@ class InferenceEngine:
         self.batch_size = batch_size
         self.deadline_s = deadline_s
         self.breaker = breaker
+        self.clock = clock or time.perf_counter
         self._hot_masks = (
             {name: bag.hot_mask() for name, bag in hot_bags.items()} if hot_bags else None
         )
         registry = get_registry()
         self._latency = registry.histogram("serve.request.latency")
+        self._rank_latency = registry.histogram("serve.rank.latency")
         self._requests = registry.counter("serve.requests")
+        self._shed = registry.counter("serve.requests.shed")
         self._deadline_exceeded = registry.counter("serve.deadline.exceeded")
         self._fallback_candidates = registry.counter("serve.fallback.candidates")
 
@@ -112,10 +121,10 @@ class InferenceEngine:
 
     def predict_batch(self, batch: MiniBatch) -> np.ndarray:
         """Click probabilities for an already-built mini-batch."""
-        start = time.perf_counter()
+        start = self.clock()
         logits = self.model.forward(batch)
         probs = sigmoid(np.asarray(logits, dtype=np.float64))
-        self._latency.observe(time.perf_counter() - start)
+        self._latency.observe(self.clock() - start)
         self._requests.inc()
         return probs
 
@@ -153,6 +162,7 @@ class InferenceEngine:
             LoadShedError: if the circuit breaker is open.
         """
         if self.breaker is not None and not self.breaker.allow():
+            self._shed.inc()
             raise LoadShedError(
                 f"serving circuit breaker is {self.breaker.state} "
                 f"(recent failure rate {self.breaker.failure_rate():.2f}); "
@@ -167,10 +177,12 @@ class InferenceEngine:
         if deadline_s is None:
             deadline_s = self.deadline_s
 
+        rank_start = self.clock()
         with span("serve.rank", candidates=count, top_k=top_k):
             result = self._rank(
                 dense, sparse_context, candidate_table, candidate_ids, top_k, deadline_s
             )
+        self._rank_latency.observe(self.clock() - rank_start)
         if self.breaker is not None:
             # A degraded (deadline-tripped) response counts as a failure:
             # a sustained run of them means the engine cannot keep up and
@@ -230,11 +242,11 @@ class InferenceEngine:
         # Small chunks under a deadline so the elapsed check fires often
         # enough to matter; full batches otherwise.
         chunk_size = self.batch_size if deadline_s is None else min(self.batch_size, 256)
-        start_time = time.perf_counter()
+        start_time = self.clock()
         scores = np.empty(count, dtype=np.float64)
         degraded = False
         for start in range(0, count, chunk_size):
-            if deadline_s is not None and time.perf_counter() - start_time > deadline_s:
+            if deadline_s is not None and self.clock() - start_time > deadline_s:
                 remaining = candidate_ids[start:]
                 scores[start:] = self._fallback_scores(candidate_table, remaining)
                 self._deadline_exceeded.inc()
@@ -266,6 +278,7 @@ class InferenceEngine:
         """
         return {
             "requests": self._requests.value,
+            "shed": self._shed.value,
             "deadline_exceeded": self._deadline_exceeded.value,
             "fallback_candidates": self._fallback_candidates.value,
             "breaker": None if self.breaker is None else self.breaker.health(),

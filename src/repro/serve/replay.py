@@ -1,0 +1,329 @@
+"""Zipf traffic replay: a seeded SLO load harness for the serving engine.
+
+The serving story (deadlines, fallbacks, circuit breaker) is only
+credible with tail-latency numbers under *realistic* load: Zipf-skewed
+keys (the paper's whole premise), bursty arrivals, and fault windows.
+This module drives a real :class:`~repro.serve.engine.InferenceEngine`
+with a seeded request stream and distills the run into an SLO report —
+P50/P95/P99 latency, throughput, degraded and shed rates — built from
+the engine's own registry instruments and breaker counters.
+
+**Determinism.** In the default ``simulated`` mode the engine is
+constructed with a :class:`VirtualClock`: every clock read returns the
+current virtual time and advances it by a per-request service cost drawn
+from the seeded RNG (inflated inside injected slow-replica windows).
+Arrival gaps advance the same clock.  Deadline checks, fallback
+degradation, breaker trips, shed decisions, and every latency sample
+therefore depend only on the seed and config — the same seed produces a
+byte-identical report JSON, which is what lets tests pin breaker
+behavior and lets two machines compare reports at all.  ``wall`` mode
+swaps in ``time.perf_counter`` for honest-hardware numbers at the price
+of run-to-run noise.
+
+The engine code path exercised is the production one — real model
+forward, real bounds checks, real breaker — only the clock is virtual.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.data import dataset_by_name
+from repro.data.schema import DatasetSchema
+from repro.data.zipf import ZipfSampler
+from repro.models import build_model, workload_by_name
+from repro.obs import get_registry
+from repro.resilience.guards import CircuitBreaker, LoadShedError
+from repro.serve.engine import InferenceEngine
+
+__all__ = [
+    "ReplayConfig",
+    "VirtualClock",
+    "format_slo_report",
+    "run_slo_replay",
+]
+
+SLO_SCHEMA_VERSION = 1
+
+_WORKLOAD_FOR_DATASET = {
+    "criteo-kaggle": "RMC2",
+    "criteo-terabyte": "RMC3",
+    "taobao": "RMC1",
+}
+
+
+class VirtualClock:
+    """Deterministic monotonic clock: each read advances time by ``step``.
+
+    The engine reads the clock a fixed number of times per scored chunk
+    (latency start/end, deadline checks), so setting ``step`` to the
+    per-read service cost turns the read sequence itself into the
+    service-time model: elapsed time grows with work performed, deadline
+    checks trip exactly when the accumulated cost exceeds the budget,
+    and none of it depends on the host's scheduler.
+    """
+
+    __slots__ = ("t", "step")
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.t = start
+        self.step = 0.0
+
+    def __call__(self) -> float:
+        now = self.t
+        self.t += self.step
+        return now
+
+    def advance(self, seconds: float) -> None:
+        """Jump forward (arrival gaps, think time)."""
+        self.t += seconds
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Everything that determines a replay run (and its report).
+
+    Attributes:
+        requests: total requests to issue.
+        candidates: candidate-set size per request.
+        top_k: ranking depth.
+        seed: master seed for arrivals, costs, features, and keys.
+        dataset: workload schema family.
+        scale: dataset scale (tables stay small enough to build fast).
+        base_rate: steady-state arrival rate, requests/second.
+        burst_factor: arrival-rate multiplier inside a burst.
+        burst_every: burst period, in requests.
+        burst_length: burst duration, in requests.
+        hot_exponent: Zipf exponent of the candidate-key popularity.
+        deadline_s: per-request ranking deadline (None disables).
+        mode: ``"simulated"`` (virtual clock, byte-deterministic) or
+            ``"wall"`` (real clock, honest but noisy).
+        chunk_cost_s: simulated service cost per engine clock read.
+        cost_jitter: relative uniform jitter on the per-request cost.
+        slow_start / slow_stop: request-index window of an injected
+            slow-replica fault (None disables).
+        slow_factor: service-cost multiplier inside the slow window.
+        breaker_window / breaker_threshold / breaker_min_requests /
+        breaker_cooldown: circuit-breaker parameters (0 window disables
+            the breaker entirely).
+    """
+
+    requests: int = 512
+    candidates: int = 512
+    top_k: int = 10
+    seed: int = 7
+    dataset: str = "criteo-kaggle"
+    scale: str = "tiny"
+    base_rate: float = 200.0
+    burst_factor: float = 4.0
+    burst_every: int = 100
+    burst_length: int = 25
+    hot_exponent: float = 1.05
+    deadline_s: float | None = 0.025
+    mode: str = "simulated"
+    chunk_cost_s: float = 2e-4
+    cost_jitter: float = 0.25
+    slow_start: int | None = None
+    slow_stop: int | None = None
+    slow_factor: float = 100.0
+    breaker_window: int = 32
+    breaker_threshold: float = 0.5
+    breaker_min_requests: int = 8
+    breaker_cooldown: int = 16
+
+    def __post_init__(self) -> None:
+        if self.requests <= 0 or self.candidates <= 0:
+            raise ValueError("requests and candidates must be positive")
+        if self.mode not in ("simulated", "wall"):
+            raise ValueError(f"mode must be 'simulated' or 'wall', got {self.mode!r}")
+        if self.base_rate <= 0:
+            raise ValueError("base_rate must be positive")
+
+    def in_burst(self, request_index: int) -> bool:
+        if self.burst_every <= 0:
+            return False
+        return (request_index % self.burst_every) < self.burst_length
+
+    def in_slow_window(self, request_index: int) -> bool:
+        if self.slow_start is None or self.slow_stop is None:
+            return False
+        return self.slow_start <= request_index < self.slow_stop
+
+
+_REPLAY_INSTRUMENTS = (
+    "serve.rank.latency",
+    "serve.request.latency",
+    "serve.requests",
+    "serve.requests.shed",
+    "serve.deadline.exceeded",
+    "serve.fallback.candidates",
+    "guards.breaker.trips",
+    "guards.breaker.shed",
+)
+
+
+def run_slo_replay(config: ReplayConfig, schema: DatasetSchema | None = None) -> dict:
+    """Run one seeded replay and return the JSON-ready SLO report.
+
+    Builds a fresh model + engine + breaker so the run depends only on
+    the config.  The serving instruments it reads are reset first (they
+    are process-global; a replay is a measurement run, not a production
+    counter stream).
+    """
+    registry = get_registry()
+    for name in _REPLAY_INSTRUMENTS:
+        if name.endswith("latency"):
+            registry.histogram(name).reset()
+        else:
+            registry.counter(name).reset()
+
+    schema = schema or dataset_by_name(config.dataset, config.scale)
+    model = build_model(
+        workload_by_name(_WORKLOAD_FOR_DATASET[config.dataset]),
+        schema=schema,
+        seed=config.seed,
+    )
+    breaker = (
+        CircuitBreaker(
+            window=config.breaker_window,
+            failure_threshold=config.breaker_threshold,
+            min_requests=config.breaker_min_requests,
+            cooldown=config.breaker_cooldown,
+        )
+        if config.breaker_window > 0
+        else None
+    )
+    clock = VirtualClock() if config.mode == "simulated" else time.perf_counter
+    engine = InferenceEngine(
+        model,
+        deadline_s=config.deadline_s,
+        breaker=breaker,
+        clock=clock,
+    )
+
+    rng = np.random.default_rng(config.seed)
+    # The candidate table is the largest (most skew-sensitive) table;
+    # context tables each get their schema-declared skew.
+    candidate_table = max(schema.tables, key=lambda t: (t.num_rows, t.name)).name
+    candidate_sampler = ZipfSampler(
+        num_items=next(t.num_rows for t in schema.tables if t.name == candidate_table),
+        exponent=config.hot_exponent,
+        seed=config.seed + 1,
+    )
+    context_samplers = {
+        t.name: (ZipfSampler(t.num_rows, t.zipf_exponent, seed=config.seed + 2 + i), t.multiplicity)
+        for i, t in enumerate(schema.tables)
+    }
+
+    completed = 0
+    degraded = 0
+    shed = 0
+    wall_start = time.perf_counter()
+    virtual_start = clock.t if isinstance(clock, VirtualClock) else 0.0
+
+    for r in range(config.requests):
+        rate = config.base_rate * (config.burst_factor if config.in_burst(r) else 1.0)
+        gap = float(rng.exponential(1.0 / rate))
+        cost = config.chunk_cost_s * (1.0 + config.cost_jitter * float(rng.random()))
+        if config.in_slow_window(r):
+            cost *= config.slow_factor
+        if isinstance(clock, VirtualClock):
+            clock.advance(gap)
+            clock.step = cost
+
+        dense = rng.standard_normal(schema.num_dense).astype(np.float32)
+        context = {
+            name: sampler.sample(multiplicity)
+            for name, (sampler, multiplicity) in context_samplers.items()
+        }
+        candidate_ids = candidate_sampler.sample(config.candidates)
+
+        try:
+            result = engine.rank_candidates(
+                dense, context, candidate_table, candidate_ids, top_k=config.top_k
+            )
+        except LoadShedError:
+            shed += 1
+            continue
+        completed += 1
+        if result.degraded:
+            degraded += 1
+
+    if isinstance(clock, VirtualClock):
+        clock.step = 0.0
+        elapsed = clock.t - virtual_start
+    else:
+        elapsed = time.perf_counter() - wall_start
+
+    latency = registry.histogram("serve.rank.latency")
+    total = config.requests
+    report = {
+        "schema_version": SLO_SCHEMA_VERSION,
+        "kind": "slo_report",
+        "mode": config.mode,
+        "seed": config.seed,
+        "config": asdict(config),
+        "requests": {
+            "total": total,
+            "completed": completed,
+            "degraded": degraded,
+            "shed": shed,
+        },
+        "rates": {
+            "degraded": degraded / total,
+            "shed": shed / total,
+            "error": 0.0 if total == 0 else (total - completed - shed) / total,
+        },
+        "latency_s": (
+            {
+                "p50": latency.percentile(50),
+                "p90": latency.percentile(90),
+                "p95": latency.percentile(95),
+                "p99": latency.percentile(99),
+                "mean": latency.total / latency.count,
+                "max": latency.percentile(100),
+            }
+            if latency.count
+            else {}
+        ),
+        "throughput_rps": total / elapsed if elapsed > 0 else 0.0,
+        "elapsed_s": elapsed,
+        "deadline_exceeded": int(registry.counter("serve.deadline.exceeded").value),
+        "fallback_candidates": int(registry.counter("serve.fallback.candidates").value),
+        "breaker": None if breaker is None else breaker.health(),
+    }
+    return report
+
+
+def format_slo_report(report: dict) -> str:
+    """Human-readable digest of one SLO report."""
+    lat = report.get("latency_s") or {}
+    rates = report["rates"]
+    requests = report["requests"]
+    lines = [
+        f"slo report ({report['mode']}, seed {report['seed']}): "
+        f"{requests['total']} requests in {report['elapsed_s']:.3f}s "
+        f"({report['throughput_rps']:.0f} req/s)",
+        (
+            f"  latency  p50 {1e3 * lat.get('p50', 0):7.2f} ms   "
+            f"p95 {1e3 * lat.get('p95', 0):7.2f} ms   "
+            f"p99 {1e3 * lat.get('p99', 0):7.2f} ms   "
+            f"max {1e3 * lat.get('max', 0):7.2f} ms"
+            if lat
+            else "  latency  (no completed requests)"
+        ),
+        f"  outcomes completed {requests['completed']}  "
+        f"degraded {requests['degraded']} ({100 * rates['degraded']:.1f}%)  "
+        f"shed {requests['shed']} ({100 * rates['shed']:.1f}%)",
+    ]
+    breaker = report.get("breaker")
+    if breaker is not None:
+        lines.append(
+            f"  breaker  state {breaker['state']}  trips {breaker['trips']}  "
+            f"shed {breaker['shed_requests']}  "
+            f"failure rate {breaker['failure_rate']:.2f}"
+        )
+    return "\n".join(lines)

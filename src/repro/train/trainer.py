@@ -23,6 +23,7 @@ the paper (and our Table III bench) sees matching final accuracy.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -122,14 +123,18 @@ class BaselineTrainer:
         recent_losses: list[float] = []
         recent_accuracy: list[float] = []
         iterator = BatchIterator(train_log, batch_size, shuffle=True, seed=self.seed)
-        batches_counter = get_registry().counter("train.batches.mixed")
+        registry = get_registry()
+        batches_counter = registry.counter("train.batches.mixed")
+        step_hist = registry.histogram("train.step.latency")
         for _epoch in range(epochs):
             with span("train.epoch", mode="baseline", epoch=_epoch):
                 for batch in iterator:
+                    step_start = time.perf_counter()
                     logits = self.model.forward(batch)
                     loss = loss_fn.forward(logits, batch.labels)
                     self.model.backward(loss_fn.backward())
                     optimizer.step()
+                    step_hist.observe(time.perf_counter() - step_start)
                     iteration += 1
                     batches_counter.inc()
                     recent_losses.append(loss)
@@ -428,6 +433,7 @@ class FAETrainer:
             "hot": registry.counter("train.batches.hot"),
             "cold": registry.counter("train.batches.cold"),
         }
+        step_hist = registry.histogram("train.step.latency")
         registry.gauge("train.batch.hot_fraction").set(dataset.hot_input_fraction)
 
         iteration = 0
@@ -543,6 +549,7 @@ class FAETrainer:
                             # one update and nothing else.
                             iteration += 1
                             continue
+                        step_start = time.perf_counter()
                         logits = self.model.forward(batch)
                         loss = loss_fn.forward(logits, batch.labels)
                         if self.guards is not None:
@@ -574,6 +581,7 @@ class FAETrainer:
                                 replica_optimizer.step()
                         else:
                             optimizer.step()
+                        step_hist.observe(time.perf_counter() - step_start)
                         iteration += 1
                         losses.append(loss)
                         accs.append(binary_accuracy(logits, batch.labels))

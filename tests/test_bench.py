@@ -1,0 +1,188 @@
+"""Tests for the repro bench suite and its regression gate (repro.obs.bench)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchConfig,
+    compare_bench,
+    format_compare,
+    format_snapshot,
+    run_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_snapshot(tmp_path_factory):
+    """One quick suite run shared by the module (it costs seconds)."""
+    out_dir = tmp_path_factory.mktemp("bench")
+    snapshot, path = run_bench(BenchConfig.quick_preset(seed=7), out_dir)
+    return snapshot, path
+
+
+class TestRunBench:
+    def test_snapshot_schema_and_sections(self, quick_snapshot):
+        snapshot, path = quick_snapshot
+        assert snapshot["schema_version"] == BENCH_SCHEMA_VERSION
+        assert snapshot["kind"] == "bench"
+        assert snapshot["quick"] is True
+        assert snapshot["seed"] == 7
+        assert set(snapshot["sections"]) == {"preprocess", "train", "serve"}
+        assert path.name.startswith("BENCH_") and path.suffix == ".json"
+        assert json.loads(path.read_text(encoding="utf-8")) == snapshot
+
+    def test_section_metrics_present_and_sane(self, quick_snapshot):
+        sections = quick_snapshot[0]["sections"]
+        assert sections["preprocess"]["rows_per_sec"] > 0
+        assert sections["preprocess"]["rss_peak_bytes"] > 0
+        assert sections["train"]["steps"] > 0
+        assert sections["train"]["step_mean_s"] > 0
+        assert 0 <= sections["train"]["sync_share"] <= 1
+        assert sections["train"]["sync_events"] > 0
+        assert sections["serve"]["p50_s"] <= sections["serve"]["p99_s"]
+        assert sections["serve"]["rows_per_sec"] > 0
+
+    def test_section_subset(self, tmp_path):
+        snapshot, _ = run_bench(
+            BenchConfig.quick_preset(), tmp_path, sections=("serve",)
+        )
+        assert set(snapshot["sections"]) == {"serve"}
+
+    def test_unknown_section_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown bench sections"):
+            run_bench(BenchConfig.quick_preset(), tmp_path, sections=("gpu",))
+
+    def test_format_snapshot_smoke(self, quick_snapshot):
+        text = format_snapshot(quick_snapshot[0])
+        assert "preprocess:" in text and "train:" in text and "serve:" in text
+
+
+def _synthetic(**sections):
+    return {"schema_version": BENCH_SCHEMA_VERSION, "sections": sections}
+
+
+class TestCompareBench:
+    BASE = _synthetic(
+        preprocess={"rows_per_sec": 1000.0},
+        train={"step_mean_s": 0.010, "step_p99_s": 0.020, "sync_share": 0.10},
+        serve={"p50_s": 0.002, "p99_s": 0.004, "rows_per_sec": 50_000.0},
+    )
+
+    def test_identical_snapshots_pass(self):
+        result = compare_bench(self.BASE, copy.deepcopy(self.BASE))
+        assert result["regressions"] == []
+        assert all(e["status"] in ("ok", "missing") for e in result["entries"])
+
+    def test_throughput_drop_is_a_regression(self):
+        current = copy.deepcopy(self.BASE)
+        current["sections"]["preprocess"]["rows_per_sec"] = 500.0  # -50%
+        result = compare_bench(current, self.BASE, threshold=0.25)
+        assert "preprocess.rows_per_sec" in result["regressions"]
+
+    def test_latency_rise_is_a_regression(self):
+        current = copy.deepcopy(self.BASE)
+        current["sections"]["serve"]["p99_s"] = 0.010  # +150%
+        result = compare_bench(current, self.BASE, threshold=0.25)
+        assert result["regressions"] == ["serve.p99_s"]
+
+    def test_improvement_is_never_a_regression(self):
+        current = copy.deepcopy(self.BASE)
+        current["sections"]["serve"]["p99_s"] = 0.0001
+        current["sections"]["preprocess"]["rows_per_sec"] = 1e9
+        assert compare_bench(current, self.BASE)["regressions"] == []
+
+    def test_within_threshold_is_ok(self):
+        current = copy.deepcopy(self.BASE)
+        current["sections"]["train"]["step_mean_s"] = 0.012  # +20% < 25%
+        assert compare_bench(current, self.BASE, threshold=0.25)["regressions"] == []
+
+    def test_missing_metric_is_skipped_not_failed(self):
+        current = _synthetic(serve={"p50_s": 0.002})
+        result = compare_bench(current, self.BASE)
+        statuses = {e["metric"]: e["status"] for e in result["entries"]}
+        assert statuses["preprocess.rows_per_sec"] == "missing"
+        assert result["regressions"] == []
+
+    def test_schema_mismatch_raises(self):
+        stale = dict(self.BASE, schema_version=BENCH_SCHEMA_VERSION + 1)
+        with pytest.raises(ValueError, match="schema_version"):
+            compare_bench(self.BASE, stale)
+
+    def test_format_compare_flags_regressions(self):
+        current = copy.deepcopy(self.BASE)
+        current["sections"]["serve"]["p99_s"] = 0.010
+        text = format_compare(compare_bench(current, self.BASE))
+        assert "REGRESSION" in text
+        assert "serve.p99_s" in text
+
+
+class TestBenchCli:
+    def _doctored_baseline(self, snapshot, tmp_path):
+        """A baseline so much better that the real run must look regressed."""
+        baseline = copy.deepcopy(snapshot)
+        sections = baseline["sections"]
+        sections["preprocess"]["rows_per_sec"] *= 100
+        sections["serve"]["rows_per_sec"] *= 100
+        sections["train"]["step_mean_s"] /= 100
+        sections["serve"]["p99_s"] /= 100
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline), encoding="utf-8")
+        return path
+
+    def test_check_against_identical_baseline_exits_0(self, quick_snapshot, tmp_path):
+        _, snap_path = quick_snapshot
+        assert main(["bench", "--check", str(snap_path), "--baseline", str(snap_path)]) == 0
+
+    def test_regression_exits_4(self, quick_snapshot, tmp_path):
+        snapshot, snap_path = quick_snapshot
+        baseline = self._doctored_baseline(snapshot, tmp_path)
+        code = main(["bench", "--check", str(snap_path), "--baseline", str(baseline)])
+        assert code == 4
+
+    def test_warn_only_downgrades_to_0(self, quick_snapshot, tmp_path):
+        snapshot, snap_path = quick_snapshot
+        baseline = self._doctored_baseline(snapshot, tmp_path)
+        code = main(
+            [
+                "bench",
+                "--check",
+                str(snap_path),
+                "--baseline",
+                str(baseline),
+                "--warn-only",
+            ]
+        )
+        assert code == 0
+
+    def test_quick_run_writes_snapshot_under_out_dir(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--seed",
+                "7",
+                "--out-dir",
+                str(out_dir),
+                "--sections",
+                "serve",
+            ]
+        )
+        assert code == 0
+        written = list(out_dir.glob("BENCH_*.json"))
+        assert len(written) == 1
+        assert "serve:" in capsys.readouterr().out
+
+    def test_committed_seed_baseline_is_loadable(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "benchmarks" / "baselines"
+        seed = path / "BENCH_seed.json"
+        assert seed.exists(), "committed seed baseline missing"
+        snapshot = json.loads(seed.read_text(encoding="utf-8"))
+        assert snapshot["schema_version"] == BENCH_SCHEMA_VERSION
+        assert set(snapshot["sections"]) == {"preprocess", "train", "serve"}

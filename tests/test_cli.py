@@ -325,3 +325,107 @@ class TestRocAuc:
         wins = (pos[:, None] > neg[None, :]).sum() + 0.5 * (pos[:, None] == neg[None, :]).sum()
         expected = wins / (len(pos) * len(neg))
         assert roc_auc(logits, labels) == pytest.approx(expected, rel=1e-9)
+
+
+class TestTraceCli:
+    def _run_trace(self, tmp_path, *extra):
+        out = tmp_path / "trace.jsonl"
+        argv = [
+            "trace",
+            "run",
+            "criteo-kaggle",
+            "--scale",
+            "tiny",
+            "--rows",
+            "512",
+            "--out",
+            str(out),
+        ]
+        assert main(argv + list(extra)) == 0
+        return out
+
+    def test_trace_run_then_analyze(self, tmp_path, capsys):
+        out = self._run_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "analyze", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "self-time coverage" in text
+        assert "hotspots" in text
+        assert "critical path" in text
+
+    def test_trace_analyze_json_to_stdout(self, tmp_path, capsys):
+        out = self._run_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "analyze", str(out), "--json", "-"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "trace_analysis"
+        assert doc["coverage"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_trace_analyze_json_to_file(self, tmp_path, capsys):
+        out = self._run_trace(tmp_path)
+        dest = tmp_path / "analysis.json"
+        assert main(["trace", "analyze", str(out), "--json", str(dest)]) == 0
+        doc = json.loads(dest.read_text(encoding="utf-8"))
+        assert doc["spans"] > 0
+
+    def test_bare_trace_back_compat_shim(self, tmp_path):
+        # The pre-subcommand spelling `repro trace --rows N` still works.
+        out = tmp_path / "trace.jsonl"
+        argv = [
+            "trace",
+            "criteo-kaggle",
+            "--scale",
+            "tiny",
+            "--rows",
+            "512",
+            "--out",
+            str(out),
+        ]
+        assert main(argv) == 0
+        assert out.exists()
+
+
+class TestServeBenchCli:
+    ARGS = [
+        "serve-bench",
+        "--requests",
+        "48",
+        "--candidates",
+        "64",
+        "--scale",
+        "tiny",
+        "--seed",
+        "5",
+    ]
+
+    def test_writes_report_and_prints_slo(self, tmp_path, capsys):
+        out = tmp_path / "slo.json"
+        assert main(self.ARGS + ["--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "slo report" in text
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["kind"] == "slo_report"
+        assert report["requests"]["total"] == 48
+
+    def test_default_out_lands_under_out_dir(self, tmp_path):
+        out_dir = tmp_path / "bench-out"
+        assert main(self.ARGS + ["--out-dir", str(out_dir)]) == 0
+        assert (out_dir / "slo_report.json").exists()
+
+    def test_slow_window_flag(self, tmp_path):
+        out = tmp_path / "slo.json"
+        # 512 candidates span several scoring chunks, so the injected
+        # slow window actually accrues cost before the deadline check.
+        argv = self.ARGS + [
+            "--candidates",
+            "512",
+            "--slow",
+            "8:40:100",
+            "--out",
+            str(out),
+        ]
+        assert main(argv) == 0
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["config"]["slow_start"] == 8
+        assert report["config"]["slow_factor"] == 100.0
+        assert report["requests"]["degraded"] + report["requests"]["shed"] > 0

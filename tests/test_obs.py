@@ -205,6 +205,27 @@ class TestMetrics:
         with pytest.raises(ValueError):
             MetricsRegistry().histogram("h").percentile(50)
 
+    def test_histogram_empty_p0_p100_also_raise(self):
+        hist = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            hist.percentile(0)
+        with pytest.raises(ValueError):
+            hist.percentile(100)
+
+    def test_histogram_out_of_range_percentile_raises(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_histogram_single_sample_every_percentile(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(3.5)
+        for p in (0, 1, 50, 99, 100):
+            assert hist.percentile(p) == 3.5
+
     def test_histogram_bounded_retention(self):
         hist = MetricsRegistry().histogram("h", max_samples=8)
         for v in range(100):
@@ -212,6 +233,26 @@ class TestMetrics:
         assert hist.count == 100
         assert hist.summary()["max"] == 99.0
         assert len(hist._samples) == 8
+
+    def test_histogram_extremes_exact_past_retention_cap(self):
+        # The ring buffer keeps a trailing window, but p=0/p=100 track
+        # the exact stream min/max independently of the buffer.
+        hist = MetricsRegistry().histogram("h", max_samples=4)
+        hist.observe(-100.0)
+        for v in range(1000):
+            hist.observe(float(v))
+        hist.observe(9999.0)
+        assert hist.percentile(0) == -100.0
+        assert hist.percentile(100) == 9999.0
+        # Interior percentiles reflect the trailing window (documented
+        # ring-buffer bias): the evicted early outlier no longer skews p50.
+        assert hist.percentile(50) > 0.0
+
+    def test_histogram_summary_includes_p95(self):
+        hist = MetricsRegistry().histogram("h")
+        for v in range(1, 101):
+            hist.observe(float(v))
+        assert hist.summary()["p95"] == pytest.approx(95.05)
 
     def test_snapshot_and_reset(self):
         registry = MetricsRegistry()
@@ -294,6 +335,31 @@ class TestExport:
     def test_summary_tree_empty(self, clean_telemetry):
         text = summary_tree(Tracer(), MetricsRegistry())
         assert "no spans" in text
+
+    def test_summary_tree_has_self_column(self, clean_telemetry):
+        with span("work"):
+            with span("inner"):
+                pass
+        text = summary_tree()
+        assert "self%" in text.split("\n")[0]
+
+    def test_summary_tree_siblings_sorted_by_total_then_name(self, clean_telemetry):
+        import time as _time
+
+        with span("root"):
+            with span("b_heavy"):
+                _time.sleep(0.02)
+            with span("a_light"):
+                pass
+            with span("z_light"):
+                pass
+        lines = summary_tree().split("\n")
+        # Heaviest first; equal-weight siblings tie-break on name, so
+        # a_light precedes z_light and the order is deterministic.
+        b = next(i for i, l in enumerate(lines) if l.strip().startswith("b_heavy"))
+        a = next(i for i, l in enumerate(lines) if l.strip().startswith("a_light"))
+        z = next(i for i, l in enumerate(lines) if l.strip().startswith("z_light"))
+        assert b < a < z
 
     def test_export_run_artifacts(self, clean_telemetry, tmp_path):
         tracer, registry = clean_telemetry

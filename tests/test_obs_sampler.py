@@ -1,0 +1,62 @@
+"""Unit tests for the resource sampler (repro.obs.sampler)."""
+
+import pytest
+
+from repro.obs import ResourceSampler, read_rss_bytes
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestReadRss:
+    def test_reports_positive_rss(self):
+        # Works via /proc on Linux and the getrusage fallback elsewhere.
+        assert read_rss_bytes() > 0
+
+    def test_grows_under_allocation(self):
+        before = read_rss_bytes()
+        blob = bytearray(32 * 2**20)
+        after = read_rss_bytes()
+        del blob
+        assert after >= before
+
+
+class TestResourceSampler:
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            ResourceSampler(interval=0)
+
+    def test_sample_once_publishes_gauges(self):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(registry=registry)
+        sampler.sample_once()
+        snap = registry.snapshot()
+        assert snap["proc.rss.bytes"]["value"] > 0
+        assert snap["proc.rss.peak_bytes"]["value"] >= snap["proc.rss.bytes"]["value"] or (
+            snap["proc.rss.peak_bytes"]["value"] > 0
+        )
+
+    def test_context_manager_summary(self):
+        registry = MetricsRegistry()
+        with ResourceSampler(interval=0.01, registry=registry) as sampler:
+            sum(range(50_000))
+        summary = sampler.summary()
+        # One sample at start() plus the final one at stop().
+        assert summary["samples"] >= 2
+        assert summary["rss_peak_bytes"] > 0
+        assert summary["rss_peak_bytes"] >= summary["rss_last_bytes"]
+        assert summary["cpu_mean_percent"] >= 0.0
+        assert summary["cpu_peak_percent"] >= summary["cpu_mean_percent"]
+
+    def test_stop_is_idempotent(self):
+        sampler = ResourceSampler(interval=0.01, registry=MetricsRegistry())
+        sampler.start()
+        first = sampler.stop()
+        second = sampler.stop()
+        assert second["samples"] == first["samples"]
+
+    def test_format_summary_mentions_peak_rss(self):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(registry=registry)
+        sampler.sample_once()
+        text = sampler.format_summary()
+        assert "peak rss" in text
+        assert "MiB" in text

@@ -1,0 +1,131 @@
+"""Tests for the Zipf traffic-replay SLO harness (repro.serve.replay)."""
+
+import json
+
+import pytest
+
+from repro.serve import ReplayConfig, VirtualClock, format_slo_report, run_slo_replay
+from repro.serve.replay import SLO_SCHEMA_VERSION
+
+
+def _quick(**overrides):
+    defaults = dict(requests=64, candidates=64, scale="tiny", seed=11)
+    defaults.update(overrides)
+    return ReplayConfig(**defaults)
+
+
+class TestVirtualClock:
+    def test_reads_advance_by_step(self):
+        clock = VirtualClock()
+        clock.step = 0.5
+        assert clock() == 0.0
+        assert clock() == 0.5
+        assert clock() == 1.0
+
+    def test_advance_jumps(self):
+        clock = VirtualClock(start=10.0)
+        clock.advance(2.5)
+        assert clock() == 12.5
+
+    def test_elapsed_is_deterministic_function_of_reads(self):
+        clock = VirtualClock()
+        clock.step = 0.1
+        for _ in range(5):
+            clock()
+        assert clock.t == pytest.approx(0.5)
+
+
+class TestReplayConfig:
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            ReplayConfig(mode="cpu")
+
+    def test_rejects_non_positive_requests(self):
+        with pytest.raises(ValueError):
+            ReplayConfig(requests=0)
+
+    def test_burst_and_slow_windows(self):
+        config = ReplayConfig(
+            burst_every=10, burst_length=3, slow_start=5, slow_stop=8
+        )
+        assert config.in_burst(0) and config.in_burst(2) and not config.in_burst(3)
+        assert config.in_burst(10)
+        assert not config.in_slow_window(4)
+        assert config.in_slow_window(5) and config.in_slow_window(7)
+        assert not config.in_slow_window(8)
+
+
+class TestDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        config = _quick()
+        first = json.dumps(run_slo_replay(config), sort_keys=True)
+        second = json.dumps(run_slo_replay(config), sort_keys=True)
+        assert first == second
+
+    def test_different_seed_differs(self):
+        a = run_slo_replay(_quick(seed=11))
+        b = run_slo_replay(_quick(seed=12))
+        assert a["latency_s"] != b["latency_s"]
+
+
+class TestReport:
+    def test_report_shape_and_accounting(self):
+        report = run_slo_replay(_quick())
+        assert report["schema_version"] == SLO_SCHEMA_VERSION
+        assert report["kind"] == "slo_report"
+        assert report["mode"] == "simulated"
+        requests = report["requests"]
+        assert requests["total"] == 64
+        assert requests["completed"] + requests["shed"] == requests["total"]
+        assert report["rates"]["error"] == 0.0
+        lat = report["latency_s"]
+        assert lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+        assert report["throughput_rps"] > 0
+        json.dumps(report)  # JSON-ready as-is
+
+    def test_format_report_smoke(self):
+        text = format_slo_report(run_slo_replay(_quick()))
+        assert "slo report" in text
+        assert "p95" in text
+        assert "breaker" in text
+
+    def test_breaker_disabled_when_window_zero(self):
+        report = run_slo_replay(_quick(breaker_window=0))
+        assert report["breaker"] is None
+        assert report["requests"]["shed"] == 0
+
+
+class TestSlowReplicaFault:
+    def test_slow_window_trips_breaker_and_sheds(self):
+        # A 100x service-cost window blows the 25 ms deadline on every
+        # request inside it; the breaker sees the failure run, opens,
+        # and sheds — visible in the report as a nonzero shed rate.
+        # Candidate count must span several scoring chunks so the
+        # deadline check fires after cost has actually accrued.
+        report = run_slo_replay(
+            _quick(
+                requests=200,
+                candidates=512,
+                slow_start=40,
+                slow_stop=160,
+                slow_factor=100.0,
+            )
+        )
+        assert report["deadline_exceeded"] > 0
+        assert report["requests"]["degraded"] > 0
+        assert report["breaker"]["trips"] >= 1
+        assert report["rates"]["shed"] > 0
+        assert report["requests"]["shed"] == report["breaker"]["shed_requests"]
+
+    def test_healthy_run_sheds_nothing(self):
+        report = run_slo_replay(_quick(requests=128))
+        assert report["breaker"]["trips"] == 0
+        assert report["rates"]["shed"] == 0.0
+
+
+class TestWallMode:
+    def test_wall_mode_smoke(self):
+        report = run_slo_replay(_quick(requests=16, mode="wall", deadline_s=None))
+        assert report["mode"] == "wall"
+        assert report["requests"]["completed"] == 16
+        assert report["elapsed_s"] > 0
