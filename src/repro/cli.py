@@ -30,6 +30,15 @@ fault-tolerant operation: ``--checkpoint-dir``/``--checkpoint-every``/
 chaos injection, and ``--gpus N`` to run the distributed FAE trainer
 (whose world shrinks on an injected rank death).
 
+Elastic execution: ``--workers N`` on ``preprocess``/``train`` fans the
+profiling pass out over a supervised real-process worker pool
+(heartbeat liveness, bounded task leases, ``--speculate`` straggler
+duplication) producing a byte-identical plan; ``train --gpus K
+--rejoin`` re-admits a dead rank at the next segment boundary instead
+of finishing on a shrunken world.  ``--events-jsonl PATH`` writes the
+schema-versioned supervisor event log (spawns, heartbeat misses,
+deaths, re-dispatches, speculation, quarantine, rejoins).
+
 Data-integrity guardrails: ``train --mode fae --guards [SPEC]`` arms the
 NaN/loss-spike numeric guard (rollback to the last good checkpoint with
 learning-rate backoff); ``--validate POLICY`` on ``train`` and
@@ -129,6 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
     prep.add_argument(
         "--trace", action="store_true", help="record spans and print the summary tree"
     )
+    prep.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject seeded real-process faults into the elastic pool, e.g. "
+            "'seed=7,kill_task=1,straggle_task=3,straggle_secs=0.8,hang_task=2'"
+        ),
+    )
+    _add_elastic_args(prep)
     _add_validate_args(prep)
 
     train = sub.add_parser("train", help="train on a synthetic log")
@@ -187,6 +206,15 @@ def build_parser() -> argparse.ArgumentParser:
             "'spike=4.0,ema=0.9,warmup=8,rollbacks=2,backoff=0.5,skips=16'"
         ),
     )
+    train.add_argument(
+        "--rejoin",
+        action="store_true",
+        help=(
+            "re-admit a permanently failed rank at the next segment boundary "
+            "(state resynced from the CPU masters; requires --gpus > 1)"
+        ),
+    )
+    _add_elastic_args(train)
     _add_validate_args(train)
 
     trace = sub.add_parser(
@@ -328,6 +356,63 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_elastic_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "profile chunks on a supervised pool of this many worker "
+            "processes (0 = in-process; the plan is byte-identical either way)"
+        ),
+    )
+    sub.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.5,
+        help="worker heartbeat period in seconds (liveness = interval x miss budget)",
+    )
+    sub.add_argument(
+        "--speculate",
+        action="store_true",
+        help="duplicate straggling tasks on idle workers; first result wins",
+    )
+    sub.add_argument(
+        "--events-jsonl",
+        default=None,
+        metavar="PATH",
+        help="write the schema-versioned supervisor event log here",
+    )
+
+
+def _elastic_pool(args, fault_plan=None, events=None):
+    """Build the elastic worker pool from CLI flags (None when --workers=0)."""
+    if not args.workers:
+        return None
+    from repro.resilience.elastic import ElasticConfig, WorkerPool
+
+    return WorkerPool(
+        ElasticConfig(
+            workers=args.workers,
+            heartbeat_interval=args.heartbeat_interval,
+            speculate=args.speculate,
+        ),
+        worker_faults=fault_plan.worker_faults() if fault_plan is not None else None,
+        events=events,
+        quarantine_dir=args.quarantine_dir,
+    )
+
+
+def _print_elastic_summary(pool) -> None:
+    events = pool.events
+    print(
+        f"elastic: workers {pool.config.workers}, spawns {events.count('spawn')}, "
+        f"deaths {events.count('death')}, re-dispatches {events.count('re-dispatch')}, "
+        f"speculations {events.count('speculate')}, "
+        f"quarantined {events.count('quarantine')}"
+    )
+
+
 def _add_validate_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--validate",
@@ -411,49 +496,64 @@ def cmd_info(args) -> int:
 
 
 def cmd_preprocess(args) -> int:
-    with obs.ResourceSampler() as sampler, obs.tracing(
-        enabled=args.trace or obs.tracing_enabled()
-    ):
-        if args.stream:
-            from repro.data import SyntheticClickStream
-            from repro.data.chunk_source import StreamChunkSource
+    sampler = obs.ResourceSampler()
+    try:
+        with sampler, obs.tracing(enabled=args.trace or obs.tracing_enabled()):
+            if args.stream:
+                from repro.data import SyntheticClickStream
+                from repro.data.chunk_source import StreamChunkSource
 
-            schema = dataset_by_name(args.dataset, _parse_scale(args.scale))
-            source = StreamChunkSource(
-                SyntheticClickStream(
-                    schema,
-                    total_samples=args.samples,
-                    chunk_size=args.chunk_size or 8192,
-                    seed=args.seed,
+                schema = dataset_by_name(args.dataset, _parse_scale(args.scale))
+                source = StreamChunkSource(
+                    SyntheticClickStream(
+                        schema,
+                        total_samples=args.samples,
+                        chunk_size=args.chunk_size or 8192,
+                        seed=args.seed,
+                    )
                 )
+            else:
+                from repro.data import LogChunkSource
+
+                source = LogChunkSource(_make_log(args), chunk_size=args.chunk_size)
+            policy, ledger = _ingest_policy(args)
+            if policy is not None:
+                from repro.data import ValidatingChunkSource
+
+                source = ValidatingChunkSource(source, policy, ledger)
+            fault_plan = FaultPlan.parse(args.faults) if args.faults else None
+            events = None
+            if args.events_jsonl:
+                from repro.resilience.elastic import SupervisorEventLog
+
+                events = SupervisorEventLog(args.events_jsonl)
+            pool = _elastic_pool(args, fault_plan=fault_plan, events=events)
+            plan = fae_preprocess_source(
+                source, _make_config(args), batch_size=args.batch_size, pool=pool
             )
-        else:
-            from repro.data import LogChunkSource
-
-            source = LogChunkSource(_make_log(args), chunk_size=args.chunk_size)
-        policy, ledger = _ingest_policy(args)
-        if policy is not None:
-            from repro.data import ValidatingChunkSource
-
-            source = ValidatingChunkSource(source, policy, ledger)
-        plan = fae_preprocess_source(
-            source, _make_config(args), batch_size=args.batch_size
-        )
-        print(plan.summary())
-        if ledger is not None:
-            print(f"ingest: quarantined {len(ledger)} record(s) -> {ledger.path}")
-        print(
-            f"calibration: {plan.calibration.total_seconds:.3f}s "
-            f"({plan.calibration.result.iterations} thresholds evaluated), "
-            f"classification: {plan.classify_seconds:.3f}s"
-        )
-        if args.out:
-            plan.save(args.out, shard_size=args.shard_size)
-            print(f"wrote {args.out}")
-        if args.trace:
-            print()
-            print(obs.summary_tree())
-    print(sampler.format_summary())
+            print(plan.summary())
+            if ledger is not None:
+                print(f"ingest: quarantined {len(ledger)} record(s) -> {ledger.path}")
+            print(
+                f"calibration: {plan.calibration.total_seconds:.3f}s "
+                f"({plan.calibration.result.iterations} thresholds evaluated), "
+                f"classification: {plan.classify_seconds:.3f}s"
+            )
+            if pool is not None:
+                _print_elastic_summary(pool)
+                if pool.events.path is not None:
+                    print(f"wrote {pool.events.path}")
+            if args.out:
+                plan.save(args.out, shard_size=args.shard_size)
+                print(f"wrote {args.out}")
+            if args.trace:
+                print()
+                print(obs.summary_tree())
+    finally:
+        # Printed even when the run raises: the sampler context has
+        # stopped its thread by now either way, and the peak-RSS line is
+        # most interesting exactly when something blew up.
+        print(sampler.format_summary())
     return 0
 
 
@@ -466,11 +566,15 @@ def cmd_train(args) -> int:
         or args.guards is not None
         or args.validate
         or args.quarantine_dir
+        or args.workers
+        or args.rejoin
+        or args.events_jsonl
     )
     if resilience_flags and args.mode != "fae":
         print(
             "error: --gpus/--checkpoint-dir/--resume/--faults/--guards/"
-            "--validate/--quarantine-dir require --mode fae",
+            "--validate/--quarantine-dir/--workers/--rejoin/--events-jsonl "
+            "require --mode fae",
             file=sys.stderr,
         )
         return 2
@@ -480,124 +584,151 @@ def cmd_train(args) -> int:
     if args.gpus < 1:
         print("error: --gpus must be >= 1", file=sys.stderr)
         return 2
+    if args.rejoin and args.gpus < 2:
+        print("error: --rejoin requires --gpus > 1", file=sys.stderr)
+        return 2
 
-    with obs.ResourceSampler() as sampler, obs.tracing(
-        enabled=args.trace or obs.tracing_enabled()
-    ):
-        log = _make_log(args)
-        train, test = train_test_split(log, 0.15, seed=args.seed)
-        spec = workload_by_name(_WORKLOAD_FOR_DATASET[args.dataset])
+    sampler = obs.ResourceSampler()
+    try:
+        with sampler, obs.tracing(enabled=args.trace or obs.tracing_enabled()):
+            log = _make_log(args)
+            train, test = train_test_split(log, 0.15, seed=args.seed)
+            spec = workload_by_name(_WORKLOAD_FOR_DATASET[args.dataset])
 
-        def report(label: str, model) -> None:
-            loss, accuracy = evaluate_model(model, test)
-            import numpy as np
+            def report(label: str, model) -> None:
+                loss, accuracy = evaluate_model(model, test)
+                import numpy as np
 
-            from repro.data.loader import batch_from_log
+                from repro.data.loader import batch_from_log
 
-            batch = batch_from_log(test, np.arange(min(len(test), 8192)))
-            auc = roc_auc(model.forward(batch), batch.labels)
-            print(f"{label}: test loss {loss:.4f}  accuracy {accuracy:.4f}  AUC {auc:.4f}")
+                batch = batch_from_log(test, np.arange(min(len(test), 8192)))
+                auc = roc_auc(model.forward(batch), batch.labels)
+                print(f"{label}: test loss {loss:.4f}  accuracy {accuracy:.4f}  AUC {auc:.4f}")
 
-        if args.mode in ("fae", "both"):
-            fault_plan = FaultPlan.parse(args.faults) if args.faults else None
-            guards = (
-                NumericGuard(NumericGuardConfig.parse(args.guards))
-                if args.guards is not None
-                else None
-            )
-            if fault_plan is not None:
-                injected = fault_plan.corrupt_ingest(train)
-                if injected:
-                    print(f"chaos: poisoned {len(injected)} ingest row(s)")
-            policy, ledger = _ingest_policy(args)
-            if policy is not None:
-                from repro.data import validated_log
-
-                before = len(train)
-                train = validated_log(train, policy, ledger)
-                repaired = before - len(train)
-                where = f" -> {ledger.path}" if ledger is not None else ""
-                print(
-                    f"ingest: {before} records validated, "
-                    f"{repaired} quarantined{where}"
+            if args.mode in ("fae", "both"):
+                fault_plan = FaultPlan.parse(args.faults) if args.faults else None
+                guards = (
+                    NumericGuard(NumericGuardConfig.parse(args.guards))
+                    if args.guards is not None
+                    else None
                 )
-            manager = (
-                CheckpointManager(
-                    args.checkpoint_dir,
-                    every=args.checkpoint_every,
-                    keep=args.checkpoint_keep,
+                if fault_plan is not None:
+                    injected = fault_plan.corrupt_ingest(train)
+                    if injected:
+                        print(f"chaos: poisoned {len(injected)} ingest row(s)")
+                policy, ledger = _ingest_policy(args)
+                if policy is not None:
+                    from repro.data import validated_log
+
+                    before = len(train)
+                    train = validated_log(train, policy, ledger)
+                    repaired = before - len(train)
+                    where = f" -> {ledger.path}" if ledger is not None else ""
+                    print(
+                        f"ingest: {before} records validated, "
+                        f"{repaired} quarantined{where}"
+                    )
+                manager = (
+                    CheckpointManager(
+                        args.checkpoint_dir,
+                        every=args.checkpoint_every,
+                        keep=args.checkpoint_keep,
+                    )
+                    if args.checkpoint_dir
+                    else None
                 )
-                if args.checkpoint_dir
-                else None
-            )
-            resume_path = None
-            if args.resume:
-                resume_path = latest_checkpoint(args.checkpoint_dir)
-                if resume_path is None:
-                    print("no usable checkpoint found; starting fresh")
+                resume_path = None
+                if args.resume:
+                    resume_path = latest_checkpoint(args.checkpoint_dir)
+                    if resume_path is None:
+                        print("no usable checkpoint found; starting fresh")
+                    else:
+                        print(f"resuming from {resume_path}")
+
+                event_log = None
+                if args.events_jsonl:
+                    from repro.resilience.elastic import SupervisorEventLog
+
+                    event_log = SupervisorEventLog(args.events_jsonl)
+                pool = _elastic_pool(args, fault_plan=fault_plan, events=event_log)
+                plan = fae_preprocess(
+                    train, _make_config(args), batch_size=args.batch_size, pool=pool
+                )
+                print(f"FAE plan: {plan.summary()}")
+                if pool is not None:
+                    _print_elastic_summary(pool)
+                if args.gpus > 1:
+                    replicas = [
+                        build_model(spec, schema=log.schema, seed=args.seed + 1)
+                        for _ in range(args.gpus)
+                    ]
+                    trainer = DistributedFAETrainer(
+                        replicas,
+                        plan,
+                        lr=args.lr,
+                        fault_plan=fault_plan,
+                        guards=guards,
+                        rejoin=args.rejoin,
+                        event_log=event_log,
+                    )
+                    if ledger is not None:
+                        trainer.guard_ledger_path = str(ledger.path)
+                    result = trainer.train(
+                        train,
+                        test,
+                        epochs=args.epochs,
+                        checkpoint=manager,
+                        resume=resume_path,
+                    )
+                    model = trainer.replicas[0]
                 else:
-                    print(f"resuming from {resume_path}")
-
-            plan = fae_preprocess(train, _make_config(args), batch_size=args.batch_size)
-            print(f"FAE plan: {plan.summary()}")
-            if args.gpus > 1:
-                replicas = [
-                    build_model(spec, schema=log.schema, seed=args.seed + 1)
-                    for _ in range(args.gpus)
-                ]
-                trainer = DistributedFAETrainer(
-                    replicas, plan, lr=args.lr, fault_plan=fault_plan, guards=guards
-                )
-                if ledger is not None:
-                    trainer.guard_ledger_path = str(ledger.path)
-                result = trainer.train(
-                    train,
-                    test,
-                    epochs=args.epochs,
-                    checkpoint=manager,
-                    resume=resume_path,
-                )
-                model = trainer.replicas[0]
-            else:
+                    model = build_model(spec, schema=log.schema, seed=args.seed + 1)
+                    trainer = FAETrainer(
+                        model, plan, lr=args.lr, fault_plan=fault_plan, guards=guards
+                    )
+                    if ledger is not None:
+                        trainer.guard_ledger_path = str(ledger.path)
+                    result = trainer.train(
+                        train,
+                        test,
+                        epochs=args.epochs,
+                        checkpoint=manager,
+                        resume=resume_path,
+                    )
+                print(f"FAE syncs: {result.sync_events}, rate trace: {result.schedule_rates}")
+                if guards is not None:
+                    print(
+                        f"guards: rollbacks {result.rollbacks}, "
+                        f"skipped batches {result.skipped_batches}, "
+                        f"skipped steps {result.skipped_steps}"
+                    )
+                if fault_plan is not None:
+                    registry = obs.get_registry()
+                    print(
+                        f"chaos: retries {int(registry.counter('resilience.retry.attempts').value)}, "
+                        f"world shrinks {result.world_shrinks}, "
+                        f"rejoins {result.rejoins}, "
+                        f"degraded {result.degraded}, "
+                        f"checkpoints {int(registry.counter('resilience.checkpoint.saves').value)}"
+                    )
+                if event_log is not None and len(event_log):
+                    path = event_log.flush()
+                    if path is not None:
+                        print(f"wrote {path}")
+                report("FAE", model)
+            if args.mode in ("baseline", "both"):
                 model = build_model(spec, schema=log.schema, seed=args.seed + 1)
-                trainer = FAETrainer(
-                    model, plan, lr=args.lr, fault_plan=fault_plan, guards=guards
+                BaselineTrainer(model, lr=args.lr).train(
+                    train, test, epochs=args.epochs, batch_size=args.batch_size
                 )
-                if ledger is not None:
-                    trainer.guard_ledger_path = str(ledger.path)
-                result = trainer.train(
-                    train,
-                    test,
-                    epochs=args.epochs,
-                    checkpoint=manager,
-                    resume=resume_path,
-                )
-            print(f"FAE syncs: {result.sync_events}, rate trace: {result.schedule_rates}")
-            if guards is not None:
-                print(
-                    f"guards: rollbacks {result.rollbacks}, "
-                    f"skipped batches {result.skipped_batches}, "
-                    f"skipped steps {result.skipped_steps}"
-                )
-            if fault_plan is not None:
-                registry = obs.get_registry()
-                print(
-                    f"chaos: retries {int(registry.counter('resilience.retry.attempts').value)}, "
-                    f"world shrinks {result.world_shrinks}, "
-                    f"degraded {result.degraded}, "
-                    f"checkpoints {int(registry.counter('resilience.checkpoint.saves').value)}"
-                )
-            report("FAE", model)
-        if args.mode in ("baseline", "both"):
-            model = build_model(spec, schema=log.schema, seed=args.seed + 1)
-            BaselineTrainer(model, lr=args.lr).train(
-                train, test, epochs=args.epochs, batch_size=args.batch_size
-            )
-            report("baseline", model)
-        if args.trace:
-            print()
-            print(obs.summary_tree())
-    print(sampler.format_summary())
+                report("baseline", model)
+            if args.trace:
+                print()
+                print(obs.summary_tree())
+    finally:
+        # Printed even when training raises (GuardAbort, chaos overrun):
+        # the context manager has already stopped the sampler thread.
+        print(sampler.format_summary())
     return 0
 
 

@@ -79,13 +79,21 @@ class Calibrator:
         return self.calibrate_source(LogChunkSource(log), full_profile=full_profile)
 
     def calibrate_source(
-        self, source: ChunkSource, full_profile: bool = False
+        self, source: ChunkSource, full_profile: bool = False, pool=None
     ) -> CalibratorOutput:
         """Run the calibration passes over a chunk source.
 
         Sized sources use the exact-count sampler (chunking-invariant);
         unsized sources stream per-chunk Bernoulli keep masks instead,
         fusing sampling and profiling into one pass.
+
+        Args:
+            full_profile: bypass sampling and profile every input.
+            pool: optional :class:`~repro.resilience.elastic.WorkerPool`;
+                sized sources then fan per-chunk profiling out across it
+                (byte-identical result — see
+                :meth:`~repro.core.embedding_logger.EmbeddingLogger.profile_source_parallel`).
+                Unsized sources cannot pre-split work and ignore it.
         """
         num_samples = source.num_samples
         with span(
@@ -100,7 +108,10 @@ class Calibrator:
                     if full_profile
                     else sampler.sample_source(source)
                 )
-                profile = logger.profile_source(source, sample.indices)
+                if pool is not None:
+                    profile = logger.profile_source_parallel(source, sample.indices, pool)
+                else:
+                    profile = logger.profile_source(source, sample.indices)
                 sampling_seconds = sample.elapsed_seconds
             else:
                 profile = self._profile_unsized(source, sampler, logger, full_profile)

@@ -95,6 +95,7 @@ def fae_preprocess_source(
     batch_size: int = 1024,
     drop_last: bool = False,
     allocation: str = "threshold",
+    pool=None,
 ) -> FAEPlan:
     """Run the complete static FAE pipeline over a chunk source.
 
@@ -113,6 +114,9 @@ def fae_preprocess_source(
             ``"greedy-product"`` optimizes the hot-input product directly
             (see :mod:`repro.core.allocation`), which pays off on
             sequence workloads with uneven lookup multiplicities.
+        pool: optional :class:`~repro.resilience.elastic.WorkerPool` to
+            fan the profiling pass out across worker processes; the plan
+            stays byte-identical to the single-process run.
 
     Returns:
         The preprocessing plan (persist with :meth:`FAEPlan.save`).
@@ -129,7 +133,7 @@ def fae_preprocess_source(
         allocation=allocation,
         chunk_size=source.chunk_size,
     ):
-        calibration = Calibrator(config).calibrate_source(source)
+        calibration = Calibrator(config).calibrate_source(source, pool=pool)
         if allocation == "threshold":
             bags = EmbeddingClassifier(config).classify(
                 calibration.profile, calibration.threshold
@@ -165,13 +169,15 @@ def fae_preprocess(
     drop_last: bool = False,
     allocation: str = "threshold",
     chunk_size: int | None = None,
+    pool=None,
 ) -> FAEPlan:
     """Run the complete static FAE pipeline over an in-memory click log.
 
     Thin wrapper over :func:`fae_preprocess_source`; ``chunk_size``
     bounds the per-pass working set (None processes the log as a single
     chunk).  The packed output is byte-identical for any chunking of the
-    same log and seed.
+    same log and seed — and, with an elastic ``pool``, for any worker
+    count or fault schedule too.
     """
     return fae_preprocess_source(
         as_chunk_source(log, chunk_size=chunk_size),
@@ -179,4 +185,5 @@ def fae_preprocess(
         batch_size=batch_size,
         drop_last=drop_last,
         allocation=allocation,
+        pool=pool,
     )

@@ -188,6 +188,36 @@ class EmbeddingReplicator:
             for name, bag in self.replicas[replica_id].items()
         }
 
+    def add_replica(self) -> int:
+        """Build one fresh replica from the CPU master tables (rank rejoin).
+
+        The new copy is bit-equal to the survivors *provided the masters
+        are current* — rejoin happens at segment boundaries right after
+        :meth:`sync_to_master`, where that holds by construction.  (On a
+        cold segment the survivors' bags may be stale relative to the
+        masters; the next cold→hot :meth:`sync_from_master` refreshes
+        every copy, so the transient gap never reaches a hot step.)
+
+        Returns:
+            The new replica's id.
+
+        Raises:
+            RuntimeError: after :meth:`evict` — a degraded run stays on
+                the cold path, so there is no hot copy to rebuild.
+        """
+        if self.evicted:
+            raise RuntimeError("hot replicas were evicted; a degraded run stays cold")
+        replica_id = len(self.replicas)
+        self.replicas.append(
+            {
+                name: HotBag(spec, self.tables[name].subset(spec.hot_ids), replica_id=replica_id)
+                for name, spec in self.bag_specs.items()
+            }
+        )
+        self.num_replicas = len(self.replicas)
+        get_registry().counter("fae.replica.added").inc()
+        return replica_id
+
     def drop_replica(self, replica_id: int) -> None:
         """Remove one GPU's replica after a permanent rank failure.
 

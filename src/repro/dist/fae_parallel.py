@@ -25,6 +25,14 @@ survivors, and a hot-replica eviction degrades the run onto the cold
 (CPU-master) path for its remainder.  Checkpoints are taken at segment
 boundaries (masters authoritative) and resumed runs reproduce the
 uninterrupted loss trajectory.
+
+Elastic rejoin: with ``rejoin=True`` a dead rank is *parked* instead of
+forgotten, and re-admitted at the next segment boundary — the one point
+where the CPU masters are authoritative in either mode — with dense
+parameters copied from rank 0, a fresh hot-bag replica rebuilt from the
+masters, and the process group rebuilt at the restored world size.
+Deaths and rejoins are visible in the supervisor event log
+(``event_log``) and the ``resilience.elastic.rejoins`` counter.
 """
 
 from __future__ import annotations
@@ -82,6 +90,12 @@ class DistributedFAETrainer:
             discard the step on every replica, and a non-finite or
             spiking loss rolls the run back to the last good checkpoint
             with LR backoff.
+        rejoin: park permanently-failed ranks and re-admit them at the
+            next segment boundary (state resynced from the CPU masters)
+            instead of finishing on a shrunken world.
+        event_log: optional
+            :class:`~repro.resilience.elastic.SupervisorEventLog`;
+            rank deaths and rejoins are appended to it.
     """
 
     def __init__(
@@ -93,6 +107,8 @@ class DistributedFAETrainer:
         fault_plan: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
         guards: NumericGuard | None = None,
+        rejoin: bool = False,
+        event_log=None,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
@@ -127,6 +143,11 @@ class DistributedFAETrainer:
         self.skipped_inputs = 0
         #: Permanent rank deaths absorbed by shrinking the world.
         self.world_shrinks = 0
+        self.rejoin = rejoin
+        self.event_log = event_log
+        #: Parked ranks re-admitted at a segment boundary.
+        self.rejoins = 0
+        self._parked: list[RecModel] = []
 
     @property
     def world_size(self) -> int:
@@ -264,6 +285,7 @@ class DistributedFAETrainer:
         rank = min(max(rank, 0), len(self.replicas) - 1)
         with span("resilience.rank_death", rank=rank, world_size=self.world_size):
             self._clear_pending_grads()
+            dead = self.replicas[rank]
             del self.replicas[rank]
             del self._cold_bags[rank]
             if self.replicator.replicas:
@@ -277,9 +299,78 @@ class DistributedFAETrainer:
                 retry=old.retry,
             )
             self.world_shrinks += 1
+            if self.rejoin:
+                # Park the dead rank's model; a segment boundary will
+                # re-admit it with state resynced from the masters.
+                self._parked.append(dead)
             registry = get_registry()
             registry.counter("resilience.world_shrinks").inc()
             registry.gauge("dist.world_size").set(self.world_size)
+            self._emit("death", rank=rank, world_size=self.world_size, parked=self.rejoin)
+        return [SGD(m.dense_parameters(), lr=self.lr) for m in self.replicas]
+
+    def _emit(self, event: str, **fields) -> None:
+        if self.event_log is not None:
+            self.event_log.emit(event, **fields)
+
+    def _rejoin_parked(self, mode: str) -> list[SGD]:
+        """Re-admit every parked rank at a segment boundary.
+
+        Called right after the boundary sync, where the CPU masters are
+        authoritative in either mode: a hot segment has just written
+        replica rows back via ``sync_to_master``, and a cold segment
+        trains the masters directly.  Each parked model gets rank 0's
+        dense parameters (survivors are bit-equal, so any rank would
+        do), a cold-bag set over the shared masters, and — unless the
+        run degraded — a fresh hot replica built from the masters.  The
+        process group is rebuilt at the restored world size with
+        communication accounting carried over.
+
+        Returns fresh dense optimizers for the grown replica list (same
+        contract as :meth:`_handle_rank_death`).
+        """
+        registry = get_registry()
+        reference = self.replicas[0].dense_parameters()
+        while self._parked:
+            model = self._parked.pop(0)
+            with span("resilience.rank_rejoin", world_size=self.world_size + 1, mode=mode):
+                for p, q in zip(reference, model.dense_parameters()):
+                    q.value[...] = p.value
+                    q.zero_grad()
+                self.replicas.append(model)
+                self._cold_bags.append(
+                    {
+                        name: EmbeddingBag(table, mode=self.pooling)
+                        for name, table in self.master_tables.items()
+                    }
+                )
+                replicated = bool(self.replicator.replicas) and not self.replicator.evicted
+                if replicated:
+                    self.replicator.add_replica()
+                bags = (
+                    self.replicator.bags_for_replica(len(self.replicas) - 1)
+                    if replicated and mode == "hot"
+                    else self._cold_bags[-1]
+                )
+                for name, bag in bags.items():
+                    model.set_bag(name, bag)
+                old = self.group
+                self.group = ProcessGroup(
+                    world_size=len(self.replicas),
+                    bytes_communicated=old.bytes_communicated,
+                    collective_calls=old.collective_calls,
+                    fault_plan=old.fault_plan,
+                    retry=old.retry,
+                )
+                self.rejoins += 1
+                registry.counter("resilience.elastic.rejoins").inc()
+                registry.gauge("dist.world_size").set(self.world_size)
+                self._emit(
+                    "rejoin",
+                    rank=len(self.replicas) - 1,
+                    world_size=self.world_size,
+                    mode=mode,
+                )
         return [SGD(m.dense_parameters(), lr=self.lr) for m in self.replicas]
 
     def _degrade_to_cold(self, scheduler: ShuffleScheduler) -> int:
@@ -590,6 +681,12 @@ class DistributedFAETrainer:
 
                 if mode == "hot":
                     sync_bytes += self.replicator.sync_to_master()
+                if self._parked:
+                    # Segment boundary: masters are authoritative (just
+                    # synced when hot; trained directly when cold), so a
+                    # parked rank can re-admit bit-exactly.
+                    dense_optimizers = self._rejoin_parked(mode)
+                    master_bags = self._cold_bags[0]
                 test_loss, test_acc = evaluate_with_master_bags(
                     self.replicas[0], master_bags, test_log, eval_samples
                 )
@@ -644,6 +741,7 @@ class DistributedFAETrainer:
             sync_bytes=sync_bytes,
             schedule_rates=rates,
             world_shrinks=self.world_shrinks,
+            rejoins=self.rejoins,
             degraded=scheduler.degraded,
         )
 

@@ -117,7 +117,13 @@ class ResourceSampler:
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval):
-            self.sample_once()
+            try:
+                self.sample_once()
+            except Exception:
+                # A sampling failure (e.g. procfs vanishing mid-shutdown)
+                # must not leave the thread looping on errors or wedge
+                # join(); the summary simply covers fewer samples.
+                break
 
     # -- lifecycle -------------------------------------------------------
 
@@ -132,13 +138,27 @@ class ResourceSampler:
             self._thread.start()
         return self
 
+    @property
+    def running(self) -> bool:
+        """Whether the background thread is currently alive."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
     def stop(self) -> dict:
-        """Stop sampling (idempotent) and return :meth:`summary`."""
+        """Stop sampling (idempotent) and return :meth:`summary`.
+
+        Safe to call while unwinding an exception: the thread is always
+        signalled and joined, and a failing final sample is swallowed so
+        ``stop`` never masks the original error.
+        """
         self._stop.set()
         thread, self._thread = self._thread, None
         if thread is not None:
             thread.join(timeout=5.0)
-            self.sample_once()  # final reading covers the tail of the run
+            try:
+                self.sample_once()  # final reading covers the tail of the run
+            except Exception:
+                pass
         return self.summary()
 
     def __enter__(self) -> ResourceSampler:

@@ -13,7 +13,11 @@ package is the robustness backbone the rest of the stack leans on:
   deterministically injects transient collective failures, permanent
   rank deaths, loader hiccups, and hot-replica evictions;
 - :mod:`repro.resilience.retry` — bounded exponential-backoff retry
-  around transient faults;
+  (with seeded, reproducible jitter) around transient faults;
+- :mod:`repro.resilience.elastic` — a supervised real-process worker
+  pool: heartbeat liveness, bounded task leases with poison-task
+  quarantine, speculative duplicate execution for stragglers, and
+  graceful degradation to deterministic in-process execution;
 - :mod:`repro.resilience.guards` — data-integrity guardrails: ingest
   validation with per-field ``raise``/``clamp``/``quarantine`` policies
   and an atomic JSONL quarantine ledger, NaN/loss-spike detection with
@@ -28,6 +32,13 @@ emitted through :mod:`repro.obs`.
 """
 
 from repro.resilience.atomic import atomic_write, atomic_write_text
+from repro.resilience.elastic import (
+    ElasticConfig,
+    ElasticError,
+    SupervisorEventLog,
+    TaskQuarantinedError,
+    WorkerPool,
+)
 from repro.resilience.checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointCorruptionError,
@@ -75,6 +86,8 @@ __all__ = [
     "CheckpointError",
     "CheckpointManager",
     "CircuitBreaker",
+    "ElasticConfig",
+    "ElasticError",
     "FaultError",
     "FaultPlan",
     "GUARD_POLICIES",
@@ -92,6 +105,8 @@ __all__ = [
     "RETRYABLE_FAULTS",
     "RetryExhaustedError",
     "RetryPolicy",
+    "SupervisorEventLog",
+    "TaskQuarantinedError",
     "TrainerCheckpoint",
     "TransientCollectiveError",
     "atomic_write",
@@ -104,4 +119,5 @@ __all__ = [
     "save_checkpoint",
     "verify_checkpoint",
     "with_retries",
+    "WorkerPool",
 ]

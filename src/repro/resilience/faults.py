@@ -133,6 +133,16 @@ class FaultPlan:
             (a high exponent bit is flipped, yielding huge-but-usually-
             finite values that trip the spike detector instead of the
             NaN checks).
+        worker_kill_task: elastic-pool task index whose first lease
+            SIGKILLs its worker mid-task (real process death), or None.
+        worker_hang_task: task index whose first lease wedges its worker
+            — heartbeats stop, the task never returns — so the
+            supervisor's heartbeat-miss budget must catch it.  None
+            disables.
+        worker_straggle_task: task index whose first lease sleeps
+            ``worker_straggle_seconds`` before completing (a slow-start
+            straggler for speculation to beat), or None.
+        worker_straggle_seconds: straggler sleep length.
     """
 
     seed: int = 0
@@ -149,6 +159,10 @@ class FaultPlan:
     gradient_corruption_at: int | None = None
     hot_row_corruption_at: int | None = None
     corruption_mode: str = "nan"
+    worker_kill_task: int | None = None
+    worker_hang_task: int | None = None
+    worker_straggle_task: int | None = None
+    worker_straggle_seconds: float = 0.5
 
     _rng: np.random.Generator = field(init=False, repr=False)
     _collective_calls: int = field(default=0, init=False)
@@ -177,6 +191,12 @@ class FaultPlan:
             rank, at_call = self.rank_death
             if rank < 0 or at_call < 1:
                 raise ValueError(f"invalid rank_death {self.rank_death}")
+        for name in ("worker_kill_task", "worker_hang_task", "worker_straggle_task"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.worker_straggle_seconds <= 0:
+            raise ValueError("worker_straggle_seconds must be positive")
         self._rng = np.random.default_rng(self.seed)
 
     # ------------------------------------------------------------------
@@ -346,6 +366,27 @@ class FaultPlan:
         return False
 
     # ------------------------------------------------------------------
+    # Real-process faults (exercising repro.resilience.elastic)
+    # ------------------------------------------------------------------
+
+    def worker_faults(self) -> dict | None:
+        """Picklable worker-side fault spec for the elastic pool.
+
+        Workers consult the spec on each lease (faults fire on lease 0
+        only, so re-dispatched work always completes).  Returns None when
+        no real-process faults are configured.
+        """
+        spec: dict = {}
+        if self.worker_kill_task is not None:
+            spec["kill_task"] = self.worker_kill_task
+        if self.worker_hang_task is not None:
+            spec["hang_task"] = self.worker_hang_task
+        if self.worker_straggle_task is not None:
+            spec["straggle_task"] = self.worker_straggle_task
+            spec["straggle_seconds"] = self.worker_straggle_seconds
+        return spec or None
+
+    # ------------------------------------------------------------------
     # Checkpointable state
     # ------------------------------------------------------------------
 
@@ -391,6 +432,7 @@ class FaultPlan:
 
             seed=7,collective=0.05,death=1@40,evict=80,loader=0.02
             seed=7,ingest=0.01,bad_batch=0.05,bad_row=40,corrupt=nan
+            seed=7,kill_task=1,straggle_task=3,straggle_secs=0.8
 
         Keys: ``seed``, ``collective`` (transient failure rate),
         ``max_collective``, ``loader`` (hiccup rate), ``max_loader``,
@@ -398,7 +440,8 @@ class FaultPlan:
         ``ingest`` (row corruption rate), ``max_ingest``, ``bad_batch``
         (batch corruption rate), ``max_bad_batch``, ``bad_grad``
         (iteration), ``bad_row`` (iteration), ``corrupt``
-        (``nan`` | ``bitflip``).
+        (``nan`` | ``bitflip``), ``kill_task`` / ``hang_task`` /
+        ``straggle_task`` (elastic-pool task index), ``straggle_secs``.
 
         Raises:
             ValueError: on an unknown key or malformed entry.
@@ -443,6 +486,14 @@ class FaultPlan:
                     kwargs["hot_row_corruption_at"] = int(value)
                 elif key == "corrupt":
                     kwargs["corruption_mode"] = value
+                elif key == "kill_task":
+                    kwargs["worker_kill_task"] = int(value)
+                elif key == "hang_task":
+                    kwargs["worker_hang_task"] = int(value)
+                elif key == "straggle_task":
+                    kwargs["worker_straggle_task"] = int(value)
+                elif key == "straggle_secs":
+                    kwargs["worker_straggle_seconds"] = float(value)
                 else:
                     raise ValueError(f"unknown fault spec key {key!r}")
             except ValueError as exc:

@@ -10,13 +10,26 @@ exception types listed in ``retryable`` are caught.
 Every retry and every exhaustion is recorded through the metrics
 registry (``resilience.retry.*``) and, when tracing is on, as a
 ``resilience.retry`` span, so chaos runs show exactly where time went.
+The per-retry sleep (jitter included) is also observed into the
+``resilience.retry.delay_seconds`` histogram, so the actual schedule a
+chaos run used is visible in the metrics snapshot.
+
+With ``jitter > 0`` each backoff is scaled by a factor drawn uniformly
+from ``[1 - jitter, 1 + jitter]``; many callers hitting the same fault
+then spread out instead of retrying in lock-step (the thundering-herd
+failure mode of pure exponential backoff).  The draw is *seeded* —
+``(policy.seed, operation name, retry index)`` fully determine it — so
+chaos runs stay reproducible: same seed, same schedule.
 """
 
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass
 from typing import Callable, TypeVar
+
+import numpy as np
 
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
@@ -42,9 +55,14 @@ class RetryPolicy:
         max_attempts: total tries, including the first (must be >= 1).
         base_delay: sleep before the first retry, in seconds.
         multiplier: backoff growth factor per retry.
-        max_delay: ceiling on any single sleep.
+        max_delay: ceiling on any single sleep (applied before jitter).
         sleep_enabled: set False in tests to skip real sleeping (the
             schedule is still computed and recorded).
+        jitter: backoff spread in ``[0, 1]``; each delay is scaled by a
+            seeded uniform draw from ``[1 - jitter, 1 + jitter]`` (0
+            keeps the exact exponential schedule).
+        seed: jitter seed; the schedule is a pure function of
+            ``(seed, salt, retry_index)``, so runs are reproducible.
     """
 
     max_attempts: int = 4
@@ -52,6 +70,8 @@ class RetryPolicy:
     multiplier: float = 2.0
     max_delay: float = 0.25
     sleep_enabled: bool = True
+    jitter: float = 0.0
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -60,10 +80,26 @@ class RetryPolicy:
             raise ValueError("delays must be non-negative")
         if self.multiplier < 1.0:
             raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be within [0, 1], got {self.jitter}")
 
-    def delay(self, retry_index: int) -> float:
-        """Backoff before the ``retry_index``-th retry (0-based)."""
-        return min(self.base_delay * self.multiplier**retry_index, self.max_delay)
+    def delay(self, retry_index: int, salt: int = 0) -> float:
+        """Backoff before the ``retry_index``-th retry (0-based).
+
+        Args:
+            salt: decorrelates call sites sharing one policy (callers
+                pass a hash of the operation name); ignored when
+                ``jitter`` is 0.
+        """
+        base = min(self.base_delay * self.multiplier**retry_index, self.max_delay)
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                [self.seed & 0xFFFFFFFF, salt & 0xFFFFFFFF, retry_index]
+            )
+        )
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
 
 
 def with_retries(
@@ -90,6 +126,7 @@ def with_retries(
     """
     policy = policy or RetryPolicy()
     registry = get_registry()
+    salt = zlib.crc32(name.encode("utf-8"))
     last_error: Exception | None = None
     for attempt in range(policy.max_attempts):
         try:
@@ -99,7 +136,8 @@ def with_retries(
             registry.counter("resilience.retry.attempts").inc()
             if attempt + 1 >= policy.max_attempts:
                 break
-            delay = policy.delay(attempt)
+            delay = policy.delay(attempt, salt=salt)
+            registry.histogram("resilience.retry.delay_seconds").observe(delay)
             with span("resilience.retry", op=name, attempt=attempt, delay=delay):
                 if policy.sleep_enabled and delay > 0:
                     time.sleep(delay)

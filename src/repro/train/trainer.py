@@ -69,6 +69,8 @@ class TrainResult:
             (FAE only; shows Eq. 7 adapting).
         world_shrinks: permanent rank deaths absorbed by continuing on a
             smaller world (distributed chaos runs only).
+        rejoins: dead ranks re-admitted at a segment boundary with state
+            resynced from the CPU masters (elastic distributed runs).
         degraded: whether the run lost its hot replicas and finished on
             the cold/baseline path.
         rollbacks: loss-spike rollbacks performed by the numeric guard.
@@ -83,6 +85,7 @@ class TrainResult:
     sync_bytes: int = 0
     schedule_rates: list[int] = field(default_factory=list)
     world_shrinks: int = 0
+    rejoins: int = 0
     degraded: bool = False
     rollbacks: int = 0
     skipped_batches: int = 0

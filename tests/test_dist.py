@@ -16,6 +16,7 @@ from repro.dist import (
 )
 from repro.models.dlrm import DLRM, DLRMConfig
 from repro.nn import BCEWithLogits, SGD
+from repro.resilience import CheckpointManager, FaultPlan, load_checkpoint
 from repro.train import FAETrainer
 
 
@@ -225,3 +226,49 @@ class TestDistributedFAETrainer:
         _schema, _train, _test, plan = fae_setup
         with pytest.raises(ValueError):
             DistributedFAETrainer([], plan)
+
+
+class TestShrinkCheckpointResume:
+    def test_resume_after_shrink_reproduces_trajectory(self, tmp_path, fae_setup):
+        """world-shrink (3 → 2) x checkpoint x resume, end to end.
+
+        A run that loses a rank keeps checkpointing at the shrunk world
+        size; resuming one of those checkpoints in a *fresh* 2-replica
+        trainer (differently seeded, so the restore has to overwrite
+        everything) must reproduce the shrunk run's loss trajectory
+        exactly — parameters, cursors, and scheduler state all round-trip.
+        """
+        schema, train, test, plan = fae_setup
+        manager = CheckpointManager(tmp_path, every=1, keep=None)
+        trainer = DistributedFAETrainer(
+            [small_dlrm(schema, seed=7) for _ in range(3)],
+            plan,
+            lr=0.15,
+            fault_plan=FaultPlan(seed=7, rank_death=(1, 10)),
+        )
+        full = trainer.train(train, test, epochs=1, checkpoint=manager)
+        assert full.world_shrinks == 1
+        assert trainer.world_size == 2
+
+        # Pick the first checkpoint taken after the shrink: its metadata
+        # records the world size the segment actually trained at.
+        shrunk = None
+        for path in sorted(tmp_path.glob("ckpt-*.npz")):
+            if load_checkpoint(path).metadata.get("world_size") == 2:
+                shrunk = path
+                break
+        assert shrunk is not None, "no post-shrink checkpoint was captured"
+
+        resumed = DistributedFAETrainer(
+            [small_dlrm(schema, seed=777 + i) for i in range(2)], plan, lr=0.15
+        ).train(train, test, epochs=1, resume=shrunk)
+
+        full_points = full.history.points
+        resumed_points = resumed.history.points
+        tail = full_points[len(full_points) - len(resumed_points) :]
+        assert len(tail) == len(resumed_points)
+        for expected, got in zip(tail, resumed_points):
+            assert got.iteration == expected.iteration
+            assert got.test_loss == pytest.approx(expected.test_loss, abs=1e-12)
+            assert got.train_loss == pytest.approx(expected.train_loss, abs=1e-12)
+        assert resumed.final_test_accuracy == pytest.approx(full.final_test_accuracy)

@@ -1,5 +1,7 @@
 """Unit tests for the resource sampler (repro.obs.sampler)."""
 
+import time
+
 import pytest
 
 from repro.obs import ResourceSampler, read_rss_bytes
@@ -52,6 +54,40 @@ class TestResourceSampler:
         first = sampler.stop()
         second = sampler.stop()
         assert second["samples"] == first["samples"]
+
+    def test_thread_stopped_when_instrumented_block_raises(self):
+        sampler = ResourceSampler(interval=0.01, registry=MetricsRegistry())
+        with pytest.raises(RuntimeError, match="instrumented work failed"):
+            with sampler:
+                assert sampler.running
+                raise RuntimeError("instrumented work failed")
+        # The context manager joined the thread on the way out — a failed
+        # run must not leak a sampling thread (or wedge process exit).
+        assert not sampler.running
+        assert sampler.summary()["samples"] >= 1
+
+    def test_running_reflects_lifecycle(self):
+        sampler = ResourceSampler(interval=0.01, registry=MetricsRegistry())
+        assert not sampler.running
+        sampler.start()
+        assert sampler.running
+        sampler.stop()
+        assert not sampler.running
+
+    def test_sampling_failure_ends_thread_quietly(self, monkeypatch):
+        sampler = ResourceSampler(interval=0.01, registry=MetricsRegistry())
+        sampler.start()
+        assert sampler.running
+        # Simulate procfs vanishing mid-run: the loop must exit, not spin.
+        monkeypatch.setattr(
+            sampler, "sample_once", lambda: (_ for _ in ()).throw(OSError("gone"))
+        )
+        deadline = time.monotonic() + 2.0
+        while sampler.running and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not sampler.running
+        summary = sampler.stop()  # still safe: join + swallowed final sample
+        assert summary["samples"] >= 1
 
     def test_format_summary_mentions_peak_rss(self):
         registry = MetricsRegistry()
