@@ -72,8 +72,8 @@ def main() -> None:
     # histogram fills up, then read it back from the metrics registry.
     engine.predict_proba(test)
     latency = registry.histogram("serve.request.latency")
-    print(f"engine telemetry: {registry.counter('serve.requests').value:.0f} "
-          f"batched requests, model-forward latency "
+    print(f"engine telemetry: {registry.counter('serve.batches').value:.0f} "
+          f"forward batches, model-forward latency "
           f"p50 {1e3 * latency.percentile(50):.2f} ms / "
           f"p99 {1e3 * latency.percentile(99):.2f} ms")
 

@@ -16,7 +16,12 @@ Commands:
 - ``serve-bench`` — Zipf traffic-replay SLO harness over the inference
                     engine: seeded bursty load, P50/P95/P99 + shed-rate
                     report, byte-deterministic per seed in the default
-                    simulated-clock mode.
+                    simulated-clock mode.  With ``--replicas N`` (or any
+                    of ``--hedge-after``/``--reload-at``/``--faults``)
+                    the replay drives the replicated ServingCluster:
+                    bounded-queue backpressure, failover under seeded
+                    replica kill/slow/flap faults, hedged requests, and
+                    zero-downtime mid-run generation reload.
 - ``bench``       — run the canonical perf suite (preprocess throughput,
                     train step time + sync share, serve latency) and
                     write a schema-versioned ``BENCH_<date>.json``;
@@ -291,6 +296,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="START:STOP[:FACTOR]",
         help="inject a slow-replica fault over that request-index window",
+    )
+    serve_bench.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="replica pool size; > 1 (or any HA flag) runs the ServingCluster replay",
+    )
+    serve_bench.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        help="cluster admission backlog bound (reject-with-retry-after beyond it)",
+    )
+    serve_bench.add_argument(
+        "--hedge-after",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="hedge requests slower than this budget on a second replica; <= 0 disables",
+    )
+    serve_bench.add_argument(
+        "--reload-at",
+        type=int,
+        default=None,
+        metavar="REQUEST",
+        help="begin a zero-downtime generation reload at this request index",
+    )
+    serve_bench.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="replica fault plan, e.g. 'seed=7,kill_replica=1@120,slow_replica=2@40:160'",
     )
     serve_bench.add_argument(
         "--out-dir", default="benchmarks/out", help="bench artifact directory"
@@ -844,11 +881,23 @@ def _parse_slow_window(spec: str | None) -> dict:
 
 
 def cmd_serve_bench(args) -> int:
-    """Seeded Zipf traffic replay; print + persist the SLO report."""
-    from repro.resilience.atomic import atomic_write_text
-    from repro.serve import ReplayConfig, format_slo_report, run_slo_replay
+    """Seeded Zipf traffic replay; print + persist the SLO report.
 
-    config = ReplayConfig(
+    A single engine by default; any HA flag (``--replicas`` > 1,
+    ``--hedge-after``, ``--reload-at``, ``--faults``) switches to the
+    replicated :class:`~repro.serve.cluster.ServingCluster` replay.
+    """
+    from repro.resilience.atomic import atomic_write_text
+    from repro.serve import (
+        ClusterReplayConfig,
+        ReplayConfig,
+        format_cluster_report,
+        format_slo_report,
+        run_cluster_replay,
+        run_slo_replay,
+    )
+
+    base = dict(
         requests=args.requests,
         candidates=args.candidates,
         top_k=args.top_k,
@@ -860,10 +909,28 @@ def cmd_serve_bench(args) -> int:
         hot_exponent=args.hot_exponent,
         deadline_s=args.deadline_ms / 1e3 if args.deadline_ms > 0 else None,
         mode=args.mode,
-        **_parse_slow_window(args.slow),
     )
-    report = run_slo_replay(config)
-    print(format_slo_report(report))
+    cluster_mode = (
+        args.replicas > 1
+        or args.hedge_after > 0
+        or args.reload_at is not None
+        or args.faults is not None
+    )
+    if cluster_mode:
+        config = ClusterReplayConfig(
+            replicas=args.replicas,
+            queue_capacity=args.queue_capacity,
+            hedge_after_s=args.hedge_after / 1e3 if args.hedge_after > 0 else None,
+            reload_at=args.reload_at,
+            faults=args.faults,
+            **base,
+        )
+        report = run_cluster_replay(config)
+        print(format_cluster_report(report))
+    else:
+        config = ReplayConfig(**base, **_parse_slow_window(args.slow))
+        report = run_slo_replay(config)
+        print(format_slo_report(report))
     out = Path(args.out) if args.out else Path(args.out_dir) / "slo_report.json"
     out.parent.mkdir(parents=True, exist_ok=True)
     atomic_write_text(out, json.dumps(report, indent=2, sort_keys=True) + "\n")

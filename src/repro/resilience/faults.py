@@ -36,6 +36,15 @@ Data-corruption faults (exercising :mod:`repro.resilience.guards`):
   (:meth:`FaultPlan.corrupt_row`), modeling the paper's worst case of a
   corrupted popular row replicated to every GPU.
 
+Serving-replica faults (exercising :mod:`repro.serve.cluster`):
+
+- **replica kill / slow / flap** — :meth:`FaultPlan.replica_alive` and
+  :meth:`FaultPlan.replica_slow_multiplier` describe a per-request
+  schedule of replica deaths (``kill_replica``), degraded-but-alive
+  stragglers (``slow_replica``), and crash-loop flapping
+  (``flap_replica``) that the cluster replay applies to the replicated
+  serving tier, proving failover, hedging, and probe re-admission.
+
 Every injected fault increments a ``faults.*`` counter so chaos runs are
 fully traceable through :mod:`repro.obs`.
 """
@@ -133,6 +142,21 @@ class FaultPlan:
             (a high exponent bit is flipped, yielding huge-but-usually-
             finite values that trip the spike detector instead of the
             NaN checks).
+        replica_kill: ``(replica, request_index)`` — serving replica
+            dies permanently when the cluster replay reaches that
+            request, or None.  The cluster discovers the death the hard
+            way (a failed dispatch → failover), as a real load balancer
+            with a finite probe interval would.
+        replica_slow: ``(replica, start, stop)`` — the replica's service
+            cost is multiplied by ``replica_slow_factor`` over that
+            request-index window (a degraded-but-alive straggler, the
+            tail-latency case hedged requests exist for), or None.
+        replica_slow_factor: service-cost multiplier inside the slow
+            window.
+        replica_flap: ``(replica, start, period)`` — from ``start`` on,
+            the replica alternates ``period`` requests down / ``period``
+            requests up (crash-loop or partition flapping); the cluster's
+            health probe must re-admit it on each recovery, or None.
         worker_kill_task: elastic-pool task index whose first lease
             SIGKILLs its worker mid-task (real process death), or None.
         worker_hang_task: task index whose first lease wedges its worker
@@ -159,6 +183,10 @@ class FaultPlan:
     gradient_corruption_at: int | None = None
     hot_row_corruption_at: int | None = None
     corruption_mode: str = "nan"
+    replica_kill: tuple[int, int] | None = None
+    replica_slow: tuple[int, int, int] | None = None
+    replica_slow_factor: float = 20.0
+    replica_flap: tuple[int, int, int] | None = None
     worker_kill_task: int | None = None
     worker_hang_task: int | None = None
     worker_straggle_task: int | None = None
@@ -173,6 +201,9 @@ class FaultPlan:
     _batch_corruptions: int = field(default=0, init=False)
     _gradient_corruption_fired: bool = field(default=False, init=False)
     _hot_row_corruption_fired: bool = field(default=False, init=False)
+    _replica_kill_fired: bool = field(default=False, init=False)
+    _replica_slow_fired: bool = field(default=False, init=False)
+    _replica_flap_fired: bool = field(default=False, init=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.collective_failure_rate < 1.0:
@@ -191,6 +222,20 @@ class FaultPlan:
             rank, at_call = self.rank_death
             if rank < 0 or at_call < 1:
                 raise ValueError(f"invalid rank_death {self.rank_death}")
+        if self.replica_kill is not None:
+            replica, at_request = self.replica_kill
+            if replica < 0 or at_request < 0:
+                raise ValueError(f"invalid replica_kill {self.replica_kill}")
+        if self.replica_slow is not None:
+            replica, start, stop = self.replica_slow
+            if replica < 0 or start < 0 or stop <= start:
+                raise ValueError(f"invalid replica_slow {self.replica_slow}")
+        if self.replica_slow_factor <= 1.0:
+            raise ValueError("replica_slow_factor must be > 1")
+        if self.replica_flap is not None:
+            replica, start, period = self.replica_flap
+            if replica < 0 or start < 0 or period < 1:
+                raise ValueError(f"invalid replica_flap {self.replica_flap}")
         for name in ("worker_kill_task", "worker_hang_task", "worker_straggle_task"):
             value = getattr(self, name)
             if value is not None and value < 0:
@@ -366,6 +411,46 @@ class FaultPlan:
         return False
 
     # ------------------------------------------------------------------
+    # Serving-replica faults (exercising repro.serve.cluster)
+    # ------------------------------------------------------------------
+
+    def replica_alive(self, replica: int, request_index: int) -> bool:
+        """Whether serving replica ``replica`` is up at ``request_index``.
+
+        A pure function of the plan and the request index (no RNG draw),
+        so the cluster replay can consult it for every replica on every
+        request without perturbing the other fault streams.
+        """
+        if self.replica_kill is not None:
+            target, at_request = self.replica_kill
+            if replica == target and request_index >= at_request:
+                if not self._replica_kill_fired:
+                    self._replica_kill_fired = True
+                    get_registry().counter("faults.replica_kill.injected").inc()
+                return False
+        if self.replica_flap is not None:
+            target, start, period = self.replica_flap
+            if replica == target and request_index >= start:
+                # Down for `period` requests, up for `period`, repeating.
+                if ((request_index - start) // period) % 2 == 0:
+                    if not self._replica_flap_fired:
+                        self._replica_flap_fired = True
+                        get_registry().counter("faults.replica_flap.injected").inc()
+                    return False
+        return True
+
+    def replica_slow_multiplier(self, replica: int, request_index: int) -> float:
+        """Service-cost multiplier for ``replica`` at ``request_index``."""
+        if self.replica_slow is not None:
+            target, start, stop = self.replica_slow
+            if replica == target and start <= request_index < stop:
+                if not self._replica_slow_fired:
+                    self._replica_slow_fired = True
+                    get_registry().counter("faults.replica_slow.injected").inc()
+                return self.replica_slow_factor
+        return 1.0
+
+    # ------------------------------------------------------------------
     # Real-process faults (exercising repro.resilience.elastic)
     # ------------------------------------------------------------------
 
@@ -402,6 +487,9 @@ class FaultPlan:
             "batch_corruptions": self._batch_corruptions,
             "gradient_corruption_fired": self._gradient_corruption_fired,
             "hot_row_corruption_fired": self._hot_row_corruption_fired,
+            "replica_kill_fired": self._replica_kill_fired,
+            "replica_slow_fired": self._replica_slow_fired,
+            "replica_flap_fired": self._replica_flap_fired,
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -419,6 +507,9 @@ class FaultPlan:
         self._hot_row_corruption_fired = bool(
             state.get("hot_row_corruption_fired", False)
         )
+        self._replica_kill_fired = bool(state.get("replica_kill_fired", False))
+        self._replica_slow_fired = bool(state.get("replica_slow_fired", False))
+        self._replica_flap_fired = bool(state.get("replica_flap_fired", False))
 
     # ------------------------------------------------------------------
     # CLI spec parsing
@@ -433,6 +524,7 @@ class FaultPlan:
             seed=7,collective=0.05,death=1@40,evict=80,loader=0.02
             seed=7,ingest=0.01,bad_batch=0.05,bad_row=40,corrupt=nan
             seed=7,kill_task=1,straggle_task=3,straggle_secs=0.8
+            seed=7,kill_replica=1@120,slow_replica=2@40:160,flap_replica=0@30/25
 
         Keys: ``seed``, ``collective`` (transient failure rate),
         ``max_collective``, ``loader`` (hiccup rate), ``max_loader``,
@@ -441,7 +533,10 @@ class FaultPlan:
         (batch corruption rate), ``max_bad_batch``, ``bad_grad``
         (iteration), ``bad_row`` (iteration), ``corrupt``
         (``nan`` | ``bitflip``), ``kill_task`` / ``hang_task`` /
-        ``straggle_task`` (elastic-pool task index), ``straggle_secs``.
+        ``straggle_task`` (elastic-pool task index), ``straggle_secs``,
+        ``kill_replica`` (``REPLICA@REQUEST``), ``slow_replica``
+        (``REPLICA@START:STOP``), ``slow_replica_factor``,
+        ``flap_replica`` (``REPLICA@START/PERIOD``).
 
         Raises:
             ValueError: on an unknown key or malformed entry.
@@ -494,6 +589,23 @@ class FaultPlan:
                     kwargs["worker_straggle_task"] = int(value)
                 elif key == "straggle_secs":
                     kwargs["worker_straggle_seconds"] = float(value)
+                elif key == "kill_replica":
+                    replica_str, _, request_str = value.partition("@")
+                    kwargs["replica_kill"] = (int(replica_str), int(request_str))
+                elif key == "slow_replica":
+                    replica_str, _, window = value.partition("@")
+                    start_str, _, stop_str = window.partition(":")
+                    kwargs["replica_slow"] = (
+                        int(replica_str), int(start_str), int(stop_str)
+                    )
+                elif key == "slow_replica_factor":
+                    kwargs["replica_slow_factor"] = float(value)
+                elif key == "flap_replica":
+                    replica_str, _, window = value.partition("@")
+                    start_str, _, period_str = window.partition("/")
+                    kwargs["replica_flap"] = (
+                        int(replica_str), int(start_str), int(period_str)
+                    )
                 else:
                     raise ValueError(f"unknown fault spec key {key!r}")
             except ValueError as exc:

@@ -9,16 +9,26 @@ Centaur).
 
 - :class:`~repro.serve.engine.InferenceEngine` — forward-only batched
   scoring and top-k candidate ranking over a trained model, with
-  hot/cold request classification against an FAE plan's bags.
+  hot/cold request classification against an FAE plan's bags and an
+  atomic :meth:`~repro.serve.engine.InferenceEngine.install` swap for
+  generation reloads.
+- :class:`~repro.serve.cluster.ServingCluster` — the highly-available
+  tier: N replicated engines behind bounded-queue admission
+  (backpressure with retry-after), health-probe routing with failover,
+  hedged requests for tail latency, and zero-downtime
+  generation-stamped hot-set/model reload.
 - :class:`~repro.serve.simulator.ServingSimulator` — request-level
   latency simulation (Poisson arrivals, dynamic batching) comparing
   CPU-embedding serving against hot-resident serving on the calibrated
   cost model.
 - :mod:`repro.serve.replay` — the Zipf traffic-replay SLO harness
   (``repro serve-bench``): a seeded, bursty, hot-key-skewed load
-  generator driving a real engine, byte-deterministic per seed via an
-  injected :class:`~repro.serve.replay.VirtualClock`, reporting
-  P50/P95/P99 latency, throughput, and degraded/shed rates.
+  generator driving a real engine — or, with ``--replicas``, the full
+  replicated cluster under seeded replica faults, hedging, and mid-run
+  reload — byte-deterministic per seed via injected
+  :class:`~repro.serve.replay.VirtualClock`s, reporting P50/P95/P99
+  latency, throughput, degraded/rejected/shed rates, failovers, hedge
+  wins, and generation accounting.
 
 Admission control (candidate-id bounds validation, circuit-breaker load
 shedding) lives on the engine; the breaker itself is
@@ -27,24 +37,42 @@ shedding) lives on the engine; the breaker itself is
 """
 
 from repro.resilience.guards import CircuitBreaker, LoadShedError
+from repro.serve.cluster import (
+    ClusterBusyError,
+    ClusterResponse,
+    NoReplicaError,
+    ReplicaSlot,
+    ServingCluster,
+)
 from repro.serve.engine import InferenceEngine, RankedItems
 from repro.serve.replay import (
+    ClusterReplayConfig,
     ReplayConfig,
     VirtualClock,
+    format_cluster_report,
     format_slo_report,
+    run_cluster_replay,
     run_slo_replay,
 )
 from repro.serve.simulator import LatencyStats, ServingSimulator
 
 __all__ = [
     "CircuitBreaker",
+    "ClusterBusyError",
+    "ClusterReplayConfig",
+    "ClusterResponse",
     "InferenceEngine",
     "LatencyStats",
     "LoadShedError",
+    "NoReplicaError",
     "RankedItems",
     "ReplayConfig",
+    "ReplicaSlot",
+    "ServingCluster",
     "ServingSimulator",
     "VirtualClock",
+    "format_cluster_report",
     "format_slo_report",
+    "run_cluster_replay",
     "run_slo_replay",
 ]

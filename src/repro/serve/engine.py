@@ -22,7 +22,15 @@ when the recent degraded-request rate crosses its threshold —
 :meth:`InferenceEngine.rank_candidates` raises
 :class:`~repro.resilience.guards.LoadShedError` while the breaker is
 open, and :meth:`InferenceEngine.health` reports the breaker state plus
-request counters for external monitoring.
+request counters for external monitoring.  Logical requests
+(``serve.requests``) and chunked forward calls (``serve.batches``) are
+counted separately, and shed requests record their time-to-rejection in
+``serve.rejected.latency`` so dropped traffic stays visible in latency
+accounting.
+
+:meth:`InferenceEngine.install` atomically swaps the served model and
+hot bags between requests — the primitive the replicated serving tier
+(:mod:`repro.serve.cluster`) builds zero-downtime generation reloads on.
 """
 
 from __future__ import annotations
@@ -102,15 +110,18 @@ class InferenceEngine:
         registry = get_registry()
         self._latency = registry.histogram("serve.request.latency")
         self._rank_latency = registry.histogram("serve.rank.latency")
+        self._rejected_latency = registry.histogram("serve.rejected.latency")
         self._requests = registry.counter("serve.requests")
+        self._batches = registry.counter("serve.batches")
         self._shed = registry.counter("serve.requests.shed")
         self._deadline_exceeded = registry.counter("serve.deadline.exceeded")
         self._fallback_candidates = registry.counter("serve.fallback.candidates")
 
     def predict_proba(self, log, indices: np.ndarray | None = None) -> np.ndarray:
-        """Click probabilities for rows of a click log."""
+        """Click probabilities for rows of a click log (one logical request)."""
         indices = np.arange(len(log)) if indices is None else np.asarray(indices)
         probs = np.empty(len(indices), dtype=np.float64)
+        self._requests.inc()
         with span("serve.predict", rows=len(indices)):
             for start in range(0, len(indices), self.batch_size):
                 chunk = indices[start : start + self.batch_size]
@@ -120,12 +131,18 @@ class InferenceEngine:
         return probs
 
     def predict_batch(self, batch: MiniBatch) -> np.ndarray:
-        """Click probabilities for an already-built mini-batch."""
+        """Click probabilities for an already-built mini-batch.
+
+        Counts one ``serve.batches`` forward call — *not* a logical
+        request: one ranking request fans out into many chunked forward
+        calls, and conflating the two used to inflate
+        ``health()["requests"]`` by the chunk count.
+        """
         start = self.clock()
         logits = self.model.forward(batch)
         probs = sigmoid(np.asarray(logits, dtype=np.float64))
         self._latency.observe(self.clock() - start)
-        self._requests.inc()
+        self._batches.inc()
         return probs
 
     def rank_candidates(
@@ -161,13 +178,19 @@ class InferenceEngine:
             ValueError: if any candidate id is outside the table.
             LoadShedError: if the circuit breaker is open.
         """
+        admission_start = self.clock()
         if self.breaker is not None and not self.breaker.allow():
             self._shed.inc()
+            # Shed requests still took caller-visible time to reject;
+            # without this sample they vanish from latency accounting
+            # and P99 can look good by dropping traffic.
+            self._rejected_latency.observe(self.clock() - admission_start)
             raise LoadShedError(
                 f"serving circuit breaker is {self.breaker.state} "
                 f"(recent failure rate {self.breaker.failure_rate():.2f}); "
                 "request shed — retry after the cooldown"
             )
+        self._requests.inc()
         if candidate_table not in self.model.tables:
             raise KeyError(f"unknown candidate table {candidate_table!r}")
         candidate_ids = self._check_candidate_ids(candidate_table, candidate_ids)
@@ -217,8 +240,10 @@ class InferenceEngine:
         No MLP, no feature interaction — one embedding read per
         candidate.  Far less accurate than the full model, but orders of
         magnitude cheaper, which is the point of a deadline fallback.
+        ``candidate_ids`` were already bounds-checked on admission in
+        :meth:`rank_candidates`; re-validating here would burn time at
+        exactly the moment the engine is behind deadline.
         """
-        candidate_ids = self._check_candidate_ids(candidate_table, candidate_ids)
         rows = self.model.tables[candidate_table].subset(candidate_ids)
         return sigmoid(rows.mean(axis=1).astype(np.float64))
 
@@ -269,15 +294,40 @@ class InferenceEngine:
             item_ids=candidate_ids[order], scores=scores[order], degraded=degraded
         )
 
+    def install(
+        self,
+        model: RecModel,
+        hot_bags: dict[str, HotEmbeddingBagSpec] | None = None,
+    ) -> None:
+        """Atomically swap the served model (and hot-bag hot set).
+
+        The swap is two attribute rebinds between requests — no request
+        ever sees a half-installed state, which is what lets the
+        replicated cluster reload a new FAE plan or parameter set
+        replica-by-replica with zero downtime.  ``hot_bags=None``
+        disables hot-request classification for the new generation
+        (install a plan's bags to keep it).  Counters and the breaker
+        survive the swap: they describe the replica, not the generation.
+        """
+        hot_masks = (
+            {name: bag.hot_mask() for name, bag in hot_bags.items()} if hot_bags else None
+        )
+        self.model = model
+        self._hot_masks = hot_masks
+
     def health(self) -> dict:
         """JSON-ready serving health snapshot.
 
         Combines the engine's request counters with the breaker state (a
         ``breaker`` key, or None when admission control is disabled) —
         the payload a load balancer's health probe would poll.
+        ``requests`` counts logical requests (one per ranking or
+        prediction call); ``batches`` counts model forward calls, which
+        a chunked ranking multiplies.
         """
         return {
             "requests": self._requests.value,
+            "batches": self._batches.value,
             "shed": self._shed.value,
             "deadline_exceeded": self._deadline_exceeded.value,
             "fallback_candidates": self._fallback_candidates.value,

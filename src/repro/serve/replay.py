@@ -22,6 +22,15 @@ of run-to-run noise.
 
 The engine code path exercised is the production one — real model
 forward, real bounds checks, real breaker — only the clock is virtual.
+
+**Cluster replay.**  :func:`run_cluster_replay` drives the same seeded
+traffic through a :class:`~repro.serve.cluster.ServingCluster` of N
+replicated engines (each with its own virtual clock), applies a
+:class:`~repro.resilience.faults.FaultPlan`'s replica fault schedule
+(``kill_replica`` / ``slow_replica`` / ``flap_replica``), optionally
+begins a mid-run generation reload, and reports failover, hedging,
+backpressure, and generation accounting on top of the SLO numbers —
+byte-identical per seed, which is what lets CI ``cmp`` two chaos runs.
 """
 
 from __future__ import annotations
@@ -36,17 +45,23 @@ from repro.data.schema import DatasetSchema
 from repro.data.zipf import ZipfSampler
 from repro.models import build_model, workload_by_name
 from repro.obs import get_registry
+from repro.resilience.faults import FaultPlan
 from repro.resilience.guards import CircuitBreaker, LoadShedError
+from repro.serve.cluster import ClusterBusyError, ServingCluster
 from repro.serve.engine import InferenceEngine
 
 __all__ = [
+    "ClusterReplayConfig",
     "ReplayConfig",
     "VirtualClock",
+    "format_cluster_report",
     "format_slo_report",
+    "run_cluster_replay",
     "run_slo_replay",
 ]
 
 SLO_SCHEMA_VERSION = 1
+CLUSTER_SLO_SCHEMA_VERSION = 1
 
 _WORKLOAD_FOR_DATASET = {
     "criteo-kaggle": "RMC2",
@@ -153,16 +168,71 @@ class ReplayConfig:
         return self.slow_start <= request_index < self.slow_stop
 
 
-_REPLAY_INSTRUMENTS = (
+_REPLAY_HISTOGRAMS = (
     "serve.rank.latency",
     "serve.request.latency",
+    "serve.rejected.latency",
+)
+_REPLAY_COUNTERS = (
     "serve.requests",
+    "serve.batches",
     "serve.requests.shed",
     "serve.deadline.exceeded",
     "serve.fallback.candidates",
     "guards.breaker.trips",
     "guards.breaker.shed",
 )
+_CLUSTER_HISTOGRAMS = _REPLAY_HISTOGRAMS + (
+    "serve.cluster.request.latency",
+    "serve.cluster.queue.wait",
+)
+_CLUSTER_COUNTERS = _REPLAY_COUNTERS + (
+    "serve.cluster.queue.rejected",
+    "serve.cluster.failover",
+    "serve.cluster.probe.revived",
+    "serve.hedge.issued",
+    "serve.hedge.wins",
+    "serve.hedge.cancelled",
+    "serve.cluster.reload.installs",
+    "serve.cluster.generation.mixed",
+    "faults.replica_kill.injected",
+    "faults.replica_slow.injected",
+    "faults.replica_flap.injected",
+)
+_CLUSTER_GAUGES = (
+    "serve.cluster.queue.depth",
+    "serve.cluster.unhealthy",
+)
+
+
+def _reset_instruments(
+    histograms: tuple[str, ...],
+    counters: tuple[str, ...],
+    gauges: tuple[str, ...] = (),
+) -> None:
+    """Zero the replay's process-global instruments before a run."""
+    registry = get_registry()
+    for name in histograms:
+        registry.histogram(name).reset()
+    for name in counters:
+        registry.counter(name).reset()
+    for name in gauges:
+        registry.gauge(name).reset()
+
+
+def _histogram_stats(histogram) -> dict:
+    """JSON-ready percentile digest of one histogram ({} when empty)."""
+    if histogram.count == 0:
+        return {}
+    return {
+        "count": histogram.count,
+        "p50": histogram.percentile(50),
+        "p90": histogram.percentile(90),
+        "p95": histogram.percentile(95),
+        "p99": histogram.percentile(99),
+        "mean": histogram.total / histogram.count,
+        "max": histogram.percentile(100),
+    }
 
 
 def run_slo_replay(config: ReplayConfig, schema: DatasetSchema | None = None) -> dict:
@@ -174,11 +244,7 @@ def run_slo_replay(config: ReplayConfig, schema: DatasetSchema | None = None) ->
     counter stream).
     """
     registry = get_registry()
-    for name in _REPLAY_INSTRUMENTS:
-        if name.endswith("latency"):
-            registry.histogram(name).reset()
-        else:
-            registry.counter(name).reset()
+    _reset_instruments(_REPLAY_HISTOGRAMS, _REPLAY_COUNTERS)
 
     schema = schema or dataset_by_name(config.dataset, config.scale)
     model = build_model(
@@ -277,17 +343,9 @@ def run_slo_replay(config: ReplayConfig, schema: DatasetSchema | None = None) ->
             "shed": shed / total,
             "error": 0.0 if total == 0 else (total - completed - shed) / total,
         },
-        "latency_s": (
-            {
-                "p50": latency.percentile(50),
-                "p90": latency.percentile(90),
-                "p95": latency.percentile(95),
-                "p99": latency.percentile(99),
-                "mean": latency.total / latency.count,
-                "max": latency.percentile(100),
-            }
-            if latency.count
-            else {}
+        "latency_s": _histogram_stats(latency),
+        "rejected_latency_s": _histogram_stats(
+            registry.histogram("serve.rejected.latency")
         ),
         "throughput_rps": total / elapsed if elapsed > 0 else 0.0,
         "elapsed_s": elapsed,
@@ -296,6 +354,285 @@ def run_slo_replay(config: ReplayConfig, schema: DatasetSchema | None = None) ->
         "breaker": None if breaker is None else breaker.health(),
     }
     return report
+
+
+@dataclass(frozen=True)
+class ClusterReplayConfig(ReplayConfig):
+    """A :class:`ReplayConfig` plus the replicated-tier knobs.
+
+    Attributes:
+        replicas: pool size (each replica is a full engine + breaker on
+            its own virtual clock).
+        queue_capacity: cluster admission backlog bound; beyond it
+            requests are rejected with retry-after.
+        hedge_after_s: hedge budget — requests whose response would take
+            longer are re-issued on a second replica (None disables).
+        reload_at: request index at which a new serving generation
+            (a rebuilt parameter set) starts rolling through the pool,
+            or None.
+        faults: compact :meth:`~repro.resilience.faults.FaultPlan.parse`
+            spec applied per request (``kill_replica`` / ``slow_replica``
+            / ``flap_replica``), or None.
+
+    The single-engine ``slow_start`` / ``slow_stop`` window is unused
+    here — slow replicas come from the fault plan instead, which says
+    *which* replica straggles.
+    """
+
+    replicas: int = 3
+    queue_capacity: int = 64
+    hedge_after_s: float | None = None
+    reload_at: int | None = None
+    faults: str | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.hedge_after_s is not None and self.hedge_after_s <= 0:
+            raise ValueError("hedge_after_s must be positive (or None)")
+        if self.reload_at is not None and self.reload_at < 0:
+            raise ValueError("reload_at must be >= 0")
+        if self.mode != "simulated":
+            raise ValueError(
+                "cluster replay requires mode='simulated' — replica "
+                "scheduling is a discrete-event model over per-replica "
+                "virtual clocks"
+            )
+        if self.faults is not None:
+            FaultPlan.parse(self.faults)  # fail fast on a bad spec
+
+
+def run_cluster_replay(
+    config: ClusterReplayConfig, schema: DatasetSchema | None = None
+) -> dict:
+    """Run one seeded replay against a replicated cluster; return the report.
+
+    Same seeded traffic as :func:`run_slo_replay` (the RNG draw order is
+    independent of request outcomes, so fault schedules never perturb
+    the workload itself), routed through a
+    :class:`~repro.serve.cluster.ServingCluster` with the configured
+    fault plan, hedging, and mid-run reload.  The report is a pure
+    function of the config — byte-identical run to run.
+    """
+    registry = get_registry()
+    _reset_instruments(_CLUSTER_HISTOGRAMS, _CLUSTER_COUNTERS, _CLUSTER_GAUGES)
+
+    schema = schema or dataset_by_name(config.dataset, config.scale)
+    workload = workload_by_name(_WORKLOAD_FOR_DATASET[config.dataset])
+    model = build_model(workload, schema=schema, seed=config.seed)
+    plan = FaultPlan.parse(config.faults) if config.faults else None
+
+    def make_breaker() -> CircuitBreaker | None:
+        if config.breaker_window <= 0:
+            return None
+        return CircuitBreaker(
+            window=config.breaker_window,
+            failure_threshold=config.breaker_threshold,
+            min_requests=config.breaker_min_requests,
+            cooldown=config.breaker_cooldown,
+        )
+
+    engines = [
+        InferenceEngine(
+            model,
+            deadline_s=config.deadline_s,
+            breaker=make_breaker(),
+            clock=VirtualClock(),
+        )
+        for _ in range(config.replicas)
+    ]
+    cluster = ServingCluster(
+        engines,
+        queue_capacity=config.queue_capacity,
+        hedge_after_s=config.hedge_after_s,
+    )
+    # The next generation's parameters: a retrain, rebuilt from a
+    # derived seed so the swap is a real parameter change.
+    reload_model = (
+        build_model(workload, schema=schema, seed=config.seed + 9001)
+        if config.reload_at is not None
+        else None
+    )
+
+    rng = np.random.default_rng(config.seed)
+    candidate_table = max(schema.tables, key=lambda t: (t.num_rows, t.name)).name
+    candidate_sampler = ZipfSampler(
+        num_items=next(t.num_rows for t in schema.tables if t.name == candidate_table),
+        exponent=config.hot_exponent,
+        seed=config.seed + 1,
+    )
+    context_samplers = {
+        t.name: (ZipfSampler(t.num_rows, t.zipf_exponent, seed=config.seed + 2 + i), t.multiplicity)
+        for i, t in enumerate(schema.tables)
+    }
+
+    now = 0.0
+    admitted = completed = degraded = rejected = shed = 0
+    hedged_requests = failed_over_requests = 0
+    generation_counts: dict[str, int] = {}
+    reload_generation: int | None = None
+
+    for r in range(config.requests):
+        if plan is not None:
+            for i in range(config.replicas):
+                alive = plan.replica_alive(i, r)
+                if alive != cluster.slots[i].alive:
+                    (cluster.revive_replica if alive else cluster.kill_replica)(i)
+                cluster.set_slow_factor(i, plan.replica_slow_multiplier(i, r))
+        if config.reload_at is not None and r == config.reload_at:
+            reload_generation = cluster.begin_reload(reload_model)
+
+        rate = config.base_rate * (config.burst_factor if config.in_burst(r) else 1.0)
+        now += float(rng.exponential(1.0 / rate))
+        cost = config.chunk_cost_s * (1.0 + config.cost_jitter * float(rng.random()))
+        dense = rng.standard_normal(schema.num_dense).astype(np.float32)
+        context = {
+            name: sampler.sample(multiplicity)
+            for name, (sampler, multiplicity) in context_samplers.items()
+        }
+        candidate_ids = candidate_sampler.sample(config.candidates)
+
+        try:
+            response = cluster.submit(
+                now, cost, dense, context, candidate_table, candidate_ids,
+                top_k=config.top_k,
+            )
+        except ClusterBusyError:
+            rejected += 1
+            continue
+        except LoadShedError:
+            admitted += 1
+            shed += 1
+            continue
+        admitted += 1
+        completed += 1
+        if response.result.degraded:
+            degraded += 1
+        if response.hedged:
+            hedged_requests += 1
+        if response.failovers:
+            failed_over_requests += 1
+        key = str(response.generation)
+        generation_counts[key] = generation_counts.get(key, 0) + 1
+
+    elapsed = now
+    total = config.requests
+
+    def count(name: str) -> int:
+        return int(registry.counter(name).value)
+
+    return {
+        "schema_version": CLUSTER_SLO_SCHEMA_VERSION,
+        "kind": "cluster_slo_report",
+        "mode": config.mode,
+        "seed": config.seed,
+        "replicas": config.replicas,
+        "config": asdict(config),
+        "requests": {
+            "total": total,
+            "admitted": admitted,
+            "completed": completed,
+            "degraded": degraded,
+            "rejected": rejected,
+            "shed": shed,
+            "hedged": hedged_requests,
+            "failed_over": failed_over_requests,
+        },
+        "rates": {
+            "rejected": rejected / total,
+            "shed": shed / total,
+            "degraded": degraded / total,
+            "error": (admitted - completed - shed) / total,
+        },
+        "latency_s": _histogram_stats(
+            registry.histogram("serve.cluster.request.latency")
+        ),
+        "queue": {
+            "capacity": config.queue_capacity,
+            "rejected": count("serve.cluster.queue.rejected"),
+            "wait_s": _histogram_stats(
+                registry.histogram("serve.cluster.queue.wait")
+            ),
+        },
+        "rejected_latency_s": _histogram_stats(
+            registry.histogram("serve.rejected.latency")
+        ),
+        "failovers": count("serve.cluster.failover"),
+        "probe_revived": count("serve.cluster.probe.revived"),
+        "hedge": {
+            "after_s": config.hedge_after_s,
+            "issued": count("serve.hedge.issued"),
+            "wins": count("serve.hedge.wins"),
+            "cancelled": count("serve.hedge.cancelled"),
+        },
+        "reload": {
+            "requested_at": config.reload_at,
+            "generation": reload_generation,
+            "installs": count("serve.cluster.reload.installs"),
+            "complete": not cluster.reload_active,
+            "generations_served": {
+                key: generation_counts[key] for key in sorted(generation_counts)
+            },
+            "mixed_generation_responses": count("serve.cluster.generation.mixed"),
+        },
+        "faults_injected": {
+            "replica_kill": count("faults.replica_kill.injected"),
+            "replica_slow": count("faults.replica_slow.injected"),
+            "replica_flap": count("faults.replica_flap.injected"),
+        },
+        "deadline_exceeded": count("serve.deadline.exceeded"),
+        "fallback_candidates": count("serve.fallback.candidates"),
+        "cluster": cluster.health(),
+        "throughput_rps": total / elapsed if elapsed > 0 else 0.0,
+        "elapsed_s": elapsed,
+    }
+
+
+def format_cluster_report(report: dict) -> str:
+    """Human-readable digest of one cluster SLO report."""
+    lat = report.get("latency_s") or {}
+    requests = report["requests"]
+    rates = report["rates"]
+    hedge = report["hedge"]
+    reload_info = report["reload"]
+    lines = [
+        f"cluster slo report (seed {report['seed']}, "
+        f"{report['replicas']} replicas): "
+        f"{requests['total']} requests in {report['elapsed_s']:.3f}s "
+        f"({report['throughput_rps']:.0f} req/s)",
+        (
+            f"  latency  p50 {1e3 * lat.get('p50', 0):7.2f} ms   "
+            f"p95 {1e3 * lat.get('p95', 0):7.2f} ms   "
+            f"p99 {1e3 * lat.get('p99', 0):7.2f} ms   "
+            f"max {1e3 * lat.get('max', 0):7.2f} ms"
+            if lat
+            else "  latency  (no completed requests)"
+        ),
+        f"  outcomes completed {requests['completed']}/{requests['admitted']} admitted  "
+        f"degraded {requests['degraded']} ({100 * rates['degraded']:.1f}%)  "
+        f"rejected {requests['rejected']} ({100 * rates['rejected']:.1f}%)  "
+        f"shed {requests['shed']} ({100 * rates['shed']:.1f}%)",
+        f"  ha       failovers {report['failovers']}  "
+        f"hedges {hedge['issued']} (wins {hedge['wins']}, "
+        f"cancelled {hedge['cancelled']})  "
+        f"probe revivals {report['probe_revived']}",
+    ]
+    if reload_info["requested_at"] is not None:
+        generations = ", ".join(
+            f"gen {gen}: {count}"
+            for gen, count in reload_info["generations_served"].items()
+        )
+        lines.append(
+            f"  reload   gen {reload_info['generation']} at request "
+            f"{reload_info['requested_at']}: installs {reload_info['installs']}, "
+            f"{'complete' if reload_info['complete'] else 'IN PROGRESS'}, "
+            f"mixed-generation responses "
+            f"{reload_info['mixed_generation_responses']}  [{generations}]"
+        )
+    return "\n".join(lines)
 
 
 def format_slo_report(report: dict) -> str:

@@ -429,3 +429,30 @@ class TestServeBenchCli:
         assert report["config"]["slow_start"] == 8
         assert report["config"]["slow_factor"] == 100.0
         assert report["requests"]["degraded"] + report["requests"]["shed"] > 0
+
+    def test_cluster_path_with_faults_and_reload(self, tmp_path, capsys):
+        out = tmp_path / "cluster_slo.json"
+        argv = self.ARGS + [
+            "--requests",
+            "120",
+            "--replicas",
+            "3",
+            "--hedge-after",
+            "20",
+            "--reload-at",
+            "60",
+            "--faults",
+            "seed=7,kill_replica=1@40",
+            "--out",
+            str(out),
+        ]
+        assert main(argv) == 0
+        text = capsys.readouterr().out
+        assert "cluster slo report" in text
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["kind"] == "cluster_slo_report"
+        assert report["replicas"] == 3
+        assert report["requests"]["completed"] == report["requests"]["admitted"]
+        assert report["failovers"] >= 1
+        assert report["reload"]["complete"]
+        assert report["reload"]["mixed_generation_responses"] == 0

@@ -130,10 +130,25 @@ class TestAdmissionControl:
         with pytest.raises(ValueError, match="table_00"):
             engine.rank_candidates(dense, context, "table_00", np.array([2, -1]))
 
-    def test_fallback_scores_bounds_checked(self, trained):
-        engine = InferenceEngine(trained[0])
+    def test_bad_ids_rejected_before_fallback_path(self, trained, tiny_schema):
+        # Validation happens once, on admission — even a request that
+        # would immediately trip the deadline fallback is rejected up
+        # front; the fallback itself no longer re-validates (wasted work
+        # at exactly the moment the engine is behind deadline).
+        model, dense, context = self._request(trained, tiny_schema)
+        engine = InferenceEngine(model)
         with pytest.raises(ValueError, match="table_00"):
-            engine._fallback_scores("table_00", np.array([-3]))
+            engine.rank_candidates(
+                dense, context, "table_00", np.array([2, -3]), deadline_s=1e-9
+            )
+
+    def test_fallback_scores_skip_revalidation(self, trained):
+        # Pre-validated ids go straight to the embedding read: scores
+        # are valid probabilities, one per candidate.
+        engine = InferenceEngine(trained[0])
+        scores = engine._fallback_scores("table_00", np.array([0, 1, 2]))
+        assert scores.shape == (3,)
+        assert np.all((scores > 0) & (scores < 1))
 
     def test_breaker_trips_and_sheds(self, trained, tiny_schema):
         model, dense, context = self._request(trained, tiny_schema)
@@ -185,6 +200,7 @@ class TestAdmissionControl:
         engine.rank_candidates(dense, context, "table_00", np.arange(10))
         health = engine.health()
         assert health["requests"] >= 1
+        assert health["batches"] >= 1
         assert set(health["breaker"]) == {
             "state",
             "failure_rate",
@@ -193,6 +209,89 @@ class TestAdmissionControl:
             "shed_requests",
         }
         assert health["breaker"]["state"] == "closed"
+
+
+class TestRequestCounters:
+    @staticmethod
+    def _request(trained, tiny_schema):
+        model, train, _test, _plan = trained
+        context = {name: train.sparse[name][0] for name in tiny_schema.table_names}
+        return model, train.dense[0], context
+
+    def test_one_ranking_is_one_request_many_batches(self, trained, tiny_schema):
+        # A chunked ranking used to inflate serve.requests by the chunk
+        # count; now one rank_candidates call is exactly one logical
+        # request while the forward calls land in serve.batches.
+        from repro.obs import get_registry
+
+        model, dense, context = self._request(trained, tiny_schema)
+        engine = InferenceEngine(model, batch_size=16)
+        registry = get_registry()
+        requests_before = registry.counter("serve.requests").value
+        batches_before = registry.counter("serve.batches").value
+        engine.rank_candidates(dense, context, "table_00", np.arange(100))
+        assert registry.counter("serve.requests").value - requests_before == 1
+        assert registry.counter("serve.batches").value - batches_before >= 100 // 16
+
+    def test_predict_proba_is_one_request(self, trained):
+        from repro.obs import get_registry
+
+        model, _train, test, _plan = trained
+        engine = InferenceEngine(model, batch_size=64)
+        registry = get_registry()
+        requests_before = registry.counter("serve.requests").value
+        batches_before = registry.counter("serve.batches").value
+        engine.predict_proba(test, indices=np.arange(200))
+        assert registry.counter("serve.requests").value - requests_before == 1
+        assert registry.counter("serve.batches").value - batches_before == 200 // 64 + 1
+
+    def test_shed_requests_record_rejection_latency(self, trained, tiny_schema):
+        from repro.obs import get_registry
+
+        model, dense, context = self._request(trained, tiny_schema)
+        engine = InferenceEngine(
+            model,
+            breaker=CircuitBreaker(
+                window=8, failure_threshold=0.5, min_requests=2, cooldown=4
+            ),
+        )
+        rejected = get_registry().histogram("serve.rejected.latency")
+        count_before = rejected.count
+        for _ in range(2):
+            engine.rank_candidates(
+                dense, context, "table_00", np.arange(40), deadline_s=1e-9
+            )
+        with pytest.raises(LoadShedError):
+            engine.rank_candidates(dense, context, "table_00", np.arange(40))
+        assert rejected.count == count_before + 1
+
+
+class TestModelInstall:
+    def test_install_swaps_model_atomically(self, trained, tiny_schema):
+        model, train, _test, plan = trained
+        engine = InferenceEngine(model, hot_bags=plan.bags)
+        context = {name: train.sparse[name][0] for name in tiny_schema.table_names}
+        before = engine.rank_candidates(
+            train.dense[0], context, "table_00", np.arange(20), top_k=20
+        )
+
+        other = DLRM(tiny_schema, DLRMConfig("4-8", "8-1", seed=99))
+        engine.install(other)
+        assert engine.model is other
+        # Hot bags were not part of the new generation.
+        with pytest.raises(RuntimeError):
+            engine.hot_request_mask(train)
+        after = engine.rank_candidates(
+            train.dense[0], context, "table_00", np.arange(20), top_k=20
+        )
+        # Different parameters, different scores — the swap was real.
+        assert not np.allclose(
+            np.sort(before.scores), np.sort(after.scores)
+        )
+
+        engine.install(model, hot_bags=plan.bags)
+        restored = engine.hot_request_mask(train)
+        np.testing.assert_array_equal(restored, plan.dataset.hot_mask)
 
 
 @pytest.fixture(scope="module")
