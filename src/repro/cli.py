@@ -23,9 +23,17 @@ Commands:
                     replica kill/slow/flap faults, hedged requests, and
                     zero-downtime mid-run generation reload.
 - ``bench``       — run the canonical perf suite (preprocess throughput,
-                    train step time + sync share, serve latency) and
-                    write a schema-versioned ``BENCH_<date>.json``;
+                    train step time + sync share, serve latency, cache
+                    popularity-shift margins) and write a
+                    schema-versioned ``BENCH_<date>.json``;
                     ``--baseline`` gates on regressions.
+- ``drift``       — run the popularity-shift scenario: a seeded day
+                    stream whose Zipf head rotates mid-run, trained by
+                    two arms under one simulated budget (frozen hot set
+                    vs online hot cache).  Prints per-day hit rates,
+                    drift flags, and turnover, plus post-shift hit /
+                    accuracy / loss margins; ``--out`` writes the
+                    byte-deterministic JSON report.
 
 ``preprocess`` and ``train`` also accept ``--trace`` to print the same
 summary tree after the run, and both report a resource summary (peak
@@ -371,6 +379,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SNAPSHOT",
         help="compare an existing snapshot instead of running the suite",
+    )
+
+    drift = sub.add_parser(
+        "drift",
+        help="run the popularity-shift scenario: online hot cache vs frozen hot set",
+    )
+    drift.add_argument("dataset", choices=_DATASET_CHOICES, nargs="?", default="criteo-kaggle")
+    drift.add_argument("--scale", default="tiny", help="paper|medium|small|tiny or a float")
+    drift.add_argument("--samples-per-day", type=int, default=1500)
+    drift.add_argument("--days", type=int, default=6, help="total days (day 0 calibrates)")
+    drift.add_argument(
+        "--shift-day", type=int, default=2, help="first day drawn from the rotated Zipf head"
+    )
+    drift.add_argument("--seed", type=int, default=12)
+    drift.add_argument(
+        "--budget-bytes", type=int, default=32 * 1024, help="GPU byte budget for hot rows"
+    )
+    drift.add_argument("--batch-size", type=int, default=64)
+    drift.add_argument(
+        "--out", default=None, help="write the full JSON report here (deterministic bytes)"
     )
 
     sim = sub.add_parser("simulate", help="price training on the paper's server")
@@ -973,6 +1001,101 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_drift(args) -> int:
+    """Run the popularity-shift scenario and summarize cache vs static.
+
+    Prints a per-day table (hit rates, batches trained, drift flags,
+    turnover) plus the post-shift margins and the refresh traffic the
+    cache shipped.  ``--out`` writes the full report as sorted-key JSON
+    whose bytes are a pure function of the flags — two same-seed runs
+    compare equal with ``cmp``.
+    """
+    from repro.resilience.atomic import atomic_write_text
+    from repro.train.popshift import PopShiftConfig, run_popularity_shift
+
+    config = PopShiftConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        samples_per_day=args.samples_per_day,
+        num_days=args.days,
+        shift_day=args.shift_day,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        budget_bytes=args.budget_bytes,
+    )
+    report = run_popularity_shift(config)
+
+    cal = report["calibration"]
+    print(
+        f"popularity shift: {args.dataset}/{args.scale} seed={args.seed} "
+        f"days={args.days} shift_day={args.shift_day}"
+    )
+    print(
+        f"calibration: threshold={cal['threshold']} "
+        f"hot_input_fraction={cal['hot_input_fraction']:.3f} "
+        f"hot_bytes={cal['hot_bytes']}"
+    )
+    print()
+    header = (
+        f"{'day':>3}  {'head':<7} {'static hit':>10} {'cached hit':>10} "
+        f"{'online':>7} {'b.stat':>6} {'b.cach':>6} {'drift':>5}  turnover"
+    )
+    print(header)
+    for entry in report["days"]:
+        turnover = entry["turnover"]
+        turn = (
+            f"+{turnover['promoted']}/-{turnover['demoted']}" if turnover else "-"
+        )
+        print(
+            f"{entry['day']:>3}  {'rotated' if entry['rotated'] else 'base':<7} "
+            f"{entry['static']['hit_rate']:>10.3f} "
+            f"{entry['cached']['hit_rate']:>10.3f} "
+            f"{entry['cached']['online_hit_rate']:>7.3f} "
+            f"{entry['static']['batches']:>6} "
+            f"{entry['cached']['batches']:>6} "
+            f"{'yes' if entry['drift']['drifted'] else 'no':>5}  {turn}"
+        )
+    post = report["post_shift"]
+    print()
+    print(
+        f"post-shift ({post['days']} days, {post['test_samples']} test samples):"
+    )
+    print(
+        f"  hot-access hit rate  static={post['static_hit_rate']:.3f} "
+        f"cached={post['cached_hit_rate']:.3f} margin={post['hit_margin']:+.3f}"
+    )
+    print(
+        f"  accuracy             static={post['static_accuracy']:.4f} "
+        f"cached={post['cached_accuracy']:.4f} margin={post['accuracy_margin']:+.4f}"
+    )
+    print(
+        f"  test loss            static={post['static_loss']:.4f} "
+        f"cached={post['cached_loss']:.4f} margin={post['loss_margin']:+.4f}"
+    )
+    added = sum(entry["added"] for entry in report["recalibration"].values())
+    removed = sum(entry["removed"] for entry in report["recalibration"].values())
+    added_bytes = sum(
+        entry["added_bytes"] for entry in report["recalibration"].values()
+    )
+    counters = report["counters"]
+    print(
+        f"  refresh traffic      +{added}/-{removed} rows "
+        f"({added_bytes} bytes) vs frozen calibration"
+    )
+    print(
+        f"  cache counters       promotions={counters['hotcache.promotions']} "
+        f"demotions={counters['hotcache.demotions']} "
+        f"rebalances={counters['hotcache.rebalances']} "
+        f"repacks={counters['hotcache.repack.events']}"
+    )
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(out, json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
 def _normalize_argv(argv: list[str] | None) -> list[str]:
     """Back-compat shim: ``repro trace <dataset/flags>`` implies ``trace run``."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -1003,6 +1126,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": cmd_trace,
         "serve-bench": cmd_serve_bench,
         "bench": cmd_bench,
+        "drift": cmd_drift,
     }
     try:
         return handlers[args.command](args)

@@ -46,6 +46,12 @@ from repro.core.fae_format import (
 )
 from repro.core.drift import DriftDetector, DriftReport, recalibration_diff
 from repro.core.sketch import CountMinSketch, SketchLogger
+from repro.core.hotcache import (
+    CacheDelta,
+    EmbeddingHotCache,
+    HotCacheConfig,
+    repack_remaining,
+)
 from repro.core.memory_planner import MemoryPlan, plan_memory_budget
 from repro.core.streaming import ReservoirSampler, StreamingCalibrator, StreamingPacker
 from repro.core.allocation import Allocation, greedy_product_allocation, threshold_allocation
@@ -59,16 +65,19 @@ __all__ = [
     "BernoulliSampleStream",
     "CalibrationResult",
     "Calibrator",
+    "CacheDelta",
     "CountMinSketch",
     "DriftDetector",
     "DriftReport",
     "EmbeddingClassifier",
     "EmbeddingLogger",
+    "EmbeddingHotCache",
     "EmbeddingReplicator",
     "FAEConfig",
     "FAEDataset",
     "FAEPlan",
     "HotBag",
+    "HotCacheConfig",
     "HotEmbeddingBag",
     "HotEmbeddingBagSpec",
     "HotSizeEstimate",
@@ -94,6 +103,7 @@ __all__ = [
     "load_fae_dataset",
     "plan_memory_budget",
     "recalibration_diff",
+    "repack_remaining",
     "save_fae_dataset",
     "save_fae_dataset_sharded",
     "threshold_allocation",

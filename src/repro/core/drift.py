@@ -119,6 +119,19 @@ class DriftDetector:
             drifted=relative_drop > self.tolerance,
         )
 
+    def check_source(self, source):
+        """Run one drift check per chunk of a day-partitioned source.
+
+        Iterates any :class:`~repro.data.chunk_source.ChunkSource` —
+        typically a :class:`~repro.data.chunk_source.ShardChunkSource`
+        whose shards are whole days — and yields
+        ``(chunk_index, DriftReport)`` pairs, so callers can pinpoint
+        *which* day's traffic broke coverage and trigger hot-cache
+        turnover there instead of recalibrating on a timer.
+        """
+        for index, (_start, chunk) in enumerate(source):
+            yield index, self.check(chunk)
+
 
 def recalibration_diff(
     old_bags: dict[str, HotEmbeddingBagSpec],

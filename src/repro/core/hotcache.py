@@ -1,0 +1,615 @@
+"""Online frequency-aware embedding hot cache.
+
+FAE classifies hot rows once, at calibration time, and the paper itself
+concedes the weakness: hotness "needs to be re-calibrated for every
+model, dataset, and system configuration tuple".  Under drifting traffic
+a frozen hot set silently decays — hot-input fraction collapses, the
+scheduler degenerates to the cold path, and the speedup evaporates.
+
+:class:`EmbeddingHotCache` replaces the frozen
+:class:`~repro.core.classifier.HotEmbeddingBagSpec` set with a *bounded,
+stateful* cache over the same spec type:
+
+- **admission is LFU** — an uncached row is admitted when its estimated
+  frequency beats the current victim's exact counter (the TinyLFU
+  admission test), or for free while budget remains;
+- **eviction is LFU or LRU** — the victim is the member with the lowest
+  exact counter (``"lfu"``) or the oldest last-access tick (``"lru"``);
+- **frequency state is two-tier** — cached rows keep exact decayed
+  counters (bounded by the cache size), while the uncached universe is
+  tracked by a decayed :class:`~repro.core.sketch.CountMinSketch`
+  (bounded by ``width x depth``), so total tracking memory never scales
+  with table cardinality;
+- **turnover is incremental** — :meth:`rebalance` returns a
+  :class:`CacheDelta` of promoted/demoted row ids; the replicator ships
+  only the delta and the trainers re-pack only the inputs that touch it,
+  instead of re-running the whole preprocess.
+
+Whole-table bags (small tables) are *pinned*: always resident, never
+candidates for eviction — exactly the de-facto-hot treatment the static
+classifier gives them.
+
+Determinism: no wall clock anywhere.  Recency is a logical tick counter,
+ties break on ``(priority, table, id)``, and the sketch's floor-decay is
+integral — two runs with the same seed and traffic are byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.classifier import HotEmbeddingBagSpec
+from repro.core.input_processor import FAEDataset, _cut_batches, compute_hot_mask
+from repro.core.sketch import CountMinSketch
+from repro.obs import get_registry, span
+
+__all__ = ["HotCacheConfig", "CacheDelta", "EmbeddingHotCache", "repack_remaining"]
+
+
+@dataclass(frozen=True)
+class HotCacheConfig:
+    """Knobs of the online hot cache.
+
+    Attributes:
+        budget_bytes: total GPU bytes for hot rows (pinned whole-table
+            bags included; tracked rows compete for what remains).
+        eviction: victim-selection policy, ``"lfu"`` (lowest exact
+            counter) or ``"lru"`` (oldest last-access tick).  Admission
+            is LFU either way: the candidate must out-count the victim.
+        decay: aging multiplier applied to every frequency counter (exact
+            and sketched) at the end of each rebalance, in ``(0, 1]``.
+            1.0 disables aging (lifetime counts).
+        rebalance_every: observed inputs between automatic rebalances
+            (``should_rebalance`` turns true); 0 means rebalance only
+            when a caller forces it (drift-triggered turnover).
+        sketch_width: counters per sketch row for the uncached universe.
+        sketch_depth: hash rows per sketch.
+        seed: sketch hash seed.
+    """
+
+    budget_bytes: int
+    eviction: str = "lfu"
+    decay: float = 0.5
+    rebalance_every: int = 0
+    sketch_width: int = 1024
+    sketch_depth: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget_bytes < 0:
+            raise ValueError("budget_bytes must be non-negative")
+        if self.eviction not in ("lfu", "lru"):
+            raise ValueError(f"eviction must be 'lfu' or 'lru', got {self.eviction!r}")
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {self.decay}")
+        if self.rebalance_every < 0:
+            raise ValueError("rebalance_every must be non-negative")
+
+
+@dataclass(frozen=True)
+class CacheDelta:
+    """Membership change of one rebalance: per-table promoted/demoted ids.
+
+    Attributes:
+        promoted: table name -> sorted int64 row ids entering the cache.
+        demoted: table name -> sorted int64 row ids leaving the cache.
+    """
+
+    promoted: dict[str, np.ndarray] = field(default_factory=dict)
+    demoted: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def num_promoted(self) -> int:
+        return sum(ids.size for ids in self.promoted.values())
+
+    @property
+    def num_demoted(self) -> int:
+        return sum(ids.size for ids in self.demoted.values())
+
+    @property
+    def is_empty(self) -> bool:
+        return self.num_promoted == 0 and self.num_demoted == 0
+
+    def tables(self) -> list[str]:
+        """Tables whose membership actually changed (sorted)."""
+        changed = {
+            name
+            for mapping in (self.promoted, self.demoted)
+            for name, ids in mapping.items()
+            if ids.size
+        }
+        return sorted(changed)
+
+
+class EmbeddingHotCache:
+    """Bounded online cache over per-table hot-row membership.
+
+    Args:
+        bags: initial population — the classifier's hot bag specs.
+            Whole-table bags are pinned; the rest become tracked members.
+        config: cache knobs.
+        profile: optional :class:`~repro.core.access_profile.AccessProfile`
+            from calibration; when given, initial members inherit their
+            sampled access counts as exact counters (otherwise they start
+            at 1 and earn their keep from live traffic).
+    """
+
+    def __init__(
+        self,
+        bags: dict[str, HotEmbeddingBagSpec],
+        config: HotCacheConfig,
+        profile=None,
+    ) -> None:
+        self.config = config
+        self.version = 0  # bumped on every membership change
+        self.tick = 0  # logical clock: one tick per observe() call
+        self._pinned: dict[str, HotEmbeddingBagSpec] = {}
+        self._members: dict[str, np.ndarray] = {}
+        self._freq: dict[str, np.ndarray] = {}
+        self._last_tick: dict[str, np.ndarray] = {}
+        self._sketch: dict[str, CountMinSketch] = {}
+        self._pending: dict[str, list[np.ndarray]] = {}
+        self._dims: dict[str, int] = {}
+        self._num_rows: dict[str, int] = {}
+        for name in sorted(bags):
+            bag = bags[name]
+            if bag.whole_table:
+                self._pinned[name] = bag
+                continue
+            self._dims[name] = bag.dim
+            self._num_rows[name] = bag.num_rows
+            members = np.asarray(bag.hot_ids, dtype=np.int64)
+            self._members[name] = np.sort(members)
+            counts = None
+            if profile is not None:
+                table_profile = profile.tables.get(name)
+                if table_profile is not None:
+                    counts = table_profile.counts[self._members[name]].astype(np.float64)
+            if counts is None:
+                counts = np.ones(members.size, dtype=np.float64)
+            self._freq[name] = counts
+            self._last_tick[name] = np.zeros(members.size, dtype=np.int64)
+            self._sketch[name] = CountMinSketch(
+                width=config.sketch_width, depth=config.sketch_depth, seed=config.seed
+            )
+            self._pending[name] = []
+
+        pinned_bytes = sum(bag.nbytes for bag in self._pinned.values())
+        self._tracked_budget = max(0, config.budget_bytes - pinned_bytes)
+
+        self.hits = 0
+        self.misses = 0
+        self.promotions = 0
+        self.demotions = 0
+        self.rebalances = 0
+        self.window_inputs = 0
+
+        registry = get_registry()
+        self._hits_counter = registry.counter("hotcache.hits")
+        self._misses_counter = registry.counter("hotcache.misses")
+        self._promotions_counter = registry.counter("hotcache.promotions")
+        self._demotions_counter = registry.counter("hotcache.demotions")
+        self._evictions_counter = registry.counter("hotcache.evictions")
+        self._rebalances_counter = registry.counter("hotcache.rebalances")
+        self._rows_gauge = registry.gauge("hotcache.rows")
+        self._bytes_gauge = registry.gauge("hotcache.bytes")
+        self._hit_rate_gauge = registry.gauge("hotcache.hit_rate")
+        self._update_gauges()
+
+    @classmethod
+    def from_schema(
+        cls,
+        schema,
+        config: HotCacheConfig,
+        large_table_min_bytes: int = 1 << 20,
+    ) -> EmbeddingHotCache:
+        """Cold-start a cache straight from a schema (no calibration).
+
+        Small tables (below ``large_table_min_bytes``) are pinned whole,
+        mirroring the classifier's treatment; large tables start with
+        empty membership and fill from live traffic via :meth:`rebalance`.
+        """
+        bags: dict[str, HotEmbeddingBagSpec] = {}
+        for spec in schema.tables:
+            whole = spec.num_rows * spec.dim * 4 < large_table_min_bytes
+            bags[spec.name] = HotEmbeddingBagSpec(
+                table_name=spec.name,
+                hot_ids=np.arange(spec.num_rows, dtype=np.int64)
+                if whole
+                else np.zeros(0, dtype=np.int64),
+                num_rows=spec.num_rows,
+                dim=spec.dim,
+                whole_table=whole,
+            )
+        return cls(bags, config)
+
+    # ------------------------------------------------------------------
+    # Observation (the read path)
+    # ------------------------------------------------------------------
+
+    def observe(self, sparse: dict[str, np.ndarray]) -> None:
+        """Record one window of lookups (e.g. a mini-batch's sparse ids).
+
+        Hits bump the member's exact counter and last-access tick; misses
+        feed the uncached sketch and join the promotion-candidate window.
+        Pinned (whole-table) lookups always hit.
+        """
+        self.tick += 1
+        num_inputs = 0
+        for name, ids in sparse.items():
+            flat = np.asarray(ids, dtype=np.int64).ravel()
+            if flat.size == 0:
+                continue
+            num_inputs = max(num_inputs, np.asarray(ids).shape[0])
+            if name in self._pinned:
+                self.hits += int(flat.size)
+                self._hits_counter.inc(int(flat.size))
+                continue
+            members = self._members.get(name)
+            if members is None:
+                continue  # table not under cache management
+            positions = np.searchsorted(members, flat)
+            in_range = positions < members.size
+            hit = in_range.copy()
+            hit[in_range] = members[positions[in_range]] == flat[in_range]
+            num_hits = int(np.count_nonzero(hit))
+            num_misses = int(flat.size - num_hits)
+            if num_hits:
+                np.add.at(self._freq[name], positions[hit], 1.0)
+                self._last_tick[name][positions[hit]] = self.tick
+            if num_misses:
+                missed = flat[~hit]
+                self._sketch[name].add(missed)
+                self._pending[name].append(missed.copy())
+            self.hits += num_hits
+            self.misses += num_misses
+            self._hits_counter.inc(num_hits)
+            self._misses_counter.inc(num_misses)
+        self.window_inputs += num_inputs
+        total = self.hits + self.misses
+        if total:
+            self._hit_rate_gauge.set(self.hits / total)
+
+    def contains(self, table_name: str, ids: np.ndarray) -> np.ndarray:
+        """Vectorized membership test (pinned tables are always hot)."""
+        flat = np.asarray(ids, dtype=np.int64)
+        if table_name in self._pinned:
+            return np.ones(flat.shape, dtype=bool)
+        members = self._members[table_name]
+        positions = np.searchsorted(members, flat)
+        in_range = positions < members.size
+        result = in_range.copy()
+        result[in_range] = members[positions[in_range]] == flat[in_range]
+        return result
+
+    # ------------------------------------------------------------------
+    # Turnover (the write path)
+    # ------------------------------------------------------------------
+
+    def should_rebalance(self) -> bool:
+        """True when the auto-rebalance window is full."""
+        return (
+            self.config.rebalance_every > 0
+            and self.window_inputs >= self.config.rebalance_every
+        )
+
+    def rebalance(self) -> CacheDelta:
+        """One LFU-admission / LFU-or-LRU-eviction turnover pass.
+
+        Candidates are the window's missed ids, scored by the sketch and
+        considered in descending-estimate order.  Each is admitted for
+        free while tracked budget remains; once full, it must strictly
+        out-count the eviction victim (lowest exact counter under
+        ``"lfu"``, oldest tick under ``"lru"``) to swap in.  Afterwards
+        every frequency counter — exact and sketched — ages by the decay
+        factor, and the window resets.
+
+        Returns:
+            The per-table promoted/demoted ids (possibly empty).
+        """
+        with span("hotcache.rebalance", tick=self.tick):
+            delta = self._rebalance()
+        self.rebalances += 1
+        self._rebalances_counter.inc()
+        if not delta.is_empty:
+            self.version += 1
+        self._update_gauges()
+        return delta
+
+    def _rebalance(self) -> CacheDelta:
+        names = sorted(self._members)
+        name_code = {name: i for i, name in enumerate(names)}
+
+        # Flatten current members into parallel arrays for victim search.
+        m_code_parts, m_id_parts, m_freq_parts, m_tick_parts = [], [], [], []
+        for name in names:
+            members = self._members[name]
+            m_code_parts.append(np.full(members.size, name_code[name], dtype=np.int64))
+            m_id_parts.append(members)
+            m_freq_parts.append(self._freq[name])
+            m_tick_parts.append(self._last_tick[name])
+        m_code = np.concatenate(m_code_parts) if m_code_parts else np.zeros(0, np.int64)
+        m_id = np.concatenate(m_id_parts) if m_id_parts else np.zeros(0, np.int64)
+        m_freq = (
+            np.concatenate(m_freq_parts) if m_freq_parts else np.zeros(0, np.float64)
+        )
+        m_tick = np.concatenate(m_tick_parts) if m_tick_parts else np.zeros(0, np.int64)
+        m_bytes = np.array(
+            [self._dims[names[int(c)]] * 4 for c in m_code], dtype=np.int64
+        )
+        alive = np.ones(m_id.size, dtype=bool)
+
+        # Window candidates: unique missed ids, scored by the sketch.
+        c_code_parts, c_id_parts, c_est_parts = [], [], []
+        for name in names:
+            pending = self._pending[name]
+            if not pending:
+                continue
+            cand = np.unique(np.concatenate(pending))
+            if cand.size == 0:
+                continue
+            est = self._sketch[name].query(cand).astype(np.float64)
+            c_code_parts.append(np.full(cand.size, name_code[name], dtype=np.int64))
+            c_id_parts.append(cand)
+            c_est_parts.append(est)
+        if not c_id_parts:
+            self._finish_window(names)
+            return CacheDelta()
+        c_code = np.concatenate(c_code_parts)
+        c_id = np.concatenate(c_id_parts)
+        c_est = np.concatenate(c_est_parts)
+        # Admission order: best estimate first, ties by (table, id).
+        order = np.lexsort((c_id, c_code, -c_est))
+
+        used = int(np.sum(m_bytes[alive])) if m_id.size else 0
+        spare = self._tracked_budget - used
+
+        # Victim priority: exact counter under LFU, last tick under LRU.
+        priority = m_freq if self.config.eviction == "lfu" else m_tick.astype(np.float64)
+
+        admitted: list[tuple[int, int, float]] = []  # (code, id, est)
+        evicted_idx: list[int] = []
+        for pos in order:
+            code = int(c_code[pos])
+            row_bytes = self._dims[names[code]] * 4
+            est = float(c_est[pos])
+            while spare < row_bytes and alive.any():
+                masked = np.where(alive, priority, np.inf)
+                victim = int(np.argmin(masked))
+                # LFU admission test: the candidate must strictly
+                # out-count the victim's exact counter, or it stays out.
+                if est <= float(m_freq[victim]):
+                    break
+                alive[victim] = False
+                evicted_idx.append(victim)
+                spare += int(m_bytes[victim])
+            if spare >= row_bytes:
+                admitted.append((code, int(c_id[pos]), est))
+                spare -= row_bytes
+
+        promoted: dict[str, np.ndarray] = {}
+        demoted: dict[str, np.ndarray] = {}
+        for i, name in enumerate(names):
+            promo = np.array(
+                sorted(cid for code, cid, _ in admitted if code == i), dtype=np.int64
+            )
+            demo_idx = [j for j in evicted_idx if int(m_code[j]) == i]
+            demo = np.sort(m_id[demo_idx].astype(np.int64)) if demo_idx else np.zeros(
+                0, dtype=np.int64
+            )
+            if promo.size:
+                promoted[name] = promo
+            if demo.size:
+                demoted[name] = demo
+            if not promo.size and not demo.size:
+                continue
+
+            # Demoted rows hand their exact counters back to the sketch,
+            # so their popularity history survives the demotion.
+            if demo.size:
+                counts = np.floor(m_freq[demo_idx]).astype(np.int64)
+                self._sketch[name].add(demo, counts=counts)
+
+            keep = np.isin(self._members[name], demo, assume_unique=True, invert=True)
+            kept_ids = self._members[name][keep]
+            kept_freq = self._freq[name][keep]
+            kept_tick = self._last_tick[name][keep]
+            promo_est = np.array(
+                [e for code, cid, e in admitted if code == i], dtype=np.float64
+            )
+            promo_ids_unsorted = np.array(
+                [cid for code, cid, _ in admitted if code == i], dtype=np.int64
+            )
+            merged = np.concatenate([kept_ids, promo_ids_unsorted])
+            merged_freq = np.concatenate([kept_freq, promo_est])
+            merged_tick = np.concatenate(
+                [kept_tick, np.full(promo_ids_unsorted.size, self.tick, dtype=np.int64)]
+            )
+            sorter = np.argsort(merged, kind="stable")
+            self._members[name] = merged[sorter]
+            self._freq[name] = merged_freq[sorter]
+            self._last_tick[name] = merged_tick[sorter]
+
+        num_promoted = sum(ids.size for ids in promoted.values())
+        num_demoted = sum(ids.size for ids in demoted.values())
+        self.promotions += num_promoted
+        self.demotions += num_demoted
+        self._promotions_counter.inc(num_promoted)
+        self._demotions_counter.inc(num_demoted)
+        self._evictions_counter.inc(num_demoted)
+
+        self._finish_window(names)
+        return CacheDelta(promoted=promoted, demoted=demoted)
+
+    def _finish_window(self, names: list[str]) -> None:
+        """Age every counter and reset the observation window."""
+        decay = self.config.decay
+        for name in names:
+            self._pending[name] = []
+            if decay < 1.0:
+                self._freq[name] = self._freq[name] * decay
+                self._sketch[name].decay(decay)
+        self.window_inputs = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def bags(self) -> dict[str, HotEmbeddingBagSpec]:
+        """Current membership as classifier-compatible bag specs.
+
+        Everything downstream of the classifier — replicator, input
+        processor, drift detector, serving engine — consumes this exact
+        surface, which is what makes the cache a drop-in replacement for
+        the frozen hot set.
+        """
+        bags: dict[str, HotEmbeddingBagSpec] = dict(self._pinned)
+        for name, members in self._members.items():
+            bags[name] = HotEmbeddingBagSpec(
+                table_name=name,
+                hot_ids=members.copy(),
+                num_rows=self._num_rows[name],
+                dim=self._dims[name],
+                whole_table=members.size == self._num_rows[name],
+            )
+        return bags
+
+    @property
+    def hot_rows(self) -> int:
+        pinned = sum(bag.num_hot for bag in self._pinned.values())
+        return pinned + sum(int(m.size) for m in self._members.values())
+
+    @property
+    def hot_bytes(self) -> int:
+        pinned = sum(bag.nbytes for bag in self._pinned.values())
+        tracked = sum(
+            int(m.size) * self._dims[name] * 4 for name, m in self._members.items()
+        )
+        return pinned + tracked
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """JSON-ready cache snapshot (instance-local, not registry-global)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate(),
+            "hot_rows": self.hot_rows,
+            "hot_bytes": self.hot_bytes,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "rebalances": self.rebalances,
+            "version": self.version,
+        }
+
+    def _update_gauges(self) -> None:
+        self._rows_gauge.set(self.hot_rows)
+        self._bytes_gauge.set(self.hot_bytes)
+
+
+def repack_remaining(
+    train_log,
+    dataset: FAEDataset,
+    cursors: dict[str, int],
+    delta: CacheDelta,
+    new_bags: dict[str, HotEmbeddingBagSpec],
+) -> tuple[FAEDataset, dict[str, int]]:
+    """Re-pack only the *remaining* batches after a cache turnover.
+
+    Instead of reclassifying the whole log, only inputs that touch a
+    promoted or demoted row can change sides:
+
+    - a hot input flips cold iff it touches a demoted id (its other
+      lookups were members and stayed members);
+    - a cold input can flip hot only if it touches a promoted id (some
+      lookup was a non-member, and only promotions add members) — those
+      are re-checked in full against the new membership.
+
+    Untouched inputs keep their classification, so the repack cost scales
+    with the delta's traffic, not the dataset.  Batch order within each
+    stream is preserved (no reshuffle): flipped-cold inputs append to the
+    cold stream, flipped-hot inputs append to the hot stream.
+
+    Returns:
+        The repacked dataset (remaining inputs only, cursors reset to 0)
+        and the fresh cursor dict.
+    """
+    hot_remaining = list(dataset.hot_batches[cursors["hot"] :])
+    cold_remaining = list(dataset.cold_batches[cursors["cold"] :])
+    idx_hot = (
+        np.concatenate(hot_remaining) if hot_remaining else np.zeros(0, dtype=np.int64)
+    )
+    idx_cold = (
+        np.concatenate(cold_remaining)
+        if cold_remaining
+        else np.zeros(0, dtype=np.int64)
+    )
+
+    demoted_mask = {
+        name: _row_mask(new_bags[name].num_rows, ids)
+        for name, ids in delta.demoted.items()
+        if ids.size
+    }
+    promoted_mask = {
+        name: _row_mask(new_bags[name].num_rows, ids)
+        for name, ids in delta.promoted.items()
+        if ids.size
+    }
+    new_masks = {name: bag.hot_mask() for name, bag in new_bags.items()}
+
+    # Hot side: anything touching a demoted row is cold now, by definition.
+    if idx_hot.size and demoted_mask:
+        touched_hot = _touches(train_log, idx_hot, demoted_mask)
+    else:
+        touched_hot = np.zeros(idx_hot.size, dtype=bool)
+
+    # Cold side: only inputs touching a promoted row can have flipped;
+    # re-check those in full (their other lookups may still be cold).
+    now_hot = np.zeros(idx_cold.size, dtype=bool)
+    if idx_cold.size and promoted_mask:
+        touched_cold = _touches(train_log, idx_cold, promoted_mask)
+        check = idx_cold[touched_cold]
+        if check.size:
+            sparse = {name: ids[check] for name, ids in train_log.sparse.items()}
+            now_hot[touched_cold] = compute_hot_mask(
+                sparse, new_bags, new_masks, check.size
+            )
+
+    new_hot_idx = np.concatenate([idx_hot[~touched_hot], idx_cold[now_hot]])
+    new_cold_idx = np.concatenate([idx_cold[~now_hot], idx_hot[touched_hot]])
+
+    hot_mask = np.array(dataset.hot_mask, dtype=bool, copy=True)
+    hot_mask[idx_hot[touched_hot]] = False
+    hot_mask[idx_cold[now_hot]] = True
+
+    repacked = FAEDataset(
+        hot_batches=_cut_batches(new_hot_idx, dataset.batch_size, drop_last=False),
+        cold_batches=_cut_batches(new_cold_idx, dataset.batch_size, drop_last=False),
+        hot_mask=hot_mask,
+        batch_size=dataset.batch_size,
+    )
+    registry = get_registry()
+    registry.counter("hotcache.repack.events").inc()
+    registry.counter("hotcache.repack.flipped_inputs").inc(
+        int(np.count_nonzero(touched_hot)) + int(np.count_nonzero(now_hot))
+    )
+    return repacked, {"hot": 0, "cold": 0}
+
+
+def _row_mask(num_rows: int, ids: np.ndarray) -> np.ndarray:
+    mask = np.zeros(num_rows, dtype=bool)
+    mask[ids] = True
+    return mask
+
+
+def _touches(train_log, indices: np.ndarray, row_masks: dict[str, np.ndarray]) -> np.ndarray:
+    """Which of ``indices`` perform any lookup into the masked rows."""
+    touched = np.zeros(indices.size, dtype=bool)
+    for name, mask in row_masks.items():
+        touched |= mask[train_log.sparse[name][indices]].any(axis=1)
+    return touched

@@ -252,6 +252,55 @@ class EmbeddingReplicator:
         get_registry().counter("fae.hot.evictions").inc()
         return released
 
+    def apply_delta(self, new_specs: dict[str, HotEmbeddingBagSpec], delta) -> int:
+        """Incrementally refresh replicas after a hot-cache turnover.
+
+        Only tables whose membership changed are rebuilt; the rest keep
+        their existing bags untouched.  The refresh traffic charged to
+        the interconnect is the *promoted* rows shipped to every replica
+        — demoted rows already live in the CPU masters (callers invoke
+        this at segment boundaries, after :meth:`sync_to_master`), so
+        demotion is free beyond the bookkeeping.
+
+        The in-memory rebuild copies whole bags because this simulator
+        stores bags as dense arrays; the metered bytes model what an
+        incremental implementation would actually move.
+
+        Args:
+            new_specs: full post-turnover bag specs (from
+                ``EmbeddingHotCache.bags()``).
+            delta: the ``CacheDelta`` describing promotions/demotions.
+
+        Returns:
+            Refresh bytes shipped across all replicas.
+        """
+        changed = delta.tables()
+        registry = get_registry()
+        if self.evicted:
+            # Degraded runs stay cold: track membership for bookkeeping
+            # but ship nothing.
+            self.bag_specs = dict(new_specs)
+            return 0
+        moved = 0
+        with span("replicate.refresh", num_tables=len(changed)) as refresh_span:
+            for name in changed:
+                spec = new_specs[name]
+                values = self.tables[name].subset(spec.hot_ids)
+                for replica_id in range(len(self.replicas)):
+                    self.replicas[replica_id][name] = HotBag(
+                        spec, values, replica_id=replica_id
+                    )
+                promoted = delta.promoted.get(name)
+                if promoted is not None and promoted.size:
+                    moved += int(promoted.size) * spec.dim * 4 * len(self.replicas)
+            refresh_span.set(bytes=moved)
+        self.bag_specs = dict(new_specs)
+        registry.counter("fae.refresh.events").inc()
+        registry.counter("fae.refresh.bytes").inc(moved)
+        registry.counter("fae.refresh.rows.promoted").inc(delta.num_promoted)
+        registry.counter("fae.refresh.rows.demoted").inc(delta.num_demoted)
+        return moved
+
     def all_reduce_gradients(self) -> None:
         """Sum sparse gradients across replicas and share the result.
 

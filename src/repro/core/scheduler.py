@@ -139,6 +139,26 @@ class ShuffleScheduler:
                 return
             yield segment
 
+    def repack_pools(self, num_hot_batches: int, num_cold_batches: int) -> None:
+        """Swap in freshly re-packed pools after a hot-cache turnover.
+
+        The trainer re-packs its *remaining* batches when cache
+        membership changes mid-epoch; the scheduler adopts the new pool
+        sizes as both totals and remaining counts (the repacked dataset
+        starts from cursor 0).  Rate, adaptation state, and history all
+        persist — only the pool geometry changes.  Later epochs iterate
+        the most recently repacked pools: :meth:`reset_epoch` refills to
+        the new totals, which matches the repacked dataset the trainer
+        keeps.
+        """
+        if num_hot_batches < 0 or num_cold_batches < 0:
+            raise ValueError("batch pool sizes must be non-negative")
+        self.total_hot = num_hot_batches
+        self.total_cold = num_cold_batches
+        self.remaining_hot = num_hot_batches
+        self.remaining_cold = num_cold_batches
+        get_registry().counter("scheduler.repacks").inc()
+
     # ------------------------------------------------------------------
     # Rate adaptation (Eq. 7)
     # ------------------------------------------------------------------

@@ -66,15 +66,54 @@ class CountMinSketch:
         hashed = (self._a[:, None] * ids[None, :] + self._b[:, None]) % self._PRIME
         return (hashed % self.width).astype(np.int64)
 
-    def add(self, ids: np.ndarray) -> None:
-        """Count one access for every id in ``ids`` (duplicates counted)."""
+    def add(self, ids: np.ndarray, counts: np.ndarray | None = None) -> None:
+        """Count accesses for every id in ``ids`` (duplicates counted).
+
+        Args:
+            ids: item ids; flattened before counting.
+            counts: optional per-id weights (one access each when None).
+                The hot cache uses this to re-inject a demoted row's exact
+                counter back into the sketch, so its popularity history
+                survives the demotion.
+        """
         ids = np.asarray(ids, dtype=np.int64).ravel()
         if ids.size == 0:
             return
+        if counts is None:
+            weights: np.ndarray | int = 1
+            added = int(ids.size)
+        else:
+            weights = np.asarray(counts, dtype=np.int64).ravel()
+            if weights.shape != ids.shape:
+                raise ValueError(
+                    f"counts shape {weights.shape} != ids shape {ids.shape}"
+                )
+            if weights.size and int(weights.min()) < 0:
+                raise ValueError("counts must be non-negative")
+            added = int(weights.sum())
         buckets = self._buckets(ids)
         for row in range(self.depth):
-            np.add.at(self.table[row], buckets[row], 1)
-        self.total += int(ids.size)
+            np.add.at(self.table[row], buckets[row], weights)
+        self.total += added
+
+    def decay(self, factor: float) -> None:
+        """Exponentially age every counter: ``table = floor(table * factor)``.
+
+        Periodic decay turns the sketch's lifetime counts into
+        recency-weighted estimates (the aging trick CAFE applies to its
+        hot-tracking sketch): rows that stopped appearing shrink toward
+        zero geometrically, so a rotated popularity head overtakes the old
+        one after a few windows instead of never.  The floor keeps
+        counters integral — estimates stay deterministic and never
+        undercount the *decayed* truth (every true count passed through
+        the same floor-scaling).
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"decay factor must be in (0, 1], got {factor}")
+        if factor == 1.0:
+            return
+        self.table = np.floor(self.table * factor).astype(np.int64)
+        self.total = int(np.floor(self.total * factor))
 
     def query(self, ids: np.ndarray) -> np.ndarray:
         """Estimated counts (never below the true counts)."""

@@ -39,6 +39,7 @@ from repro.data.formats import (
     parse_criteo_tsv,
     parse_taobao_events,
 )
+from repro.data.shift import popularity_shift_days, write_day_shards
 from repro.data.validate import ValidatingChunkSource, validated_log
 
 __all__ = [
@@ -68,8 +69,10 @@ __all__ = [
     "criteo_terabyte_like",
     "dataset_by_name",
     "fit_zipf_exponent",
+    "popularity_shift_days",
     "taobao_like",
     "train_test_split",
+    "write_day_shards",
     "zipf_head_share",
     "zipf_probabilities",
 ]

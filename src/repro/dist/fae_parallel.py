@@ -41,6 +41,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro.core.hotcache import EmbeddingHotCache, repack_remaining
 from repro.core.pipeline import FAEPlan
 from repro.core.replicator import EmbeddingReplicator
 from repro.core.scheduler import ShuffleScheduler
@@ -96,6 +97,10 @@ class DistributedFAETrainer:
         event_log: optional
             :class:`~repro.resilience.elastic.SupervisorEventLog`;
             rank deaths and rejoins are appended to it.
+        cache: optional :class:`~repro.core.hotcache.EmbeddingHotCache`;
+            same contract as the single-device trainer — batches feed the
+            cache and a full window triggers a segment-boundary rebalance
+            with delta replication and remaining-batch repack.
     """
 
     def __init__(
@@ -109,6 +114,7 @@ class DistributedFAETrainer:
         guards: NumericGuard | None = None,
         rejoin: bool = False,
         event_log=None,
+        cache: EmbeddingHotCache | None = None,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
@@ -119,6 +125,7 @@ class DistributedFAETrainer:
         self.fault_plan = fault_plan
         self.retry = retry
         self.guards = guards
+        self.cache = cache
         # Set by the CLI so GuardAbort can point at the quarantine ledger.
         self.guard_ledger_path: str | None = None
         self.group = ProcessGroup(
@@ -487,6 +494,16 @@ class DistributedFAETrainer:
             resume: checkpoint path or :class:`TrainerCheckpoint` to
                 continue from, or None for a fresh run.
         """
+        if self.cache is not None and (
+            self.guards is not None or checkpoint is not None or resume is not None
+        ):
+            # A rebalance changes the pool geometry mid-epoch, so a
+            # checkpoint's scheduler state no longer matches, and the
+            # cache's sketch/counter state is not checkpointable yet.
+            raise ValueError(
+                "hot-cache training does not compose with guards or "
+                "checkpoint/resume; run them separately"
+            )
         if self.guards is None:
             return self._train(train_log, test_log, epochs, eval_samples, checkpoint, resume)
         if epochs <= 0:
@@ -629,6 +646,16 @@ class DistributedFAETrainer:
                 losses = []
                 start = cursors[pool_name]
                 for index_array in pool[start : start + segment.num_batches]:
+                    if self.cache is not None:
+                        # Observe the untrimmed, uncorrupted lookups once
+                        # per mini-batch (rank-death retries must not
+                        # double-count).
+                        self.cache.observe(
+                            {
+                                name: ids[index_array]
+                                for name, ids in train_log.sparse.items()
+                            }
+                        )
                     loss = None
                     while True:
                         # Data parallelism needs equal shards: trim trailing
@@ -716,6 +743,32 @@ class DistributedFAETrainer:
                     # carrying NaN/Inf — rollback must not restore poison.
                     if self.guards is None or self.guards.state_ok(snapshot.params):
                         checkpoint.save(snapshot)
+
+                # Cache turnover at the segment boundary: the masters are
+                # authoritative here (hot rows flushed before evaluation),
+                # so promotions pull fresh values and demotions are free.
+                if (
+                    self.cache is not None
+                    and not scheduler.degraded
+                    and self.cache.should_rebalance()
+                ):
+                    delta = self.cache.rebalance()
+                    if not delta.is_empty:
+                        if mode == "hot":
+                            # Old hot bags are about to be rebuilt; fall
+                            # back to the (current) masters on every rank.
+                            for model, bags in zip(self.replicas, self._cold_bags):
+                                for name, bag in bags.items():
+                                    model.set_bag(name, bag)
+                            mode = "cold"
+                        new_bags = self.cache.bags()
+                        self.replicator.apply_delta(new_bags, delta)
+                        dataset, cursors = repack_remaining(
+                            train_log, dataset, cursors, delta, new_bags
+                        )
+                        scheduler.repack_pools(
+                            len(dataset.hot_batches), len(dataset.cold_batches)
+                        )
 
         if mode == "hot":
             sync_bytes += self._install_cold()

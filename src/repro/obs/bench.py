@@ -11,7 +11,10 @@ into a schema-versioned ``BENCH_<date>.json`` snapshot:
   hot<->cold sync overhead share, attributed from a live trace via the
   analyzer (total ``replicate.sync`` span time over root wall time);
 - **serve** — inference-engine batch-scoring latency percentiles and
-  row throughput, measured on the wall clock.
+  row throughput, measured on the wall clock;
+- **cache** — popularity-shift margins of the online hot cache over the
+  frozen hot set (post-shift hit rate and hit margin are the gated
+  metrics; accuracy/loss margins ride along for trend spotting).
 
 ``compare_bench`` diffs two snapshots over a fixed metric list, each
 tagged with its good direction (throughput up, latency down), and flags
@@ -77,6 +80,9 @@ class BenchConfig:
     serve_batch_size: int = 512
     budget_bytes: int = 256 * 1024
     large_table_min_bytes: int = 1024
+    cache_samples_per_day: int = 1500
+    cache_days: int = 6
+    cache_shift_day: int = 2
 
     @classmethod
     def quick_preset(cls, seed: int = 7) -> BenchConfig:
@@ -89,6 +95,9 @@ class BenchConfig:
             train_samples=2_500,
             serve_batches=100,
             serve_batch_size=256,
+            cache_samples_per_day=600,
+            cache_days=3,
+            cache_shift_day=1,
         )
 
     @classmethod
@@ -226,6 +235,45 @@ def bench_serve(config: BenchConfig) -> dict:
     }
 
 
+def bench_cache(config: BenchConfig) -> dict:
+    """Popularity-shift margins: online hot cache vs frozen hot set.
+
+    Always runs the canonical tiny-scale scenario (the shape the cache
+    was tuned on) with sizes from the config; ``hit_margin`` and
+    ``cached_hit_rate`` are the gated metrics — they are a structural
+    consequence of cache turnover and stable across seeds, while the
+    accuracy/loss margins (also reported) need the pinned default seed
+    and the full day count to rise above evaluation noise.
+    """
+    from repro.train.popshift import PopShiftConfig, run_popularity_shift
+
+    report = run_popularity_shift(
+        PopShiftConfig(
+            dataset=config.dataset,
+            scale="tiny",
+            samples_per_day=config.cache_samples_per_day,
+            num_days=config.cache_days,
+            shift_day=config.cache_shift_day,
+            seed=config.seed,
+            budget_bytes=32 * 1024,
+        )
+    )
+    post = report["post_shift"]
+    counters = report["counters"]
+    return {
+        "days": config.cache_days,
+        "samples_per_day": config.cache_samples_per_day,
+        "static_hit_rate": post["static_hit_rate"],
+        "cached_hit_rate": post["cached_hit_rate"],
+        "hit_margin": post["hit_margin"],
+        "accuracy_margin": post["accuracy_margin"],
+        "loss_margin": post["loss_margin"],
+        "promotions": counters["hotcache.promotions"],
+        "demotions": counters["hotcache.demotions"],
+        "refresh_bytes": counters["fae.refresh.bytes"],
+    }
+
+
 # -- snapshot -----------------------------------------------------------
 
 
@@ -246,6 +294,7 @@ def run_bench(
         "preprocess": bench_preprocess,
         "train": bench_train,
         "serve": bench_serve,
+        "cache": bench_cache,
     }
     chosen = sections or tuple(runners)
     unknown = set(chosen) - set(runners)
@@ -301,6 +350,14 @@ def format_snapshot(snapshot: dict) -> str:
             f"p50 {1e3 * s['p50_s']:.3f} ms  p95 {1e3 * s['p95_s']:.3f} ms  "
             f"p99 {1e3 * s['p99_s']:.3f} ms ({s['rows_per_sec']:.0f} rows/s)"
         )
+    if "cache" in sections:
+        s = sections["cache"]
+        lines.append(
+            f"  cache:      post-shift hit {s['cached_hit_rate']:.3f} vs "
+            f"static {s['static_hit_rate']:.3f} (margin {s['hit_margin']:+.3f}), "
+            f"acc margin {s['accuracy_margin']:+.4f}, "
+            f"{s['promotions']}/{s['demotions']} promoted/demoted"
+        )
     return "\n".join(lines)
 
 
@@ -315,6 +372,8 @@ COMPARE_METRICS: tuple[tuple[str, str], ...] = (
     ("serve.p50_s", "lower"),
     ("serve.p99_s", "lower"),
     ("serve.rows_per_sec", "higher"),
+    ("cache.cached_hit_rate", "higher"),
+    ("cache.hit_margin", "higher"),
 )
 
 

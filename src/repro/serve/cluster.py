@@ -544,8 +544,20 @@ class ServingCluster:
         )
 
     def health(self) -> dict:
-        """JSON-ready cluster snapshot: per-replica states plus reload."""
+        """JSON-ready cluster snapshot: per-replica states plus reload.
+
+        ``cache`` carries the hot-cache stats when the pool serves
+        through an :class:`~repro.core.hotcache.EmbeddingHotCache`
+        (replicas share one cache, so the first equipped engine speaks
+        for the tier), or None when serving a frozen hot set.
+        """
+        cache = None
+        for slot in self.slots:
+            if slot.engine.hot_cache is not None:
+                cache = slot.engine.hot_cache.stats()
+                break
         return {
             "replicas": [slot.snapshot() for slot in self.slots],
             "reload": self.reload_state(),
+            "cache": cache,
         }

@@ -42,6 +42,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.classifier import HotEmbeddingBagSpec
+from repro.core.hotcache import EmbeddingHotCache
 from repro.data.loader import MiniBatch, batch_from_log
 from repro.models.base import RecModel
 from repro.nn.activations import sigmoid
@@ -84,6 +85,13 @@ class InferenceEngine:
             deadline checks (``time.perf_counter`` by default).  The SLO
             replay harness injects a virtual clock here so a seeded load
             test measures byte-identical latencies run after run.
+        hot_cache: optional
+            :class:`~repro.core.hotcache.EmbeddingHotCache`.  When set,
+            every ranking request's candidate lookups feed the cache
+            (hit/miss counters), a full observation window triggers an
+            in-place rebalance between requests, and hot-request
+            classification follows the cache's *live* membership instead
+            of a frozen bag set.
     """
 
     def __init__(
@@ -94,6 +102,7 @@ class InferenceEngine:
         deadline_s: float | None = None,
         breaker: CircuitBreaker | None = None,
         clock: Callable[[], float] | None = None,
+        hot_cache: EmbeddingHotCache | None = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -104,9 +113,13 @@ class InferenceEngine:
         self.deadline_s = deadline_s
         self.breaker = breaker
         self.clock = clock or time.perf_counter
+        self.hot_cache = hot_cache
+        self._cache_mask_version: int | None = None
         self._hot_masks = (
             {name: bag.hot_mask() for name, bag in hot_bags.items()} if hot_bags else None
         )
+        if hot_cache is not None and hot_bags is None:
+            self._refresh_cache_masks()
         registry = get_registry()
         self._latency = registry.histogram("serve.request.latency")
         self._rank_latency = registry.histogram("serve.rank.latency")
@@ -199,6 +212,13 @@ class InferenceEngine:
             raise ValueError("need at least one candidate")
         if deadline_s is None:
             deadline_s = self.deadline_s
+        if self.hot_cache is not None:
+            # Serving traffic feeds the same cache the trainers consult;
+            # a full window turns over *between* requests, so no request
+            # ever observes a half-rebalanced hot set.
+            self.hot_cache.observe({candidate_table: candidate_ids})
+            if self.hot_cache.should_rebalance():
+                self.hot_cache.rebalance()
 
         rank_start = self.clock()
         with span("serve.rank", candidates=count, top_k=top_k):
@@ -332,14 +352,30 @@ class InferenceEngine:
             "deadline_exceeded": self._deadline_exceeded.value,
             "fallback_candidates": self._fallback_candidates.value,
             "breaker": None if self.breaker is None else self.breaker.health(),
+            "cache": None if self.hot_cache is None else self.hot_cache.stats(),
         }
+
+    def _refresh_cache_masks(self) -> None:
+        """Rebuild hot masks from the cache's current membership."""
+        self._hot_masks = {
+            name: bag.hot_mask() for name, bag in self.hot_cache.bags().items()
+        }
+        self._cache_mask_version = self.hot_cache.version
 
     def hot_request_mask(self, log, indices: np.ndarray | None = None) -> np.ndarray:
         """Which requests touch only hot rows (GPU-servable end to end).
 
+        With a hot cache installed, the masks track the cache's live
+        membership (lazily rebuilt when its version changes).
+
         Raises:
             RuntimeError: if the engine was built without hot bags.
         """
+        if (
+            self.hot_cache is not None
+            and self._cache_mask_version != self.hot_cache.version
+        ):
+            self._refresh_cache_masks()
         if self._hot_masks is None:
             raise RuntimeError("engine was constructed without hot bags")
         indices = np.arange(len(log)) if indices is None else np.asarray(indices)

@@ -40,6 +40,7 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro.core.hotcache import EmbeddingHotCache, HotCacheConfig
 from repro.data import dataset_by_name
 from repro.data.schema import DatasetSchema
 from repro.data.zipf import ZipfSampler
@@ -198,10 +199,19 @@ _CLUSTER_COUNTERS = _REPLAY_COUNTERS + (
     "faults.replica_kill.injected",
     "faults.replica_slow.injected",
     "faults.replica_flap.injected",
+    "hotcache.hits",
+    "hotcache.misses",
+    "hotcache.promotions",
+    "hotcache.demotions",
+    "hotcache.evictions",
+    "hotcache.rebalances",
 )
 _CLUSTER_GAUGES = (
     "serve.cluster.queue.depth",
     "serve.cluster.unhealthy",
+    "hotcache.rows",
+    "hotcache.bytes",
+    "hotcache.hit_rate",
 )
 
 
@@ -373,6 +383,11 @@ class ClusterReplayConfig(ReplayConfig):
         faults: compact :meth:`~repro.resilience.faults.FaultPlan.parse`
             spec applied per request (``kill_replica`` / ``slow_replica``
             / ``flap_replica``), or None.
+        cache_budget_bytes: GPU byte budget for an online
+            :class:`~repro.core.hotcache.EmbeddingHotCache` shared by all
+            replicas (hot lookups resolve through live cache membership
+            and its hit/miss counters land in the SLO report); 0 serves
+            from the engines' static hot masks as before.
 
     The single-engine ``slow_start`` / ``slow_stop`` window is unused
     here — slow replicas come from the fault plan instead, which says
@@ -384,6 +399,7 @@ class ClusterReplayConfig(ReplayConfig):
     hedge_after_s: float | None = None
     reload_at: int | None = None
     faults: str | None = None
+    cache_budget_bytes: int = 0
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -403,6 +419,8 @@ class ClusterReplayConfig(ReplayConfig):
             )
         if self.faults is not None:
             FaultPlan.parse(self.faults)  # fail fast on a bad spec
+        if self.cache_budget_bytes < 0:
+            raise ValueError("cache_budget_bytes must be >= 0")
 
 
 def run_cluster_replay(
@@ -435,12 +453,28 @@ def run_cluster_replay(
             cooldown=config.breaker_cooldown,
         )
 
+    # One online hot cache shared by the whole pool: replicas serve the
+    # same traffic, so membership (and its counters) is cluster-level
+    # state.  It cold-starts empty and fills from the replayed requests.
+    hot_cache = None
+    if config.cache_budget_bytes > 0:
+        hot_cache = EmbeddingHotCache.from_schema(
+            schema,
+            HotCacheConfig(
+                budget_bytes=config.cache_budget_bytes,
+                rebalance_every=max(1, config.requests // 8),
+                seed=config.seed,
+            ),
+            large_table_min_bytes=1024,
+        )
+
     engines = [
         InferenceEngine(
             model,
             deadline_s=config.deadline_s,
             breaker=make_breaker(),
             clock=VirtualClock(),
+            hot_cache=hot_cache,
         )
         for _ in range(config.replicas)
     ]

@@ -13,6 +13,7 @@ from repro.train.metrics import evaluate_model, binary_accuracy, roc_auc
 from repro.train.history import TrainingHistory, HistoryPoint
 from repro.train.trainer import BaselineTrainer, FAETrainer, TrainResult
 from repro.train.early_stopping import ConsecutiveIncrease, GeneralizationLoss
+from repro.train.popshift import PopShiftConfig, run_popularity_shift
 
 __all__ = [
     "BaselineTrainer",
@@ -20,8 +21,10 @@ __all__ = [
     "GeneralizationLoss",
     "FAETrainer",
     "HistoryPoint",
+    "PopShiftConfig",
     "TrainResult",
     "TrainingHistory",
+    "run_popularity_shift",
     "binary_accuracy",
     "evaluate_model",
     "roc_auc",

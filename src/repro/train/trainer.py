@@ -28,6 +28,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.core.hotcache import EmbeddingHotCache, repack_remaining
 from repro.core.pipeline import FAEPlan
 from repro.core.replicator import EmbeddingReplicator
 from repro.core.scheduler import ShuffleScheduler
@@ -198,6 +199,12 @@ class FAETrainer:
             when set, corrupt batches are skipped, non-finite gradients
             discard the step, and a non-finite or spiking loss rolls the
             run back to the last good checkpoint with LR backoff.
+        cache: optional :class:`~repro.core.hotcache.EmbeddingHotCache`.
+            When set, every training batch's lookups feed the cache, and
+            at segment boundaries a full observation window triggers a
+            rebalance: the replicator ships the membership delta and the
+            *remaining* batches are re-packed against the new hot set.
+            The cache must have been populated from ``plan.bags``.
     """
 
     def __init__(
@@ -210,6 +217,7 @@ class FAETrainer:
         fault_plan: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
         guards: NumericGuard | None = None,
+        cache: EmbeddingHotCache | None = None,
     ) -> None:
         self.model = model
         self.plan = plan
@@ -217,6 +225,7 @@ class FAETrainer:
         self.fault_plan = fault_plan
         self.retry = retry
         self.guards = guards
+        self.cache = cache
         # Set by the CLI so GuardAbort can point at the quarantine ledger.
         self.guard_ledger_path: str | None = None
         self.replicator = EmbeddingReplicator(
@@ -366,6 +375,16 @@ class FAETrainer:
             resume: checkpoint path or :class:`TrainerCheckpoint` to
                 continue from, or None for a fresh run.
         """
+        if self.cache is not None and (
+            self.guards is not None or checkpoint is not None or resume is not None
+        ):
+            # A rebalance changes the pool geometry mid-epoch, so a
+            # checkpoint's scheduler state no longer matches, and the
+            # cache's sketch/counter state is not checkpointable yet.
+            raise ValueError(
+                "hot-cache training does not compose with guards or "
+                "checkpoint/resume; run them separately"
+            )
         if self.guards is None:
             return self._train(train_log, test_log, epochs, eval_samples, checkpoint, resume)
         if epochs <= 0:
@@ -545,6 +564,10 @@ class FAETrainer:
                         fault_plan=self.fault_plan,
                         retry=self.retry,
                     ):
+                        if self.cache is not None:
+                            # Feed the cache the *clean* lookups before any
+                            # injected corruption touches the batch.
+                            self.cache.observe(batch.sparse)
                         if self.fault_plan is not None:
                             batch = self.fault_plan.maybe_corrupt_batch(batch)
                         if self.guards is not None and not self.guards.batch_ok(batch):
@@ -631,6 +654,36 @@ class FAETrainer:
                         # carrying NaN/Inf — rollback must not restore poison.
                         if self.guards is None or self.guards.state_ok(snapshot.params):
                             checkpoint.save(snapshot)
+
+                    # Cache turnover at the segment boundary: the masters
+                    # are authoritative here (hot rows were flushed before
+                    # the evaluation above), so promotion can pull fresh
+                    # values and demoted rows lose nothing.
+                    if (
+                        self.cache is not None
+                        and not scheduler.degraded
+                        and self.cache.should_rebalance()
+                    ):
+                        delta = self.cache.rebalance()
+                        if not delta.is_empty:
+                            if mode == "hot":
+                                # Old hot bags are about to be rebuilt;
+                                # fall back to the (current) masters.
+                                for name, bag in self._master_bags.items():
+                                    self.model.set_bag(name, bag)
+                                mode = "cold"
+                                transition_counters["cold"].inc()
+                            new_bags = self.cache.bags()
+                            self.replicator.apply_delta(new_bags, delta)
+                            dataset, cursors = repack_remaining(
+                                train_log, dataset, cursors, delta, new_bags
+                            )
+                            scheduler.repack_pools(
+                                len(dataset.hot_batches), len(dataset.cold_batches)
+                            )
+                            registry.gauge("train.batch.hot_fraction").set(
+                                dataset.hot_input_fraction
+                            )
 
         if mode == "hot":
             self._enter_cold()

@@ -31,7 +31,7 @@ class TestRunBench:
         assert snapshot["kind"] == "bench"
         assert snapshot["quick"] is True
         assert snapshot["seed"] == 7
-        assert set(snapshot["sections"]) == {"preprocess", "train", "serve"}
+        assert set(snapshot["sections"]) == {"preprocess", "train", "serve", "cache"}
         assert path.name.startswith("BENCH_") and path.suffix == ".json"
         assert json.loads(path.read_text(encoding="utf-8")) == snapshot
 
@@ -45,6 +45,9 @@ class TestRunBench:
         assert sections["train"]["sync_events"] > 0
         assert sections["serve"]["p50_s"] <= sections["serve"]["p99_s"]
         assert sections["serve"]["rows_per_sec"] > 0
+        assert sections["cache"]["hit_margin"] > 0.2
+        assert sections["cache"]["cached_hit_rate"] > sections["cache"]["static_hit_rate"]
+        assert sections["cache"]["promotions"] > 0
 
     def test_section_subset(self, tmp_path):
         snapshot, _ = run_bench(
@@ -59,6 +62,7 @@ class TestRunBench:
     def test_format_snapshot_smoke(self, quick_snapshot):
         text = format_snapshot(quick_snapshot[0])
         assert "preprocess:" in text and "train:" in text and "serve:" in text
+        assert "cache:" in text and "margin" in text
 
 
 def _synthetic(**sections):
@@ -185,4 +189,4 @@ class TestBenchCli:
         assert seed.exists(), "committed seed baseline missing"
         snapshot = json.loads(seed.read_text(encoding="utf-8"))
         assert snapshot["schema_version"] == BENCH_SCHEMA_VERSION
-        assert set(snapshot["sections"]) == {"preprocess", "train", "serve"}
+        assert set(snapshot["sections"]) == {"preprocess", "train", "serve", "cache"}

@@ -385,6 +385,45 @@ class TestTraceCli:
         assert out.exists()
 
 
+class TestDriftCli:
+    ARGS = [
+        "drift",
+        "--days",
+        "3",
+        "--shift-day",
+        "1",
+        "--samples-per-day",
+        "600",
+        "--seed",
+        "7",
+    ]
+
+    def test_parser_accepts_drift(self):
+        args = build_parser().parse_args(self.ARGS)
+        assert args.command == "drift"
+        assert args.dataset == "criteo-kaggle"
+        assert args.days == 3
+
+    def test_prints_summary_and_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "popshift.json"
+        assert main(self.ARGS + ["--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "popularity shift" in text
+        assert "post-shift" in text
+        assert "hot-access hit rate" in text
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["kind"] == "popshift_report"
+        assert report["seed"] == 7
+        assert len(report["days"]) == 2
+
+    def test_report_bytes_deterministic(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(self.ARGS + ["--out", str(first)]) == 0
+        assert main(self.ARGS + ["--out", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+
 class TestServeBenchCli:
     ARGS = [
         "serve-bench",

@@ -73,6 +73,47 @@ class TestDriftDetector:
         assert not detector.check(window).drifted
 
 
+class TestCheckSource:
+    """Drift over a multi-day ShardChunkSource stream (one shard per day)."""
+
+    @pytest.fixture(scope="class")
+    def day_source(self, tiny_schema, tmp_path_factory):
+        from repro.data.shift import popularity_shift_days, write_day_shards
+
+        days = popularity_shift_days(
+            tiny_schema, samples_per_day=1200, num_days=4, shift_day=2, seed=12
+        )
+        directory = tmp_path_factory.mktemp("day-shards")
+        return days, write_day_shards(directory, days)
+
+    def test_flags_rotated_days_not_before(self, day_source, tiny_fae_config):
+        days, source = day_source
+        plan = fae_preprocess(days[0], tiny_fae_config, batch_size=64)
+        detector = DriftDetector(
+            plan.bags, plan.hot_input_fraction, tolerance=0.6, seed=1
+        )
+        reports = list(detector.check_source(source))
+        assert [index for index, _ in reports] == [0, 1, 2, 3]
+        # Days 0-1 draw from the calibrated head; days 2-3 are rotated.
+        assert not reports[0][1].drifted
+        assert not reports[1][1].drifted
+        assert reports[2][1].drifted
+        assert reports[3][1].drifted
+
+    def test_rotated_day_collapses_hot_fraction(self, day_source, tiny_fae_config):
+        days, source = day_source
+        plan = fae_preprocess(days[0], tiny_fae_config, batch_size=64)
+        detector = DriftDetector(
+            plan.bags, plan.hot_input_fraction, tolerance=0.6, seed=1
+        )
+        reports = dict(detector.check_source(source))
+        assert (
+            reports[2].hot_input_fraction
+            < reports[1].hot_input_fraction
+        )
+        assert reports[2].relative_drop > 0.6
+
+
 class TestRecalibrationDiff:
     def bag(self, ids, num_rows=20):
         return HotEmbeddingBagSpec(

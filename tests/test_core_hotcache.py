@@ -1,0 +1,260 @@
+"""Tests for the online frequency-aware embedding cache (repro.core.hotcache)."""
+
+import numpy as np
+import pytest
+
+from repro.core import fae_preprocess
+from repro.core.classifier import HotEmbeddingBagSpec
+from repro.core.hotcache import (
+    CacheDelta,
+    EmbeddingHotCache,
+    HotCacheConfig,
+    repack_remaining,
+)
+from repro.core.sketch import CountMinSketch
+
+
+def _bag(name, hot_ids, num_rows=64, dim=4, whole=False):
+    return HotEmbeddingBagSpec(
+        table_name=name,
+        hot_ids=np.asarray(sorted(hot_ids), dtype=np.int64),
+        num_rows=num_rows,
+        dim=dim,
+        whole_table=whole,
+    )
+
+
+def _cache(hot_ids=(0, 1, 2, 3), budget_rows=4, **knobs):
+    """One tracked table 't', budget sized to `budget_rows` rows of dim 4."""
+    config = HotCacheConfig(budget_bytes=budget_rows * 4 * 4, **knobs)
+    return EmbeddingHotCache({"t": _bag("t", hot_ids)}, config)
+
+
+class TestSketchAging:
+    def test_decay_scales_counts(self):
+        sketch = CountMinSketch(width=64, depth=3, seed=1)
+        sketch.add(np.array([5, 5, 5, 5, 9], dtype=np.int64))
+        before = sketch.query(np.array([5]))[0]
+        sketch.decay(0.5)
+        after = sketch.query(np.array([5]))[0]
+        # Counters age by floor(count * factor): integral, deterministic.
+        assert after == before * 0.5
+
+    def test_decay_validates_factor(self):
+        sketch = CountMinSketch(width=8, depth=2)
+        with pytest.raises(ValueError):
+            sketch.decay(0.0)
+        with pytest.raises(ValueError):
+            sketch.decay(1.5)
+
+    def test_weighted_add(self):
+        sketch = CountMinSketch(width=64, depth=3, seed=1)
+        sketch.add(np.array([7], dtype=np.int64), counts=np.array([3]))
+        assert sketch.query(np.array([7]))[0] >= 3
+
+    def test_weighted_add_rejects_negative(self):
+        sketch = CountMinSketch(width=8, depth=2)
+        with pytest.raises(ValueError):
+            sketch.add(np.array([1]), counts=np.array([-1]))
+
+
+class TestHotCacheConfig:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            HotCacheConfig(budget_bytes=-1)
+        with pytest.raises(ValueError):
+            HotCacheConfig(budget_bytes=64, eviction="fifo")
+        with pytest.raises(ValueError):
+            HotCacheConfig(budget_bytes=64, decay=0.0)
+        with pytest.raises(ValueError):
+            HotCacheConfig(budget_bytes=64, rebalance_every=-1)
+
+
+class TestObserve:
+    def test_hits_and_misses_split(self):
+        cache = _cache()
+        cache.observe({"t": np.array([[0, 1], [2, 40]])})
+        assert cache.hits == 3
+        assert cache.misses == 1
+        assert cache.hit_rate() == pytest.approx(0.75)
+
+    def test_pinned_tables_always_hit(self):
+        bags = {
+            "small": _bag("small", range(8), num_rows=8, whole=True),
+            "big": _bag("big", [0, 1]),
+        }
+        cache = EmbeddingHotCache(bags, HotCacheConfig(budget_bytes=1 << 16))
+        cache.observe({"small": np.array([[7, 3]]), "big": np.array([[50]])})
+        assert cache.hits == 2
+        assert cache.misses == 1
+        assert cache.contains("small", np.array([5]))[0]
+
+    def test_contains_matches_membership(self):
+        cache = _cache(hot_ids=(2, 5, 9))
+        got = cache.contains("t", np.array([1, 2, 5, 9, 60]))
+        np.testing.assert_array_equal(got, [False, True, True, True, False])
+
+
+class TestRebalance:
+    def test_popular_miss_displaces_cold_member(self):
+        cache = _cache(hot_ids=(0, 1, 2, 3), budget_rows=4)
+        # Member 0-2 stay warm; member 3 never appears; row 40 is hot.
+        for _ in range(6):
+            cache.observe({"t": np.array([[0, 1, 2, 40]])})
+        delta = cache.rebalance()
+        assert 40 in set(delta.promoted.get("t", np.array([])).tolist())
+        assert 3 in set(delta.demoted.get("t", np.array([])).tolist())
+        assert cache.contains("t", np.array([40]))[0]
+        assert not cache.contains("t", np.array([3]))[0]
+
+    def test_budget_is_respected(self):
+        cache = _cache(hot_ids=(0, 1, 2, 3), budget_rows=4)
+        for _ in range(4):
+            cache.observe({"t": np.arange(20).reshape(1, 20)})
+        cache.rebalance()
+        assert cache.hot_bytes <= cache.config.budget_bytes
+
+    def test_unpopular_miss_not_admitted_when_full(self):
+        cache = _cache(hot_ids=(0, 1, 2, 3), budget_rows=4)
+        # Every member out-counts the one-off miss.
+        for _ in range(5):
+            cache.observe({"t": np.array([[0, 1, 2, 3]])})
+        cache.observe({"t": np.array([[50]])})
+        delta = cache.rebalance()
+        assert delta.is_empty
+        assert not cache.contains("t", np.array([50]))[0]
+
+    def test_empty_delta_keeps_version(self):
+        cache = _cache()
+        version = cache.version
+        delta = cache.rebalance()
+        assert delta.is_empty
+        assert cache.version == version
+
+    def test_membership_change_bumps_version(self):
+        cache = _cache(hot_ids=(0, 1, 2, 3), budget_rows=4)
+        for _ in range(6):
+            cache.observe({"t": np.array([[40, 41]])})
+        version = cache.version
+        delta = cache.rebalance()
+        assert not delta.is_empty
+        assert cache.version == version + 1
+
+    def test_auto_rebalance_window(self):
+        cache = _cache(rebalance_every=3)
+        assert not cache.should_rebalance()
+        for _ in range(3):
+            cache.observe({"t": np.array([[0]])})
+        assert cache.should_rebalance()
+        cache.rebalance()
+        assert not cache.should_rebalance()
+
+    def test_lru_evicts_oldest(self):
+        cache = _cache(hot_ids=(0, 1, 2, 3), budget_rows=4, eviction="lru")
+        cache.observe({"t": np.array([[3]])})  # 3 is most recent
+        for _ in range(6):
+            cache.observe({"t": np.array([[1, 2, 3, 40]])})
+        delta = cache.rebalance()
+        # 0 was never touched after init: the LRU victim.
+        assert 0 in set(delta.demoted.get("t", np.array([])).tolist())
+
+    def test_deterministic_across_instances(self):
+        traffic = [np.array([[0, 1, 17, 40, 40]]), np.array([[2, 40, 51]])]
+        outcomes = []
+        for _ in range(2):
+            cache = _cache(hot_ids=(0, 1, 2, 3), budget_rows=4)
+            for window in traffic:
+                cache.observe({"t": window})
+            cache.rebalance()
+            outcomes.append(cache.bags()["t"].hot_ids.tolist())
+        assert outcomes[0] == outcomes[1]
+
+
+class TestBagsAndStats:
+    def test_bags_are_classifier_compatible(self):
+        cache = _cache(hot_ids=(5, 2, 9))
+        bag = cache.bags()["t"]
+        assert isinstance(bag, HotEmbeddingBagSpec)
+        np.testing.assert_array_equal(bag.hot_ids, [2, 5, 9])
+        assert not bag.whole_table
+
+    def test_stats_shape(self):
+        cache = _cache()
+        cache.observe({"t": np.array([[0, 50]])})
+        stats = cache.stats()
+        for key in (
+            "hits",
+            "misses",
+            "hit_rate",
+            "hot_rows",
+            "hot_bytes",
+            "promotions",
+            "demotions",
+            "rebalances",
+            "version",
+        ):
+            assert key in stats
+
+    def test_from_schema_pins_small_tables(self, tiny_schema):
+        cache = EmbeddingHotCache.from_schema(
+            tiny_schema,
+            HotCacheConfig(budget_bytes=8 * 1024),
+            large_table_min_bytes=1024,
+        )
+        bags = cache.bags()
+        # table_02 (12 rows x dim 8) is under the cutoff: pinned whole.
+        assert bags["table_02"].whole_table
+        assert not bags["table_00"].whole_table
+        assert bags["table_00"].hot_ids.size == 0  # cold start
+
+
+class TestCacheDelta:
+    def test_counts_and_tables(self):
+        delta = CacheDelta(
+            promoted={"a": np.array([1, 2]), "b": np.array([], dtype=np.int64)},
+            demoted={"a": np.array([9])},
+        )
+        assert delta.num_promoted == 2
+        assert delta.num_demoted == 1
+        assert not delta.is_empty
+        assert delta.tables() == ["a"]
+
+
+class TestRepackRemaining:
+    def test_repack_preserves_rows_and_purity(self, tiny_log, tiny_fae_config):
+        plan = fae_preprocess(tiny_log, tiny_fae_config, batch_size=64)
+        cache = EmbeddingHotCache(
+            plan.bags, HotCacheConfig(budget_bytes=tiny_fae_config.gpu_memory_budget)
+        )
+        # Promote fresh traffic so membership actually moves.
+        rng = np.random.default_rng(5)
+        for _ in range(8):
+            cache.observe(
+                {
+                    name: rng.integers(0, spec.num_rows, size=(32, 1))
+                    for name, spec in zip(
+                        tiny_log.schema.table_names, tiny_log.schema.tables
+                    )
+                }
+            )
+        delta = cache.rebalance()
+        if delta.is_empty:
+            pytest.skip("no membership change to repack")
+        new_bags = cache.bags()
+        dataset = plan.dataset
+        repacked, cursors = repack_remaining(
+            tiny_log, dataset, {"hot": 0, "cold": 0}, delta, new_bags
+        )
+        assert cursors == {"hot": 0, "cold": 0}
+        masks = {name: bag.hot_mask() for name, bag in new_bags.items()}
+        total = sum(b.size for b in repacked.hot_batches) + sum(
+            b.size for b in repacked.cold_batches
+        )
+        original = sum(b.size for b in dataset.hot_batches) + sum(
+            b.size for b in dataset.cold_batches
+        )
+        assert total == original
+        # Hot batches must be PURE hot under the new membership.
+        for batch in repacked.hot_batches:
+            for name, mask in masks.items():
+                assert mask[tiny_log.sparse[name][batch]].all()

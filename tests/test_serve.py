@@ -266,6 +266,44 @@ class TestRequestCounters:
         assert rejected.count == count_before + 1
 
 
+class TestHotCacheServing:
+    @staticmethod
+    def _cached_engine(trained, budget=16 * 1024, **knobs):
+        from repro.core.hotcache import EmbeddingHotCache, HotCacheConfig
+
+        model, _train, _test, plan = trained
+        cache = EmbeddingHotCache(
+            plan.bags, HotCacheConfig(budget_bytes=budget, **knobs)
+        )
+        return InferenceEngine(model, hot_cache=cache), cache
+
+    def test_health_exposes_cache_stats(self, trained, tiny_schema):
+        model, train, _test, _plan = trained
+        engine, cache = self._cached_engine(trained)
+        context = {name: train.sparse[name][0] for name in tiny_schema.table_names}
+        engine.rank_candidates(train.dense[0], context, "table_00", np.arange(50))
+        health = engine.health()
+        assert health["cache"]["hits"] + health["cache"]["misses"] >= 50
+        assert health["cache"]["hot_rows"] > 0
+        assert 0.0 <= health["cache"]["hit_rate"] <= 1.0
+        assert InferenceEngine(model).health()["cache"] is None
+
+    def test_serving_traffic_feeds_and_rebalances_cache(self, trained, tiny_schema):
+        _model, train, _test, _plan = trained
+        engine, cache = self._cached_engine(trained, rebalance_every=2)
+        context = {name: train.sparse[name][0] for name in tiny_schema.table_names}
+        version = cache.version
+        # Hammer a cold candidate range until the auto-rebalance window
+        # trips; membership must turn over and the engine's masks follow.
+        for _ in range(6):
+            engine.rank_candidates(
+                train.dense[0], context, "table_00", np.arange(500, 560)
+            )
+        assert cache.rebalances > 0
+        assert cache.version > version
+        assert engine.hot_request_mask(train).shape == (len(train),)
+
+
 class TestModelInstall:
     def test_install_swaps_model_atomically(self, trained, tiny_schema):
         model, train, _test, plan = trained

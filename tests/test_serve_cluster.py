@@ -200,6 +200,29 @@ class TestServingClusterUnit:
             health["replicas"][0]
         )
         assert health["reload"]["active"] is False
+        assert health["cache"] is None  # no hot cache installed
+        json.dumps(health)
+
+    def test_health_surfaces_shared_cache_stats(self, cluster_fixture):
+        from repro.core.hotcache import EmbeddingHotCache, HotCacheConfig
+
+        schema, model = cluster_fixture
+        cache = EmbeddingHotCache.from_schema(
+            schema,
+            HotCacheConfig(budget_bytes=32 * 1024),
+            large_table_min_bytes=1024,
+        )
+        engines = [
+            InferenceEngine(model, clock=VirtualClock(), hot_cache=cache)
+            for _ in range(2)
+        ]
+        cluster = ServingCluster(engines)
+        dense, context, table, candidates = _request(schema)
+        cluster.submit(0.0, 1e-4, dense, context, table, candidates)
+        health = cluster.health()
+        assert health["cache"] is not None
+        assert health["cache"]["hits"] + health["cache"]["misses"] > 0
+        assert health["cache"]["hot_bytes"] <= 32 * 1024
         json.dumps(health)
 
 
@@ -216,6 +239,28 @@ def _chaos_config(**overrides):
     )
     defaults.update(overrides)
     return ClusterReplayConfig(**defaults)
+
+
+class TestClusterReplayCache:
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            _chaos_config(cache_budget_bytes=-1)
+
+    def test_cached_replay_reports_cache_and_stays_deterministic(self):
+        config = _chaos_config(requests=120, cache_budget_bytes=32 * 1024)
+        report = run_cluster_replay(config)
+        cache = report["cluster"]["cache"]
+        assert cache is not None
+        assert cache["hits"] + cache["misses"] > 0
+        assert cache["hot_bytes"] <= 32 * 1024
+        rerun = run_cluster_replay(config)
+        assert json.dumps(report, sort_keys=True) == json.dumps(
+            rerun, sort_keys=True
+        )
+
+    def test_uncached_replay_reports_no_cache(self):
+        report = run_cluster_replay(_chaos_config(requests=60))
+        assert report["cluster"]["cache"] is None
 
 
 class TestClusterReplayChaos:
