@@ -8,6 +8,14 @@ Commands:
 - ``train``       — train baseline or FAE on a synthetic log and report
                     accuracy/AUC.
 - ``simulate``    — price baseline/FAE/NvOPT epochs on the paper's server.
+- ``certify``     — crash-anywhere certification: SIGKILL a real training
+                    process at every cache-refresh phase and checkpoint
+                    boundary, resume from the newest good checkpoint, and
+                    byte-compare the final state against an uninterrupted
+                    run (exit 5 on any divergence).
+- ``checkpoint``  — ``ls``/``verify`` a checkpoint directory: step, schema
+                    version, size, and integrity per archive; exits
+                    nonzero when any checkpoint is corrupt.
 - ``trace run``   — run the pipeline with tracing on and print the span
                     summary tree (optionally dumping JSONL).  Plain
                     ``repro trace ...`` still works (``run`` is implied).
@@ -41,7 +49,13 @@ RSS, CPU) from the background sampler.  ``train --mode fae`` additionally suppor
 fault-tolerant operation: ``--checkpoint-dir``/``--checkpoint-every``/
 ``--resume`` for atomic checkpoint/resume, ``--faults SPEC`` for seeded
 chaos injection, and ``--gpus N`` to run the distributed FAE trainer
-(whose world shrinks on an injected rank death).
+(whose world shrinks on an injected rank death).  ``--cache-budget
+BYTES`` arms the online embedding hot cache; its durable state
+(membership, exact counters, sketches, pending windows) rides along in
+checkpoints, cache turnover is journaled (``refresh.journal``), and a
+crash anywhere — even mid-refresh — resumes byte-exactly.
+``--final-state PATH`` writes the deterministic fingerprint ``certify``
+compares.
 
 Elastic execution: ``--workers N`` on ``preprocess``/``train`` fans the
 profiling pass out over a supervised real-process worker pool
@@ -225,6 +239,33 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "re-admit a permanently failed rank at the next segment boundary "
             "(state resynced from the CPU masters; requires --gpus > 1)"
+        ),
+    )
+    train.add_argument(
+        "--cache-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "run with the online embedding hot cache under this GPU byte "
+            "budget (--mode fae); cache state rides along in checkpoints"
+        ),
+    )
+    train.add_argument(
+        "--cache-every",
+        type=int,
+        default=512,
+        metavar="INPUTS",
+        help="observed inputs between cache rebalances (with --cache-budget)",
+    )
+    train.add_argument(
+        "--final-state",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the deterministic final-state fingerprint (param/table "
+            "digests, result, cache state) here — crash-recovery runs are "
+            "certified by byte-comparing these files"
         ),
     )
     _add_elastic_args(train)
@@ -411,6 +452,71 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="derive the hot-embedding budget from GPU memory instead of --budget-mb",
     )
+
+    certify = sub.add_parser(
+        "certify",
+        help=(
+            "crash-anywhere certification: SIGKILL a real training run at "
+            "every refresh phase and checkpoint boundary, resume, and "
+            "byte-compare the final state against an uninterrupted run"
+        ),
+    )
+    certify.add_argument(
+        "dataset", choices=_DATASET_CHOICES, nargs="?", default="criteo-kaggle"
+    )
+    certify.add_argument("--scale", default="tiny")
+    certify.add_argument("--samples", type=int, default=2048)
+    certify.add_argument("--seed", type=int, default=12)
+    certify.add_argument("--epochs", type=int, default=1)
+    certify.add_argument("--batch-size", type=int, default=64)
+    certify.add_argument("--lr", type=float, default=0.15)
+    certify.add_argument("--budget-bytes", type=int, default=32 * 1024)
+    certify.add_argument("--cache-budget", type=int, default=32 * 1024)
+    certify.add_argument("--cache-every", type=int, default=256)
+    certify.add_argument("--checkpoint-every", type=int, default=1)
+    certify.add_argument(
+        "--refresh-index", type=int, default=0, help="which cache turnover to kill"
+    )
+    certify.add_argument(
+        "--phases",
+        default=None,
+        help="comma-separated refresh phases to kill at (default: all)",
+    )
+    certify.add_argument(
+        "--checkpoints",
+        default="0",
+        help="comma-separated checkpoint-save indices to kill after ('' skips)",
+    )
+    certify.add_argument(
+        "--steps",
+        default="",
+        help="comma-separated iteration numbers for mid-segment kills ('' skips)",
+    )
+    certify.add_argument(
+        "--gpus", type=int, default=1, help="> 1 certifies the distributed trainer"
+    )
+    certify.add_argument(
+        "--timeout", type=float, default=600.0, help="per-subprocess bound, seconds"
+    )
+    certify.add_argument("--out-dir", default="benchmarks/out/certify")
+
+    ckpt = sub.add_parser(
+        "checkpoint", help="inspect training checkpoints: ls / verify"
+    )
+    ckpt_sub = ckpt.add_subparsers(dest="checkpoint_cmd", required=True)
+    ckpt_ls = ckpt_sub.add_parser(
+        "ls",
+        help="list a directory's checkpoints with step, schema version, size, integrity",
+    )
+    ckpt_ls.add_argument("directory")
+    ckpt_ls.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    ckpt_verify = ckpt_sub.add_parser(
+        "verify",
+        help="verify checkpoint integrity; exit nonzero on any corruption",
+    )
+    ckpt_verify.add_argument("path", help="a checkpoint file or a directory of them")
 
     report = sub.add_parser(
         "report", help="stitch benchmark artifacts into a markdown report"
@@ -634,12 +740,14 @@ def cmd_train(args) -> int:
         or args.workers
         or args.rejoin
         or args.events_jsonl
+        or args.cache_budget is not None
+        or args.final_state
     )
     if resilience_flags and args.mode != "fae":
         print(
             "error: --gpus/--checkpoint-dir/--resume/--faults/--guards/"
-            "--validate/--quarantine-dir/--workers/--rejoin/--events-jsonl "
-            "require --mode fae",
+            "--validate/--quarantine-dir/--workers/--rejoin/--events-jsonl/"
+            "--cache-budget/--final-state require --mode fae",
             file=sys.stderr,
         )
         return 2
@@ -722,6 +830,19 @@ def cmd_train(args) -> int:
                 print(f"FAE plan: {plan.summary()}")
                 if pool is not None:
                     _print_elastic_summary(pool)
+                cache = None
+                if args.cache_budget is not None:
+                    from repro.core.hotcache import EmbeddingHotCache, HotCacheConfig
+
+                    cache = EmbeddingHotCache(
+                        plan.bags,
+                        HotCacheConfig(
+                            budget_bytes=args.cache_budget,
+                            rebalance_every=args.cache_every,
+                            seed=args.seed,
+                        ),
+                        profile=plan.calibration.profile,
+                    )
                 if args.gpus > 1:
                     replicas = [
                         build_model(spec, schema=log.schema, seed=args.seed + 1)
@@ -735,6 +856,7 @@ def cmd_train(args) -> int:
                         guards=guards,
                         rejoin=args.rejoin,
                         event_log=event_log,
+                        cache=cache,
                     )
                     if ledger is not None:
                         trainer.guard_ledger_path = str(ledger.path)
@@ -749,7 +871,12 @@ def cmd_train(args) -> int:
                 else:
                     model = build_model(spec, schema=log.schema, seed=args.seed + 1)
                     trainer = FAETrainer(
-                        model, plan, lr=args.lr, fault_plan=fault_plan, guards=guards
+                        model,
+                        plan,
+                        lr=args.lr,
+                        fault_plan=fault_plan,
+                        guards=guards,
+                        cache=cache,
                     )
                     if ledger is not None:
                         trainer.guard_ledger_path = str(ledger.path)
@@ -780,6 +907,20 @@ def cmd_train(args) -> int:
                     path = event_log.flush()
                     if path is not None:
                         print(f"wrote {path}")
+                if cache is not None:
+                    stats = cache.stats()
+                    print(
+                        f"cache: hit rate {stats['hit_rate']:.3f}, "
+                        f"rebalances {stats['rebalances']}, "
+                        f"+{stats['promotions']}/-{stats['demotions']} rows"
+                    )
+                if args.final_state:
+                    from repro.resilience.certify import write_final_state
+
+                    destination = write_final_state(
+                        args.final_state, model, result, cache
+                    )
+                    print(f"wrote {destination}")
                 report("FAE", model)
             if args.mode in ("baseline", "both"):
                 model = build_model(spec, schema=log.schema, seed=args.seed + 1)
@@ -884,6 +1025,121 @@ def cmd_simulate(args) -> int:
             f"{pm.average_watts(timeline):5.1f} W/GPU"
         )
     print(f"  FAE speedup over baseline: {sim.speedup():.2f}x")
+    return 0
+
+
+def cmd_certify(args) -> int:
+    """Run the crash-anywhere certification campaign.
+
+    Exit codes: 0 when every kill point resumed to a byte-identical
+    final state, 5 on any mismatch / unfired kill point / failed resume.
+    """
+    from repro.resilience.certify import (
+        CertifyConfig,
+        format_certification,
+        run_certification,
+    )
+    from repro.resilience.faults import REFRESH_PHASES
+
+    def _csv_ints(spec: str) -> tuple[int, ...]:
+        return tuple(int(part) for part in spec.split(",") if part.strip())
+
+    config = CertifyConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        samples=args.samples,
+        seed=args.seed,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        budget_bytes=args.budget_bytes,
+        cache_budget=args.cache_budget,
+        cache_every=args.cache_every,
+        checkpoint_every=args.checkpoint_every,
+        refresh_index=args.refresh_index,
+        phases=(
+            tuple(part.strip() for part in args.phases.split(",") if part.strip())
+            if args.phases
+            else REFRESH_PHASES
+        ),
+        checkpoints=_csv_ints(args.checkpoints),
+        steps=_csv_ints(args.steps),
+        gpus=args.gpus,
+        timeout=args.timeout,
+    )
+    report = run_certification(config, args.out_dir)
+    print()
+    print(format_certification(report))
+    print(f"wrote {Path(args.out_dir) / 'certify_report.json'}")
+    return 0 if report["passed"] else 5
+
+
+def cmd_checkpoint(args) -> int:
+    """``checkpoint ls`` / ``checkpoint verify``.
+
+    Both walk ``ckpt-*.npz`` archives, verify their checksums, and exit
+    nonzero when any is corrupt — scriptable health checks over a
+    checkpoint directory.
+    """
+    from repro.resilience import read_checkpoint_meta
+    from repro.resilience.checkpoint import CheckpointError
+
+    target = Path(args.directory if args.checkpoint_cmd == "ls" else args.path)
+    if target.is_dir():
+        paths = sorted(target.glob("ckpt-*.npz"))
+    elif target.exists():
+        paths = [target]
+    else:
+        print(f"error: {target} does not exist", file=sys.stderr)
+        return 2
+
+    rows = []
+    corrupt = 0
+    for path in paths:
+        try:
+            meta = read_checkpoint_meta(path)
+            rows.append(
+                {
+                    "file": path.name,
+                    "step": meta.get("step"),
+                    "epoch": meta.get("epoch"),
+                    "schema_version": meta.get("version"),
+                    "size_bytes": meta.get("size_bytes"),
+                    "status": "ok",
+                }
+            )
+        except (CheckpointError, OSError, ValueError) as exc:
+            corrupt += 1
+            rows.append(
+                {
+                    "file": path.name,
+                    "step": None,
+                    "epoch": None,
+                    "schema_version": None,
+                    "size_bytes": path.stat().st_size if path.exists() else None,
+                    "status": f"corrupt: {exc}",
+                }
+            )
+
+    if args.checkpoint_cmd == "ls" and args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        if not rows:
+            print(f"no checkpoints under {target}")
+        else:
+            print(f"{'file':<22} {'step':>8} {'epoch':>5} {'schema':>6} {'bytes':>10}  status")
+            for row in rows:
+                step = "-" if row["step"] is None else row["step"]
+                epoch = "-" if row["epoch"] is None else row["epoch"]
+                schema = "-" if row["schema_version"] is None else row["schema_version"]
+                size = "-" if row["size_bytes"] is None else row["size_bytes"]
+                print(
+                    f"{row['file']:<22} {step:>8} {epoch:>5} {schema:>6} "
+                    f"{size:>10}  {row['status']}"
+                )
+    if corrupt:
+        print(f"error: {corrupt} corrupt checkpoint(s)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -1127,6 +1383,8 @@ def main(argv: list[str] | None = None) -> int:
         "serve-bench": cmd_serve_bench,
         "bench": cmd_bench,
         "drift": cmd_drift,
+        "certify": cmd_certify,
+        "checkpoint": cmd_checkpoint,
     }
     try:
         return handlers[args.command](args)

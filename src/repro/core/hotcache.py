@@ -45,7 +45,17 @@ from repro.core.input_processor import FAEDataset, _cut_batches, compute_hot_mas
 from repro.core.sketch import CountMinSketch
 from repro.obs import get_registry, span
 
-__all__ = ["HotCacheConfig", "CacheDelta", "EmbeddingHotCache", "repack_remaining"]
+__all__ = [
+    "HotCacheConfig",
+    "CacheDelta",
+    "RebalancePlan",
+    "EmbeddingHotCache",
+    "repack_remaining",
+    "CACHE_STATE_VERSION",
+]
+
+#: Schema version of :meth:`EmbeddingHotCache.state_dict` payloads.
+CACHE_STATE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -121,6 +131,32 @@ class CacheDelta:
             if ids.size
         }
         return sorted(changed)
+
+
+@dataclass(frozen=True)
+class RebalancePlan:
+    """A fully-decided turnover, not yet applied to the cache.
+
+    :meth:`EmbeddingHotCache.plan_rebalance` is a pure function of cache
+    state, so a plan can be recomputed deterministically after a crash:
+    the durability journal only needs the delta ids to *verify* that a
+    rolled-forward plan matches the intent recorded before the crash.
+
+    Attributes:
+        delta: sorted promoted/demoted ids per table (the public shape).
+        tick: the cache's logical clock when the plan was drawn; apply
+            refuses a plan drawn at a different tick (stale plan).
+        promoted_order: admission-order promoted ids per table (the order
+            the LFU admission loop accepted them in).
+        promoted_est: sketch estimates aligned with ``promoted_order``.
+        demoted_order: eviction-order demoted ids per table.
+    """
+
+    delta: CacheDelta
+    tick: int
+    promoted_order: dict[str, np.ndarray] = field(default_factory=dict)
+    promoted_est: dict[str, np.ndarray] = field(default_factory=dict)
+    demoted_order: dict[str, np.ndarray] = field(default_factory=dict)
 
 
 class EmbeddingHotCache:
@@ -306,19 +342,22 @@ class EmbeddingHotCache:
         every frequency counter — exact and sketched — ages by the decay
         factor, and the window resets.
 
+        Equivalent to :meth:`plan_rebalance` followed by
+        :meth:`apply_rebalance`; the split exists so the trainers can
+        journal the planned delta *before* any state mutates.
+
         Returns:
             The per-table promoted/demoted ids (possibly empty).
         """
-        with span("hotcache.rebalance", tick=self.tick):
-            delta = self._rebalance()
-        self.rebalances += 1
-        self._rebalances_counter.inc()
-        if not delta.is_empty:
-            self.version += 1
-        self._update_gauges()
-        return delta
+        return self.apply_rebalance(self.plan_rebalance())
 
-    def _rebalance(self) -> CacheDelta:
+    def plan_rebalance(self) -> RebalancePlan:
+        """Decide the next turnover without mutating any cache state.
+
+        Pure in the cache state: two byte-identical caches produce
+        byte-identical plans, which is what lets crash recovery re-derive
+        an interrupted refresh instead of persisting row payloads.
+        """
         names = sorted(self._members)
         name_code = {name: i for i, name in enumerate(names)}
 
@@ -355,8 +394,7 @@ class EmbeddingHotCache:
             c_id_parts.append(cand)
             c_est_parts.append(est)
         if not c_id_parts:
-            self._finish_window(names)
-            return CacheDelta()
+            return RebalancePlan(delta=CacheDelta(), tick=self.tick)
         c_code = np.concatenate(c_code_parts)
         c_id = np.concatenate(c_id_parts)
         c_est = np.concatenate(c_est_parts)
@@ -391,6 +429,9 @@ class EmbeddingHotCache:
 
         promoted: dict[str, np.ndarray] = {}
         demoted: dict[str, np.ndarray] = {}
+        promoted_order: dict[str, np.ndarray] = {}
+        promoted_est: dict[str, np.ndarray] = {}
+        demoted_order: dict[str, np.ndarray] = {}
         for i, name in enumerate(names):
             promo = np.array(
                 sorted(cid for code, cid, _ in admitted if code == i), dtype=np.int64
@@ -401,27 +442,74 @@ class EmbeddingHotCache:
             )
             if promo.size:
                 promoted[name] = promo
+                promoted_order[name] = np.array(
+                    [cid for code, cid, _ in admitted if code == i], dtype=np.int64
+                )
+                promoted_est[name] = np.array(
+                    [e for code, cid, e in admitted if code == i], dtype=np.float64
+                )
             if demo.size:
                 demoted[name] = demo
+                demoted_order[name] = m_id[demo_idx].astype(np.int64)
+
+        return RebalancePlan(
+            delta=CacheDelta(promoted=promoted, demoted=demoted),
+            tick=self.tick,
+            promoted_order=promoted_order,
+            promoted_est=promoted_est,
+            demoted_order=demoted_order,
+        )
+
+    def apply_rebalance(self, plan: RebalancePlan) -> CacheDelta:
+        """Apply a :meth:`plan_rebalance` decision to the cache state.
+
+        Performs the membership swap, hands demoted counters back to the
+        sketch, then ages every counter and resets the observation window
+        (exactly what the fused :meth:`rebalance` always did).
+
+        Raises:
+            ValueError: if the plan was drawn at a different logical tick
+                than the cache is at now (a stale or foreign plan).
+        """
+        if plan.tick != self.tick:
+            raise ValueError(
+                f"rebalance plan drawn at tick {plan.tick} cannot apply at "
+                f"tick {self.tick}"
+            )
+        with span("hotcache.rebalance", tick=self.tick):
+            self._apply_rebalance(plan)
+        self.rebalances += 1
+        self._rebalances_counter.inc()
+        if not plan.delta.is_empty:
+            self.version += 1
+        self._update_gauges()
+        return plan.delta
+
+    def _apply_rebalance(self, plan: RebalancePlan) -> None:
+        names = sorted(self._members)
+        delta = plan.delta
+        for name in names:
+            promo = delta.promoted.get(name, np.zeros(0, dtype=np.int64))
+            demo = delta.demoted.get(name, np.zeros(0, dtype=np.int64))
             if not promo.size and not demo.size:
                 continue
 
             # Demoted rows hand their exact counters back to the sketch,
             # so their popularity history survives the demotion.
             if demo.size:
-                counts = np.floor(m_freq[demo_idx]).astype(np.int64)
+                demo_evorder = plan.demoted_order[name]
+                positions = np.searchsorted(self._members[name], demo_evorder)
+                counts = np.floor(self._freq[name][positions]).astype(np.int64)
                 self._sketch[name].add(demo, counts=counts)
 
             keep = np.isin(self._members[name], demo, assume_unique=True, invert=True)
             kept_ids = self._members[name][keep]
             kept_freq = self._freq[name][keep]
             kept_tick = self._last_tick[name][keep]
-            promo_est = np.array(
-                [e for code, cid, e in admitted if code == i], dtype=np.float64
+            promo_ids_unsorted = plan.promoted_order.get(
+                name, np.zeros(0, dtype=np.int64)
             )
-            promo_ids_unsorted = np.array(
-                [cid for code, cid, _ in admitted if code == i], dtype=np.int64
-            )
+            promo_est = plan.promoted_est.get(name, np.zeros(0, dtype=np.float64))
             merged = np.concatenate([kept_ids, promo_ids_unsorted])
             merged_freq = np.concatenate([kept_freq, promo_est])
             merged_tick = np.concatenate(
@@ -432,8 +520,8 @@ class EmbeddingHotCache:
             self._freq[name] = merged_freq[sorter]
             self._last_tick[name] = merged_tick[sorter]
 
-        num_promoted = sum(ids.size for ids in promoted.values())
-        num_demoted = sum(ids.size for ids in demoted.values())
+        num_promoted = delta.num_promoted
+        num_demoted = delta.num_demoted
         self.promotions += num_promoted
         self.demotions += num_demoted
         self._promotions_counter.inc(num_promoted)
@@ -441,7 +529,6 @@ class EmbeddingHotCache:
         self._evictions_counter.inc(num_demoted)
 
         self._finish_window(names)
-        return CacheDelta(promoted=promoted, demoted=demoted)
 
     def _finish_window(self, names: list[str]) -> None:
         """Age every counter and reset the observation window."""
@@ -510,6 +597,97 @@ class EmbeddingHotCache:
     def _update_gauges(self) -> None:
         self._rows_gauge.set(self.hot_rows)
         self._bytes_gauge.set(self.hot_bytes)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete mutable cache state for checkpointing.
+
+        Covers membership, exact decayed counters, last-access ticks,
+        pending miss windows, per-table sketches (full depth x width
+        arrays), the logical tick, and every cumulative stat — everything
+        needed for a restored cache to continue byte-identically.
+        Static construction inputs (config, pinned bags, table geometry)
+        are *not* serialized; the loader validates they match instead.
+        """
+        tables: dict[str, dict] = {}
+        for name in sorted(self._members):
+            tables[name] = {
+                "members": self._members[name].copy(),
+                "freq": self._freq[name].copy(),
+                "last_tick": self._last_tick[name].copy(),
+                "pending": [window.copy() for window in self._pending[name]],
+                "sketch": self._sketch[name].state_dict(),
+            }
+        return {
+            "schema_version": CACHE_STATE_VERSION,
+            "version": int(self.version),
+            "tick": int(self.tick),
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+            "promotions": int(self.promotions),
+            "demotions": int(self.demotions),
+            "rebalances": int(self.rebalances),
+            "window_inputs": int(self.window_inputs),
+            "pinned": sorted(self._pinned),
+            "tables": tables,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this cache.
+
+        The cache must have been constructed over the same schema (same
+        pinned tables, same tracked tables); membership itself may differ
+        arbitrarily — it is replaced wholesale.
+
+        Raises:
+            ValueError: on schema-version or table-layout mismatch.
+        """
+        version = state.get("schema_version")
+        if version != CACHE_STATE_VERSION:
+            raise ValueError(
+                f"cache state schema_version {version} != {CACHE_STATE_VERSION}"
+            )
+        if list(state["pinned"]) != sorted(self._pinned):
+            raise ValueError(
+                f"pinned tables {sorted(self._pinned)} != checkpointed "
+                f"{list(state['pinned'])}"
+            )
+        tables = state["tables"]
+        if sorted(tables) != sorted(self._members):
+            raise ValueError(
+                f"tracked tables {sorted(self._members)} != checkpointed "
+                f"{sorted(tables)}"
+            )
+        for name in sorted(tables):
+            entry = tables[name]
+            members = np.asarray(entry["members"], dtype=np.int64).copy()
+            if members.size and int(members.max()) >= self._num_rows[name]:
+                raise ValueError(
+                    f"checkpointed member id {int(members.max())} out of range "
+                    f"for table {name!r} ({self._num_rows[name]} rows)"
+                )
+            self._members[name] = members
+            self._freq[name] = np.asarray(entry["freq"], dtype=np.float64).copy()
+            self._last_tick[name] = np.asarray(
+                entry["last_tick"], dtype=np.int64
+            ).copy()
+            self._pending[name] = [
+                np.asarray(window, dtype=np.int64).copy()
+                for window in entry["pending"]
+            ]
+            self._sketch[name].load_state_dict(entry["sketch"])
+        self.version = int(state["version"])
+        self.tick = int(state["tick"])
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+        self.promotions = int(state["promotions"])
+        self.demotions = int(state["demotions"])
+        self.rebalances = int(state["rebalances"])
+        self.window_inputs = int(state["window_inputs"])
+        self._update_gauges()
 
 
 def repack_remaining(

@@ -108,6 +108,52 @@ class FAEDataset:
     def batch_counts(self) -> tuple[int, int]:
         return len(self.hot_batches), len(self.cold_batches)
 
+    def state_dict(self) -> dict:
+        """Exact batch geometry for checkpointing (schema-versioned).
+
+        Cache turnover re-packs the remaining batches mid-epoch, so a
+        checkpoint taken after a refresh must carry the repacked geometry
+        — cursors and scheduler pools are meaningless against the
+        original packing.  Batches are stored as one concatenated index
+        stream plus per-batch lengths (ragged tails are preserved).
+        """
+        hot = [np.asarray(batch, dtype=np.int64) for batch in self.hot_batches]
+        cold = [np.asarray(batch, dtype=np.int64) for batch in self.cold_batches]
+        return {
+            "schema_version": 1,
+            "batch_size": int(self.batch_size),
+            "hot_indices": np.concatenate(hot) if hot else np.zeros(0, np.int64),
+            "hot_lengths": np.array([b.size for b in hot], dtype=np.int64),
+            "cold_indices": np.concatenate(cold) if cold else np.zeros(0, np.int64),
+            "cold_lengths": np.array([b.size for b in cold], dtype=np.int64),
+            "hot_mask": np.asarray(self.hot_mask, dtype=bool),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "FAEDataset":
+        """Rebuild the exact dataset a :meth:`state_dict` captured.
+
+        Raises:
+            ValueError: on schema-version mismatch.
+        """
+        version = state.get("schema_version")
+        if version != 1:
+            raise ValueError(f"dataset state schema_version {version} != 1")
+
+        def _split(indices: np.ndarray, lengths: np.ndarray) -> list[np.ndarray]:
+            indices = np.asarray(indices, dtype=np.int64)
+            bounds = np.cumsum(np.asarray(lengths, dtype=np.int64))[:-1]
+            return [chunk.copy() for chunk in np.split(indices, bounds)] if len(
+                lengths
+            ) else []
+
+        return cls(
+            hot_batches=_split(state["hot_indices"], state["hot_lengths"]),
+            cold_batches=_split(state["cold_indices"], state["cold_lengths"]),
+            hot_mask=np.asarray(state["hot_mask"], dtype=bool).copy(),
+            batch_size=int(state["batch_size"]),
+        )
+
 
 def _cut_batches(indices: np.ndarray, batch_size: int, drop_last: bool) -> list[np.ndarray]:
     """Slice an index stream into consecutive batches (each computed once)."""

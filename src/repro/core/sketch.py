@@ -24,7 +24,10 @@ from repro.core.access_profile import AccessProfile, TableProfile
 from repro.core.config import FAEConfig
 from repro.data.synthetic import SyntheticClickLog
 
-__all__ = ["CountMinSketch", "SketchLogger"]
+__all__ = ["CountMinSketch", "SketchLogger", "SKETCH_STATE_VERSION"]
+
+#: Schema version of :meth:`CountMinSketch.state_dict` payloads.
+SKETCH_STATE_VERSION = 1
 
 
 class CountMinSketch:
@@ -130,6 +133,48 @@ class CountMinSketch:
     @property
     def nbytes(self) -> int:
         return int(self.table.nbytes)
+
+    def state_dict(self) -> dict:
+        """Complete sketch state for checkpointing (schema-versioned).
+
+        The hash parameters travel with the counters: a restored sketch
+        answers every query byte-identically even if the constructor seed
+        that produced ``a``/``b`` is no longer known.
+        """
+        return {
+            "schema_version": SKETCH_STATE_VERSION,
+            "width": self.width,
+            "depth": self.depth,
+            "total": int(self.total),
+            "a": self._a.copy(),
+            "b": self._b.copy(),
+            "table": self.table.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this sketch.
+
+        Raises:
+            ValueError: on schema-version or geometry mismatch.
+        """
+        version = state.get("schema_version")
+        if version != SKETCH_STATE_VERSION:
+            raise ValueError(
+                f"sketch state schema_version {version} != {SKETCH_STATE_VERSION}"
+            )
+        if int(state["width"]) != self.width or int(state["depth"]) != self.depth:
+            raise ValueError(
+                f"sketch geometry mismatch: state is "
+                f"{state['depth']}x{state['width']}, sketch is "
+                f"{self.depth}x{self.width}"
+            )
+        self._a = np.asarray(state["a"], dtype=np.int64).copy()
+        self._b = np.asarray(state["b"], dtype=np.int64).copy()
+        table = np.asarray(state["table"], dtype=np.int64)
+        if table.shape != (self.depth, self.width):
+            raise ValueError(f"sketch table shape {table.shape} != {(self.depth, self.width)}")
+        self.table = table.copy()
+        self.total = int(state["total"])
 
 
 class SketchLogger:

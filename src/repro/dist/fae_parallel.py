@@ -37,11 +37,13 @@ Deaths and rejoins are visible in the supervisor event log
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 
 import numpy as np
 
 from repro.core.hotcache import EmbeddingHotCache, repack_remaining
+from repro.core.input_processor import FAEDataset
 from repro.core.pipeline import FAEPlan
 from repro.core.replicator import EmbeddingReplicator
 from repro.core.scheduler import ShuffleScheduler
@@ -63,6 +65,7 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.faults import FaultPlan, PermanentRankFailure, popular_local_row
 from repro.resilience.guards import LossSpikeError, NumericGuard
+from repro.resilience.journal import RefreshJournal
 from repro.resilience.retry import RetryPolicy
 from repro.train.history import HistoryPoint, TrainingHistory
 from repro.train.trainer import TrainResult, evaluate_with_master_bags
@@ -126,6 +129,9 @@ class DistributedFAETrainer:
         self.retry = retry
         self.guards = guards
         self.cache = cache
+        #: Optional drift detector whose check history rides along in
+        #: checkpoints (set by callers that monitor the run).
+        self.drift = None
         # Set by the CLI so GuardAbort can point at the quarantine ledger.
         self.guard_ledger_path: str | None = None
         self.group = ProcessGroup(
@@ -403,8 +409,15 @@ class DistributedFAETrainer:
         scheduler: ShuffleScheduler,
         last_loss: float,
         last_acc: float,
+        dataset: FAEDataset | None = None,
+        repacked: bool = False,
     ) -> TrainerCheckpoint:
-        """Snapshot at a segment boundary (masters are authoritative)."""
+        """Snapshot at a segment boundary (masters are authoritative).
+
+        When a cache turnover has re-packed the batch streams, the
+        repacked dataset geometry rides along (``dataset_state``) so
+        resume rebuilds the exact pools the cursors refer to.
+        """
         return TrainerCheckpoint(
             step=step,
             epoch=epoch,
@@ -418,12 +431,46 @@ class DistributedFAETrainer:
             last_train_loss=last_loss,
             last_train_accuracy=last_acc,
             metadata={"world_size": self.world_size},
+            cache_state=self.cache.state_dict() if self.cache is not None else None,
+            dataset_state=(
+                dataset.state_dict() if repacked and dataset is not None else None
+            ),
+            drift_state=self.drift.state_dict() if self.drift is not None else None,
+        )
+
+    def _restore_cache_state(self, ckpt: TrainerCheckpoint) -> None:
+        """Restore the online cache (and rebuild replica bags to match).
+
+        A pre-v2 checkpoint carries no cache state: warn and cold-start
+        (the cache keeps the fresh membership it was constructed with —
+        the same state :meth:`EmbeddingHotCache.from_schema` cold-starts
+        from when no calibration exists).
+        """
+        if self.cache is None:
+            return
+        if ckpt.cache_state is None:
+            warnings.warn(
+                "checkpoint predates cache durability (no cache state): the "
+                "online cache cold-starts from its initial membership instead "
+                "of resuming exactly",
+                stacklevel=2,
+            )
+            return
+        self.cache.load_state_dict(ckpt.cache_state)
+        # Replica bags were built from the constructor-time membership;
+        # rebuild them (from the restored masters) to match the restored
+        # membership.
+        self.replicator = EmbeddingReplicator(
+            tables=self.master_tables,
+            bag_specs=self.cache.bags(),
+            num_replicas=self.replicator.num_replicas,
+            pooling=self.replicator.pooling,
         )
 
     def _restore_checkpoint(
         self, resume, scheduler: ShuffleScheduler
     ) -> TrainerCheckpoint:
-        """Restore parameters, scheduler, and fault state from ``resume``."""
+        """Restore parameters, scheduler, cache, and fault state."""
         ckpt = resume if isinstance(resume, TrainerCheckpoint) else load_checkpoint(resume)
         reference = self.replicas[0].dense_parameters()
         restore_training_state(reference, self.master_tables, ckpt.params)
@@ -431,6 +478,9 @@ class DistributedFAETrainer:
             for p, q in zip(reference, model.dense_parameters()):
                 q.value[...] = p.value
         scheduler.load_state_dict(ckpt.scheduler_state)
+        self._restore_cache_state(ckpt)
+        if self.drift is not None and ckpt.drift_state is not None:
+            self.drift.load_state_dict(ckpt.drift_state)
         if ckpt.degraded:
             # The run had already lost its hot replicas; stay cold.
             self.replicator.evict()
@@ -439,6 +489,81 @@ class DistributedFAETrainer:
         if ckpt.rng_state is not None and self.fault_plan is not None:
             self.fault_plan.load_state_dict(ckpt.rng_state)
         return ckpt
+
+    def _refresh_cache(
+        self,
+        train_log: SyntheticClickLog,
+        dataset: FAEDataset,
+        cursors: dict[str, int],
+        scheduler: ShuffleScheduler,
+        mode: str,
+        journal: RefreshJournal | None,
+    ) -> tuple[FAEDataset, dict[str, int], str, bool]:
+        """One journaled cache turnover (the refresh transaction).
+
+        Same phase order and crash-fault kill points as the single-device
+        :meth:`~repro.train.trainer.FAETrainer._refresh_cache`: plan ->
+        intent (journal write-ahead) -> apply (membership swap) ->
+        replicas (delta shipped to every rank) -> repack (remaining
+        batches) -> pools (scheduler swap) -> commit (journal).  A crash
+        anywhere is recovered by re-planning from the pre-refresh
+        checkpoint, which :meth:`RefreshJournal.verify_rollforward`
+        checks against the journaled intent.
+
+        Returns:
+            ``(dataset, cursors, mode, repacked)``.
+        """
+        fault_plan = self.fault_plan
+        refresh_index = self.cache.rebalances
+        plan = self.cache.plan_rebalance()
+        delta = plan.delta
+        if fault_plan is not None:
+            fault_plan.maybe_crash_refresh(refresh_index, "plan")
+        if journal is not None:
+            journal.verify_rollforward(tick=plan.tick, delta=delta)
+            journal.begin(
+                refresh_index=refresh_index,
+                tick=plan.tick,
+                generation=self.cache.version + (0 if delta.is_empty else 1),
+                delta=delta,
+            )
+            if fault_plan is not None:
+                fault_plan.maybe_crash_refresh(refresh_index, "intent")
+        self.cache.apply_rebalance(plan)
+        if fault_plan is not None:
+            fault_plan.maybe_crash_refresh(refresh_index, "apply")
+        repacked = False
+        if not delta.is_empty:
+            if mode == "hot":
+                # Old hot bags are about to be rebuilt; fall back to the
+                # (current) masters on every rank.
+                for model, bags in zip(self.replicas, self._cold_bags):
+                    for name, bag in bags.items():
+                        model.set_bag(name, bag)
+                mode = "cold"
+            new_bags = self.cache.bags()
+            self.replicator.apply_delta(new_bags, delta)
+            if fault_plan is not None:
+                fault_plan.maybe_crash_refresh(refresh_index, "replicas")
+            dataset, cursors = repack_remaining(
+                train_log, dataset, cursors, delta, new_bags
+            )
+            if fault_plan is not None:
+                fault_plan.maybe_crash_refresh(refresh_index, "repack")
+            scheduler.repack_pools(
+                len(dataset.hot_batches), len(dataset.cold_batches)
+            )
+            if fault_plan is not None:
+                fault_plan.maybe_crash_refresh(refresh_index, "pools")
+            get_registry().gauge("train.batch.hot_fraction").set(
+                dataset.hot_input_fraction
+            )
+            repacked = True
+        if journal is not None:
+            journal.commit()
+        if fault_plan is not None:
+            fault_plan.maybe_crash_refresh(refresh_index, "commit")
+        return dataset, cursors, mode, repacked
 
     # ------------------------------------------------------------------
     # Training loop
@@ -494,16 +619,6 @@ class DistributedFAETrainer:
             resume: checkpoint path or :class:`TrainerCheckpoint` to
                 continue from, or None for a fresh run.
         """
-        if self.cache is not None and (
-            self.guards is not None or checkpoint is not None or resume is not None
-        ):
-            # A rebalance changes the pool geometry mid-epoch, so a
-            # checkpoint's scheduler state no longer matches, and the
-            # cache's sketch/counter state is not checkpointable yet.
-            raise ValueError(
-                "hot-cache training does not compose with guards or "
-                "checkpoint/resume; run them separately"
-            )
         if self.guards is None:
             return self._train(train_log, test_log, epochs, eval_samples, checkpoint, resume)
         if epochs <= 0:
@@ -547,11 +662,29 @@ class DistributedFAETrainer:
         if epochs <= 0:
             raise ValueError("epochs must be positive")
         dataset = self.plan.dataset
+        repacked = False
+        if resume is not None:
+            resume = (
+                resume
+                if isinstance(resume, TrainerCheckpoint)
+                else load_checkpoint(resume)
+            )
+            if resume.dataset_state is not None:
+                # The run had re-packed its batches before this snapshot:
+                # cursors and scheduler pools refer to that geometry, not
+                # the plan's original packing.
+                dataset = FAEDataset.from_state_dict(resume.dataset_state)
+                repacked = True
         scheduler = ShuffleScheduler(
             num_hot_batches=len(dataset.hot_batches),
             num_cold_batches=len(dataset.cold_batches),
             initial_rate=self.plan.config.scheduler_initial_rate,
             strip_length=self.plan.config.scheduler_strip_length,
+        )
+        journal = (
+            RefreshJournal(checkpoint.directory)
+            if checkpoint is not None and self.cache is not None
+            else None
         )
         dense_optimizers = [SGD(m.dense_parameters(), lr=self.lr) for m in self.replicas]
         master_optimizer = SGD(
@@ -581,6 +714,21 @@ class DistributedFAETrainer:
             resume_cursors = dict(ckpt.cursors)
             last_loss = ckpt.last_train_loss
             last_acc = ckpt.last_train_accuracy
+            if (
+                self.cache is not None
+                and not scheduler.degraded
+                and self.cache.should_rebalance()
+            ):
+                # Checkpoints are captured *before* the boundary refresh,
+                # so a restored full observation window means the crashed
+                # run was refreshing (or about to): roll the refresh
+                # forward now, deterministically — plan_rebalance is pure
+                # in the restored state, and the journal's pending intent
+                # (if the crash landed mid-refresh) verifies the re-plan.
+                dataset, resume_cursors, mode, did_repack = self._refresh_cache(
+                    train_log, dataset, resume_cursors, scheduler, mode, journal
+                )
+                repacked = repacked or did_repack
 
         for epoch in range(start_epoch, epochs):
             if resume_cursors is not None:
@@ -704,6 +852,8 @@ class DistributedFAETrainer:
                     if loss is not None:
                         iteration += 1
                         losses.append(loss)
+                        if self.fault_plan is not None:
+                            self.fault_plan.maybe_crash_step(iteration)
                 cursors[pool_name] = start + segment.num_batches
 
                 if mode == "hot":
@@ -737,38 +887,37 @@ class DistributedFAETrainer:
                 segments_done += 1
                 if checkpoint is not None and checkpoint.should_save(segments_done):
                     snapshot = self._capture_checkpoint(
-                        iteration, epoch, cursors, scheduler, last_loss, last_acc
+                        iteration,
+                        epoch,
+                        cursors,
+                        scheduler,
+                        last_loss,
+                        last_acc,
+                        dataset=dataset,
+                        repacked=repacked,
                     )
                     # Checkpoint hygiene: never persist a snapshot
                     # carrying NaN/Inf — rollback must not restore poison.
                     if self.guards is None or self.guards.state_ok(snapshot.params):
                         checkpoint.save(snapshot)
+                        if self.fault_plan is not None:
+                            self.fault_plan.maybe_crash_checkpoint()
 
                 # Cache turnover at the segment boundary: the masters are
                 # authoritative here (hot rows flushed before evaluation),
                 # so promotions pull fresh values and demotions are free.
+                # The turnover runs *after* the checkpoint on purpose:
+                # crash recovery re-derives an interrupted refresh from
+                # the pre-refresh snapshot (see _refresh_cache).
                 if (
                     self.cache is not None
                     and not scheduler.degraded
                     and self.cache.should_rebalance()
                 ):
-                    delta = self.cache.rebalance()
-                    if not delta.is_empty:
-                        if mode == "hot":
-                            # Old hot bags are about to be rebuilt; fall
-                            # back to the (current) masters on every rank.
-                            for model, bags in zip(self.replicas, self._cold_bags):
-                                for name, bag in bags.items():
-                                    model.set_bag(name, bag)
-                            mode = "cold"
-                        new_bags = self.cache.bags()
-                        self.replicator.apply_delta(new_bags, delta)
-                        dataset, cursors = repack_remaining(
-                            train_log, dataset, cursors, delta, new_bags
-                        )
-                        scheduler.repack_pools(
-                            len(dataset.hot_batches), len(dataset.cold_batches)
-                        )
+                    dataset, cursors, mode, did_repack = self._refresh_cache(
+                        train_log, dataset, cursors, scheduler, mode, journal
+                    )
+                    repacked = repacked or did_repack
 
         if mode == "hot":
             sync_bytes += self._install_cold()

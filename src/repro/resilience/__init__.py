@@ -9,9 +9,14 @@ package is the robustness backbone the rest of the stack leans on:
 - :mod:`repro.resilience.checkpoint` — atomic, SHA-256-checksummed
   training snapshots (parameters, scheduler state, cursors, RNG state)
   with corruption detection and newest-good resolution for resume;
+- :mod:`repro.resilience.journal` — a write-ahead ``refresh.journal``
+  that turns hot-cache turnover into a crash-consistent transaction
+  (intent before mutation, commit after ``repack_pools``, deterministic
+  roll-forward verification on resume);
 - :mod:`repro.resilience.faults` — a seedable :class:`FaultPlan` that
   deterministically injects transient collective failures, permanent
-  rank deaths, loader hiccups, and hot-replica evictions;
+  rank deaths, loader hiccups, hot-replica evictions, and SIGKILL crash
+  points targeted at refresh phases / checkpoint boundaries / steps;
 - :mod:`repro.resilience.retry` — bounded exponential-backoff retry
   (with seeded, reproducible jitter) around transient faults;
 - :mod:`repro.resilience.elastic` — a supervised real-process worker
@@ -48,10 +53,12 @@ from repro.resilience.checkpoint import (
     capture_training_state,
     latest_checkpoint,
     load_checkpoint,
+    read_checkpoint_meta,
     restore_training_state,
     save_checkpoint,
     verify_checkpoint,
 )
+from repro.resilience.journal import JOURNAL_VERSION, JournalError, RefreshJournal
 from repro.resilience.guards import (
     GUARD_POLICIES,
     CircuitBreaker,
@@ -95,6 +102,8 @@ __all__ = [
     "GuardError",
     "IngestPolicy",
     "IngestValidationError",
+    "JOURNAL_VERSION",
+    "JournalError",
     "LoadShedError",
     "LoaderHiccup",
     "LossSpikeError",
@@ -102,6 +111,7 @@ __all__ = [
     "NumericGuardConfig",
     "PermanentRankFailure",
     "QuarantineLedger",
+    "RefreshJournal",
     "RETRYABLE_FAULTS",
     "RetryExhaustedError",
     "RetryPolicy",
@@ -115,6 +125,7 @@ __all__ = [
     "capture_training_state",
     "latest_checkpoint",
     "load_checkpoint",
+    "read_checkpoint_meta",
     "restore_training_state",
     "save_checkpoint",
     "verify_checkpoint",

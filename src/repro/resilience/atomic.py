@@ -5,9 +5,13 @@ hit wall-clock limits, users press Ctrl-C.  Every artifact the pipeline
 persists (packed ``.npz`` datasets, trace exports, checkpoints) must
 therefore be written so that an interrupted run leaves either the old
 file or the new file, never a truncated hybrid.  The recipe is the
-standard one: write to a same-directory temporary file, then
+standard one: write to a same-directory temporary file, fsync it, then
 ``os.replace`` it into place (atomic on POSIX when source and target
-share a filesystem, which same-directory guarantees).
+share a filesystem, which same-directory guarantees), and fsync the
+directory so the rename itself survives power loss.  Renaming without
+the fsync is only atomic against process crashes: after a power cut the
+filesystem may replay the rename but not the data blocks, surfacing a
+zero-length "atomic" file.
 
 This module is intentionally stdlib-only so anything in the tree can use
 it without import cycles.
@@ -47,10 +51,39 @@ def atomic_write(path: str | Path) -> Iterator[Path]:
     tmp = Path(tmp_name)
     try:
         yield tmp
+        _fsync_path(tmp)
         os.replace(tmp, final)
+        _fsync_dir(final.parent)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
+
+
+def _fsync_path(path: Path) -> None:
+    """Flush a file's data to stable storage before it is renamed."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry (the rename) to stable storage.
+
+    Best-effort: some filesystems refuse fsync on directory fds; the
+    rename is still atomic against process crashes there.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> Path:

@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -44,16 +45,26 @@ __all__ = [
     "capture_training_state",
     "latest_checkpoint",
     "load_checkpoint",
+    "read_checkpoint_meta",
     "restore_training_state",
     "save_checkpoint",
     "verify_checkpoint",
 ]
 
-CHECKPOINT_VERSION = 1
+#: v1: params + scheduler + cursors.  v2 (PR 10): adds durable cache /
+#: drift / repacked-dataset state so the exact-resume invariant holds
+#: under the online hot cache.  v1 archives still load (cache state
+#: absent -> cold start with a warning).
+CHECKPOINT_VERSION = 2
+
+_SUPPORTED_VERSIONS = (1, 2)
 
 _DENSE_PREFIX = "param.dense."
 _TABLE_PREFIX = "param.table."
 _OPT_PREFIX = "opt."
+_STATE_PREFIX = "state."
+
+_NDARRAY_MARKER = "__ndarray__"
 
 
 class CheckpointError(RuntimeError):
@@ -81,6 +92,13 @@ class TrainerCheckpoint:
         last_train_loss: trailing train-loss carry for history fidelity.
         last_train_accuracy: trailing train-accuracy carry.
         metadata: free-form JSON-serializable extras.
+        cache_state: :meth:`EmbeddingHotCache.state_dict` output, or None
+            when the run has no online cache (or the archive predates v2).
+        dataset_state: :meth:`FAEDataset.state_dict` of the *repacked*
+            dataset, or None while the run still trains the original
+            packing (cache turnover rewrites batch geometry mid-epoch,
+            so cursors/scheduler state are meaningless without it).
+        drift_state: :meth:`DriftDetector.state_dict` output, or None.
     """
 
     step: int
@@ -94,6 +112,9 @@ class TrainerCheckpoint:
     last_train_loss: float = 0.0
     last_train_accuracy: float = 0.0
     metadata: dict = field(default_factory=dict)
+    cache_state: dict | None = None
+    dataset_state: dict | None = None
+    drift_state: dict | None = None
 
 
 # ----------------------------------------------------------------------
@@ -142,6 +163,51 @@ def restore_training_state(dense_parameters, tables, state: dict[str, np.ndarray
 
 
 # ----------------------------------------------------------------------
+# Nested-state packing
+# ----------------------------------------------------------------------
+#
+# state_dict trees (cache / drift / dataset) mix JSON scalars with numpy
+# arrays.  Arrays cannot ride in the meta JSON and npz archives are flat,
+# so the tree is split: every ndarray leaf moves into the archive under a
+# generated "state.<path>" key and leaves a {"__ndarray__": key} marker
+# behind; the marker-bearing skeleton goes into the meta JSON and is
+# re-inflated on load.
+
+
+def _pack_tree(tree, prefix: str, arrays: dict[str, np.ndarray]):
+    if isinstance(tree, np.ndarray):
+        arrays[prefix] = tree
+        return {_NDARRAY_MARKER: prefix}
+    if isinstance(tree, dict):
+        if _NDARRAY_MARKER in tree:
+            raise CheckpointError(
+                f"state dict key {_NDARRAY_MARKER!r} is reserved for array markers"
+            )
+        return {
+            key: _pack_tree(value, f"{prefix}.{key}", arrays)
+            for key, value in tree.items()
+        }
+    if isinstance(tree, (list, tuple)):
+        return [
+            _pack_tree(value, f"{prefix}.{index}", arrays)
+            for index, value in enumerate(tree)
+        ]
+    if isinstance(tree, (np.integer, np.floating, np.bool_)):
+        return tree.item()
+    return tree
+
+
+def _unpack_tree(tree, arrays: dict[str, np.ndarray]):
+    if isinstance(tree, dict):
+        if set(tree) == {_NDARRAY_MARKER}:
+            return arrays[tree[_NDARRAY_MARKER]]
+        return {key: _unpack_tree(value, arrays) for key, value in tree.items()}
+    if isinstance(tree, list):
+        return [_unpack_tree(value, arrays) for value in tree]
+    return tree
+
+
+# ----------------------------------------------------------------------
 # Serialization
 # ----------------------------------------------------------------------
 
@@ -175,7 +241,18 @@ def save_checkpoint(directory: str | Path, ckpt: TrainerCheckpoint) -> Path:
         "last_train_accuracy": ckpt.last_train_accuracy,
         "metadata": ckpt.metadata,
     }
+    state_arrays: dict[str, np.ndarray] = {}
+    meta["extra_state"] = _pack_tree(
+        {
+            "cache": ckpt.cache_state,
+            "dataset": ckpt.dataset_state,
+            "drift": ckpt.drift_state,
+        },
+        _STATE_PREFIX[:-1],
+        state_arrays,
+    )
     payload: dict[str, np.ndarray] = {"meta_json": np.array(json.dumps(meta))}
+    payload.update(state_arrays)
     for key, value in ckpt.params.items():
         if key.startswith("dense."):
             payload[_DENSE_PREFIX + key[len("dense."):]] = value
@@ -252,13 +329,22 @@ def load_checkpoint(path: str | Path) -> TrainerCheckpoint:
         raise CheckpointCorruptionError(
             f"checkpoint {path} is unreadable despite a matching checksum: {exc}"
         ) from exc
-    if meta.get("version") != CHECKPOINT_VERSION:
+    version = meta.get("version")
+    if version not in _SUPPORTED_VERSIONS:
         raise CheckpointError(
-            f"checkpoint {path} has version {meta.get('version')}, "
-            f"expected {CHECKPOINT_VERSION}"
+            f"checkpoint {path} has version {version}, "
+            f"expected one of {_SUPPORTED_VERSIONS}"
+        )
+    if version < CHECKPOINT_VERSION:
+        warnings.warn(
+            f"checkpoint {path} is a v{version} archive (pre-durability): "
+            "it carries no cache/drift/dataset state, so an online cache "
+            "will cold-start instead of resuming exactly",
+            stacklevel=2,
         )
     params: dict[str, np.ndarray] = {}
     optimizer_state: dict[str, np.ndarray] = {}
+    state_arrays: dict[str, np.ndarray] = {}
     for key, value in arrays.items():
         if key.startswith(_DENSE_PREFIX):
             params["dense." + key[len(_DENSE_PREFIX):]] = value
@@ -266,6 +352,9 @@ def load_checkpoint(path: str | Path) -> TrainerCheckpoint:
             params["table." + key[len(_TABLE_PREFIX):]] = value
         elif key.startswith(_OPT_PREFIX):
             optimizer_state[key[len(_OPT_PREFIX):]] = value
+        elif key.startswith(_STATE_PREFIX):
+            state_arrays[key] = value
+    extra_state = _unpack_tree(meta.get("extra_state") or {}, state_arrays)
     get_registry().counter("resilience.checkpoint.restores").inc()
     return TrainerCheckpoint(
         step=int(meta["step"]),
@@ -279,7 +368,30 @@ def load_checkpoint(path: str | Path) -> TrainerCheckpoint:
         last_train_loss=float(meta.get("last_train_loss", 0.0)),
         last_train_accuracy=float(meta.get("last_train_accuracy", 0.0)),
         metadata=meta.get("metadata", {}),
+        cache_state=extra_state.get("cache"),
+        dataset_state=extra_state.get("dataset"),
+        drift_state=extra_state.get("drift"),
     )
+
+
+def read_checkpoint_meta(path: str | Path) -> dict:
+    """Verified metadata of one checkpoint, without loading its arrays.
+
+    Returns the raw meta dict (version, step, epoch, degraded, ...) plus
+    ``size_bytes``; used by ``repro checkpoint ls``.  Raises the same
+    errors as :func:`load_checkpoint` on missing/corrupt files.
+    """
+    path = Path(path)
+    blob = _read_verified(path)
+    try:
+        with np.load(io.BytesIO(blob), allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta_json"]))
+    except Exception as exc:
+        raise CheckpointCorruptionError(
+            f"checkpoint {path} is unreadable despite a matching checksum: {exc}"
+        ) from exc
+    meta["size_bytes"] = len(blob)
+    return meta
 
 
 def latest_checkpoint(directory: str | Path) -> Path | None:

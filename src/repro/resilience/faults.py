@@ -45,12 +45,28 @@ Serving-replica faults (exercising :mod:`repro.serve.cluster`):
   (``flap_replica``) that the cluster replay applies to the replicated
   serving tier, proving failover, hedging, and probe re-admission.
 
+Crash faults (exercising :mod:`repro.resilience.journal` and the
+crash-anywhere certification harness):
+
+- **phase-targeted refresh crash** — :meth:`FaultPlan.maybe_crash_refresh`
+  SIGKILLs the *real* process when cache turnover number ``SEG`` reaches
+  phase ``PHASE`` (``crash_refresh=SEG@PHASE``);
+- **checkpoint-boundary crash** — :meth:`FaultPlan.maybe_crash_checkpoint`
+  SIGKILLs right after the N-th checkpoint save (``crash_checkpoint=N``);
+- **mid-segment crash** — :meth:`FaultPlan.maybe_crash_step` SIGKILLs
+  after training iteration N (``crash_step=N``).
+
+These are real ``SIGKILL``s, not exceptions: no ``finally`` blocks run,
+no buffers flush — exactly the failure the durability layer must absorb.
+
 Every injected fault increments a ``faults.*`` counter so chaos runs are
 fully traceable through :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
+import os
+import signal
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -62,9 +78,16 @@ __all__ = [
     "FaultPlan",
     "LoaderHiccup",
     "PermanentRankFailure",
+    "REFRESH_PHASES",
     "TransientCollectiveError",
     "popular_local_row",
 ]
+
+#: Crash-injectable phases of one journaled cache refresh, in execution
+#: order: after planning, after the journal intent record, after the
+#: cache membership swap, after replica delta application, after the
+#: batch repack, after the scheduler pool swap, and after the commit.
+REFRESH_PHASES = ("plan", "intent", "apply", "replicas", "repack", "pools", "commit")
 
 
 def popular_local_row(bag, global_ids: np.ndarray) -> int:
@@ -167,6 +190,13 @@ class FaultPlan:
             ``worker_straggle_seconds`` before completing (a slow-start
             straggler for speculation to beat), or None.
         worker_straggle_seconds: straggler sleep length.
+        crash_refresh: ``(refresh_index, phase)`` — SIGKILL the process
+            when that cache turnover reaches that phase (one of
+            :data:`REFRESH_PHASES`), or None.
+        crash_checkpoint: SIGKILL the process immediately after the N-th
+            (0-based) checkpoint save of this run, or None.
+        crash_step: SIGKILL the process right after training iteration N
+            completes (a mid-segment kill), or None.
     """
 
     seed: int = 0
@@ -191,8 +221,12 @@ class FaultPlan:
     worker_hang_task: int | None = None
     worker_straggle_task: int | None = None
     worker_straggle_seconds: float = 0.5
+    crash_refresh: tuple[int, str] | None = None
+    crash_checkpoint: int | None = None
+    crash_step: int | None = None
 
     _rng: np.random.Generator = field(init=False, repr=False)
+    _checkpoint_saves: int = field(default=0, init=False)
     _collective_calls: int = field(default=0, init=False)
     _collective_failures: int = field(default=0, init=False)
     _loader_hiccups: int = field(default=0, init=False)
@@ -242,6 +276,17 @@ class FaultPlan:
                 raise ValueError(f"{name} must be >= 0, got {value}")
         if self.worker_straggle_seconds <= 0:
             raise ValueError("worker_straggle_seconds must be positive")
+        if self.crash_refresh is not None:
+            refresh_index, phase = self.crash_refresh
+            if refresh_index < 0 or phase not in REFRESH_PHASES:
+                raise ValueError(
+                    f"invalid crash_refresh {self.crash_refresh}: phase must "
+                    f"be one of {REFRESH_PHASES}"
+                )
+        if self.crash_checkpoint is not None and self.crash_checkpoint < 0:
+            raise ValueError("crash_checkpoint must be >= 0")
+        if self.crash_step is not None and self.crash_step < 1:
+            raise ValueError("crash_step must be >= 1")
         self._rng = np.random.default_rng(self.seed)
 
     # ------------------------------------------------------------------
@@ -411,6 +456,42 @@ class FaultPlan:
         return False
 
     # ------------------------------------------------------------------
+    # Crash faults (exercising repro.resilience.journal / certify)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _sigkill() -> None:
+        # A real, unhandled kill: the process dies here, mid-everything.
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def maybe_crash_refresh(self, refresh_index: int, phase: str) -> None:
+        """SIGKILL when cache turnover ``refresh_index`` reaches ``phase``.
+
+        The trainers call this at every phase boundary of every journaled
+        refresh; the plan kills the process at exactly one of them.
+        """
+        if self.crash_refresh is None:
+            return
+        target_index, target_phase = self.crash_refresh
+        if refresh_index == target_index and phase == target_phase:
+            get_registry().counter("faults.crash_refresh.injected").inc()
+            self._sigkill()
+
+    def maybe_crash_checkpoint(self) -> None:
+        """SIGKILL immediately after the configured checkpoint save."""
+        save_index = self._checkpoint_saves
+        self._checkpoint_saves += 1
+        if self.crash_checkpoint is not None and save_index == self.crash_checkpoint:
+            get_registry().counter("faults.crash_checkpoint.injected").inc()
+            self._sigkill()
+
+    def maybe_crash_step(self, iteration: int) -> None:
+        """SIGKILL right after training iteration ``crash_step``."""
+        if self.crash_step is not None and iteration == self.crash_step:
+            get_registry().counter("faults.crash_step.injected").inc()
+            self._sigkill()
+
+    # ------------------------------------------------------------------
     # Serving-replica faults (exercising repro.serve.cluster)
     # ------------------------------------------------------------------
 
@@ -525,6 +606,9 @@ class FaultPlan:
             seed=7,ingest=0.01,bad_batch=0.05,bad_row=40,corrupt=nan
             seed=7,kill_task=1,straggle_task=3,straggle_secs=0.8
             seed=7,kill_replica=1@120,slow_replica=2@40:160,flap_replica=0@30/25
+            crash_refresh=0@repack
+            crash_checkpoint=1
+            crash_step=12
 
         Keys: ``seed``, ``collective`` (transient failure rate),
         ``max_collective``, ``loader`` (hiccup rate), ``max_loader``,
@@ -536,7 +620,10 @@ class FaultPlan:
         ``straggle_task`` (elastic-pool task index), ``straggle_secs``,
         ``kill_replica`` (``REPLICA@REQUEST``), ``slow_replica``
         (``REPLICA@START:STOP``), ``slow_replica_factor``,
-        ``flap_replica`` (``REPLICA@START/PERIOD``).
+        ``flap_replica`` (``REPLICA@START/PERIOD``), ``crash_refresh``
+        (``SEG@PHASE``, phase in :data:`REFRESH_PHASES`),
+        ``crash_checkpoint`` (0-based save index), ``crash_step``
+        (training iteration).
 
         Raises:
             ValueError: on an unknown key or malformed entry.
@@ -606,6 +693,13 @@ class FaultPlan:
                     kwargs["replica_flap"] = (
                         int(replica_str), int(start_str), int(period_str)
                     )
+                elif key == "crash_refresh":
+                    index_str, _, phase = value.partition("@")
+                    kwargs["crash_refresh"] = (int(index_str), phase.strip())
+                elif key == "crash_checkpoint":
+                    kwargs["crash_checkpoint"] = int(value)
+                elif key == "crash_step":
+                    kwargs["crash_step"] = int(value)
                 else:
                     raise ValueError(f"unknown fault spec key {key!r}")
             except ValueError as exc:

@@ -24,11 +24,13 @@ the paper (and our Table III bench) sees matching final accuracy.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.hotcache import EmbeddingHotCache, repack_remaining
+from repro.core.input_processor import FAEDataset
 from repro.core.pipeline import FAEPlan
 from repro.core.replicator import EmbeddingReplicator
 from repro.core.scheduler import ShuffleScheduler
@@ -47,6 +49,7 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.faults import FaultPlan, popular_local_row
 from repro.resilience.guards import LossSpikeError, NumericGuard
+from repro.resilience.journal import RefreshJournal
 from repro.resilience.retry import RetryPolicy
 from repro.train.history import HistoryPoint, TrainingHistory
 from repro.train.metrics import binary_accuracy, evaluate_model
@@ -226,6 +229,9 @@ class FAETrainer:
         self.retry = retry
         self.guards = guards
         self.cache = cache
+        # Optional drift detector whose check history rides along in
+        # checkpoints (attach before calling train()).
+        self.drift = None
         # Set by the CLI so GuardAbort can point at the quarantine ledger.
         self.guard_ledger_path: str | None = None
         self.replicator = EmbeddingReplicator(
@@ -270,8 +276,15 @@ class FAETrainer:
         scheduler: ShuffleScheduler,
         last_loss: float,
         last_acc: float,
+        dataset: FAEDataset | None = None,
+        repacked: bool = False,
     ) -> TrainerCheckpoint:
-        """Snapshot at a segment boundary (masters are authoritative)."""
+        """Snapshot at a segment boundary (masters are authoritative).
+
+        When a cache turnover has re-packed the batch streams, the
+        repacked dataset geometry rides along (``dataset_state``) so
+        resume rebuilds the exact pools the cursors refer to.
+        """
         return TrainerCheckpoint(
             step=step,
             epoch=epoch,
@@ -284,13 +297,50 @@ class FAETrainer:
             degraded=scheduler.degraded,
             last_train_loss=last_loss,
             last_train_accuracy=last_acc,
+            cache_state=self.cache.state_dict() if self.cache is not None else None,
+            dataset_state=(
+                dataset.state_dict() if repacked and dataset is not None else None
+            ),
+            drift_state=self.drift.state_dict() if self.drift is not None else None,
+        )
+
+    def _restore_cache_state(self, ckpt: TrainerCheckpoint) -> None:
+        """Restore the online cache (and rebuild replicas to match).
+
+        A pre-v2 checkpoint carries no cache state: warn and cold-start
+        (the cache keeps the fresh membership it was constructed with —
+        the same state :meth:`EmbeddingHotCache.from_schema` cold-starts
+        from when no calibration exists).
+        """
+        if self.cache is None:
+            return
+        if ckpt.cache_state is None:
+            warnings.warn(
+                "checkpoint predates cache durability (no cache state): the "
+                "online cache cold-starts from its initial membership instead "
+                "of resuming exactly",
+                stacklevel=2,
+            )
+            return
+        self.cache.load_state_dict(ckpt.cache_state)
+        # Replica bags were built from the constructor-time membership;
+        # rebuild them (from the restored masters) to match the restored
+        # membership.
+        self.replicator = EmbeddingReplicator(
+            tables=self.model.tables,
+            bag_specs=self.cache.bags(),
+            num_replicas=self.replicator.num_replicas,
+            pooling=self.replicator.pooling,
         )
 
     def _restore_checkpoint(self, resume, scheduler: ShuffleScheduler) -> TrainerCheckpoint:
-        """Restore parameters, scheduler, and fault state from ``resume``."""
+        """Restore parameters, scheduler, cache, and fault state."""
         ckpt = resume if isinstance(resume, TrainerCheckpoint) else load_checkpoint(resume)
         restore_training_state(self.model.dense_parameters(), self.model.tables, ckpt.params)
         scheduler.load_state_dict(ckpt.scheduler_state)
+        self._restore_cache_state(ckpt)
+        if self.drift is not None and ckpt.drift_state is not None:
+            self.drift.load_state_dict(ckpt.drift_state)
         if ckpt.degraded:
             # The run had already lost its hot replicas; stay cold.
             self.replicator.evict()
@@ -299,6 +349,82 @@ class FAETrainer:
         if ckpt.rng_state is not None and self.fault_plan is not None:
             self.fault_plan.load_state_dict(ckpt.rng_state)
         return ckpt
+
+    def _refresh_cache(
+        self,
+        train_log,
+        dataset: FAEDataset,
+        cursors: dict[str, int],
+        scheduler: ShuffleScheduler,
+        mode: str,
+        journal: RefreshJournal | None,
+        transition_counters: dict | None,
+    ) -> tuple[FAEDataset, dict[str, int], str, bool]:
+        """One journaled cache turnover (the refresh transaction).
+
+        Phase order (each a :meth:`FaultPlan.maybe_crash_refresh` kill
+        point): plan -> intent (journal write-ahead) -> apply (membership
+        swap) -> replicas (delta shipped) -> repack (remaining batches) ->
+        pools (scheduler swap) -> commit (journal).  A crash anywhere is
+        recovered by re-planning from the pre-refresh checkpoint, which
+        :meth:`RefreshJournal.verify_rollforward` checks against the
+        journaled intent.
+
+        Returns:
+            ``(dataset, cursors, mode, repacked)``.
+        """
+        fault_plan = self.fault_plan
+        refresh_index = self.cache.rebalances
+        plan = self.cache.plan_rebalance()
+        delta = plan.delta
+        if fault_plan is not None:
+            fault_plan.maybe_crash_refresh(refresh_index, "plan")
+        if journal is not None:
+            journal.verify_rollforward(tick=plan.tick, delta=delta)
+            journal.begin(
+                refresh_index=refresh_index,
+                tick=plan.tick,
+                generation=self.cache.version + (0 if delta.is_empty else 1),
+                delta=delta,
+            )
+            if fault_plan is not None:
+                fault_plan.maybe_crash_refresh(refresh_index, "intent")
+        self.cache.apply_rebalance(plan)
+        if fault_plan is not None:
+            fault_plan.maybe_crash_refresh(refresh_index, "apply")
+        repacked = False
+        if not delta.is_empty:
+            if mode == "hot":
+                # Old hot bags are about to be rebuilt; fall back to the
+                # (current) masters.
+                for name, bag in self._master_bags.items():
+                    self.model.set_bag(name, bag)
+                mode = "cold"
+                if transition_counters is not None:
+                    transition_counters["cold"].inc()
+            new_bags = self.cache.bags()
+            self.replicator.apply_delta(new_bags, delta)
+            if fault_plan is not None:
+                fault_plan.maybe_crash_refresh(refresh_index, "replicas")
+            dataset, cursors = repack_remaining(
+                train_log, dataset, cursors, delta, new_bags
+            )
+            if fault_plan is not None:
+                fault_plan.maybe_crash_refresh(refresh_index, "repack")
+            scheduler.repack_pools(
+                len(dataset.hot_batches), len(dataset.cold_batches)
+            )
+            if fault_plan is not None:
+                fault_plan.maybe_crash_refresh(refresh_index, "pools")
+            get_registry().gauge("train.batch.hot_fraction").set(
+                dataset.hot_input_fraction
+            )
+            repacked = True
+        if journal is not None:
+            journal.commit()
+        if fault_plan is not None:
+            fault_plan.maybe_crash_refresh(refresh_index, "commit")
+        return dataset, cursors, mode, repacked
 
     @staticmethod
     def _clear_pending_grads(parameters) -> None:
@@ -375,16 +501,6 @@ class FAETrainer:
             resume: checkpoint path or :class:`TrainerCheckpoint` to
                 continue from, or None for a fresh run.
         """
-        if self.cache is not None and (
-            self.guards is not None or checkpoint is not None or resume is not None
-        ):
-            # A rebalance changes the pool geometry mid-epoch, so a
-            # checkpoint's scheduler state no longer matches, and the
-            # cache's sketch/counter state is not checkpointable yet.
-            raise ValueError(
-                "hot-cache training does not compose with guards or "
-                "checkpoint/resume; run them separately"
-            )
         if self.guards is None:
             return self._train(train_log, test_log, epochs, eval_samples, checkpoint, resume)
         if epochs <= 0:
@@ -429,11 +545,29 @@ class FAETrainer:
         if epochs <= 0:
             raise ValueError("epochs must be positive")
         dataset = self.plan.dataset
+        repacked = False
+        if resume is not None:
+            resume = (
+                resume
+                if isinstance(resume, TrainerCheckpoint)
+                else load_checkpoint(resume)
+            )
+            if resume.dataset_state is not None:
+                # The run had re-packed its batches before this snapshot:
+                # cursors and scheduler pools refer to that geometry, not
+                # the plan's original packing.
+                dataset = FAEDataset.from_state_dict(resume.dataset_state)
+                repacked = True
         scheduler = ShuffleScheduler(
             num_hot_batches=len(dataset.hot_batches),
             num_cold_batches=len(dataset.cold_batches),
             initial_rate=self.plan.config.scheduler_initial_rate,
             strip_length=self.plan.config.scheduler_strip_length,
+        )
+        journal = (
+            RefreshJournal(checkpoint.directory)
+            if checkpoint is not None and self.cache is not None
+            else None
         )
         optimizer_params = {
             "cold": self.model.dense_parameters()
@@ -474,6 +608,27 @@ class FAETrainer:
             resume_cursors = dict(ckpt.cursors)
             last_train_loss = ckpt.last_train_loss
             last_train_acc = ckpt.last_train_accuracy
+            if (
+                self.cache is not None
+                and not scheduler.degraded
+                and self.cache.should_rebalance()
+            ):
+                # Checkpoints are captured *before* the boundary refresh,
+                # so a restored full observation window means the crashed
+                # run was refreshing (or about to): roll the refresh
+                # forward now, deterministically — plan_rebalance is pure
+                # in the restored state, and the journal's pending intent
+                # (if the crash landed mid-refresh) verifies the re-plan.
+                dataset, resume_cursors, mode, did_repack = self._refresh_cache(
+                    train_log,
+                    dataset,
+                    resume_cursors,
+                    scheduler,
+                    mode,
+                    journal,
+                    transition_counters,
+                )
+                repacked = repacked or did_repack
 
         for _epoch in range(start_epoch, epochs):
             if resume_cursors is not None:
@@ -611,6 +766,8 @@ class FAETrainer:
                         iteration += 1
                         losses.append(loss)
                         accs.append(binary_accuracy(logits, batch.labels))
+                        if self.fault_plan is not None:
+                            self.fault_plan.maybe_crash_step(iteration)
                     batch_counters[segment.kind].inc(segment.num_batches)
                     cursors[pool_name] = start + segment.num_batches
 
@@ -649,41 +806,38 @@ class FAETrainer:
                             scheduler,
                             last_train_loss,
                             last_train_acc,
+                            dataset=dataset,
+                            repacked=repacked,
                         )
                         # Checkpoint hygiene: never persist a snapshot
                         # carrying NaN/Inf — rollback must not restore poison.
                         if self.guards is None or self.guards.state_ok(snapshot.params):
                             checkpoint.save(snapshot)
+                            if self.fault_plan is not None:
+                                self.fault_plan.maybe_crash_checkpoint()
 
                     # Cache turnover at the segment boundary: the masters
                     # are authoritative here (hot rows were flushed before
                     # the evaluation above), so promotion can pull fresh
-                    # values and demoted rows lose nothing.
+                    # values and demoted rows lose nothing.  The turnover
+                    # runs *after* the checkpoint on purpose: crash
+                    # recovery re-derives an interrupted refresh from the
+                    # pre-refresh snapshot (see _refresh_cache).
                     if (
                         self.cache is not None
                         and not scheduler.degraded
                         and self.cache.should_rebalance()
                     ):
-                        delta = self.cache.rebalance()
-                        if not delta.is_empty:
-                            if mode == "hot":
-                                # Old hot bags are about to be rebuilt;
-                                # fall back to the (current) masters.
-                                for name, bag in self._master_bags.items():
-                                    self.model.set_bag(name, bag)
-                                mode = "cold"
-                                transition_counters["cold"].inc()
-                            new_bags = self.cache.bags()
-                            self.replicator.apply_delta(new_bags, delta)
-                            dataset, cursors = repack_remaining(
-                                train_log, dataset, cursors, delta, new_bags
-                            )
-                            scheduler.repack_pools(
-                                len(dataset.hot_batches), len(dataset.cold_batches)
-                            )
-                            registry.gauge("train.batch.hot_fraction").set(
-                                dataset.hot_input_fraction
-                            )
+                        dataset, cursors, mode, did_repack = self._refresh_cache(
+                            train_log,
+                            dataset,
+                            cursors,
+                            scheduler,
+                            mode,
+                            journal,
+                            transition_counters,
+                        )
+                        repacked = repacked or did_repack
 
         if mode == "hot":
             self._enter_cold()

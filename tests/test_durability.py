@@ -1,0 +1,716 @@
+"""Crash-consistent durability: state round-trips, the journaled cache
+refresh, phase-targeted kill/resume exactness for both trainers, and the
+certification fingerprint + checkpoint CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import fae_preprocess
+from repro.core.drift import DriftDetector
+from repro.core.hotcache import EmbeddingHotCache, HotCacheConfig
+from repro.core.input_processor import FAEDataset
+from repro.core.scheduler import ShuffleScheduler
+from repro.core.sketch import CountMinSketch
+from repro.data import train_test_split
+from repro.dist import DistributedFAETrainer
+from repro.models.dlrm import DLRM, DLRMConfig
+from repro.obs import get_registry
+from repro.resilience import (
+    CheckpointManager,
+    FaultPlan,
+    JournalError,
+    RefreshJournal,
+    TrainerCheckpoint,
+    capture_training_state,
+    latest_checkpoint,
+    load_checkpoint,
+    read_checkpoint_meta,
+    save_checkpoint,
+)
+from repro.resilience.certify import CertifyConfig, write_final_state
+from repro.resilience.faults import REFRESH_PHASES
+from repro.train import FAETrainer
+
+
+def small_dlrm(schema, seed=3):
+    return DLRM(schema, DLRMConfig("4-8", "8-1", seed=seed))
+
+
+def _zipf_traffic(schema, rng, num=32):
+    return {
+        spec.name: rng.integers(0, spec.num_rows, size=(num, 1))
+        for spec in schema.tables
+    }
+
+
+def _assert_tree_equal(a, b, path=""):
+    """Byte-level equality over nested dict/list/array state trees."""
+    assert type(a) is type(b), f"{path}: {type(a)} != {type(b)}"
+    if isinstance(a, dict):
+        assert sorted(a) == sorted(b), path
+        for key in a:
+            _assert_tree_equal(a[key], b[key], f"{path}/{key}")
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), path
+        for index, (x, y) in enumerate(zip(a, b)):
+            _assert_tree_equal(x, y, f"{path}[{index}]")
+    elif isinstance(a, np.ndarray):
+        assert a.dtype == b.dtype, path
+        np.testing.assert_array_equal(a, b, err_msg=path)
+    else:
+        assert a == b, path
+
+
+# ----------------------------------------------------------------------
+# State round-trips: sketch, drift, cache, dataset
+# ----------------------------------------------------------------------
+
+
+class TestSketchState:
+    def test_roundtrip_byte_equality(self):
+        sketch = CountMinSketch(width=64, depth=3, seed=9)
+        rng = np.random.default_rng(0)
+        sketch.add(rng.integers(0, 500, size=200))
+        sketch.decay(0.5)
+        sketch.add(rng.integers(0, 500, size=100))
+
+        state = sketch.state_dict()
+        other = CountMinSketch(width=64, depth=3, seed=77)  # different hashes
+        other.load_state_dict(state)
+        _assert_tree_equal(other.state_dict(), sketch.state_dict())
+        probe = np.arange(500)
+        np.testing.assert_array_equal(other.query(probe), sketch.query(probe))
+
+    def test_rejects_geometry_mismatch(self):
+        state = CountMinSketch(width=64, depth=3).state_dict()
+        with pytest.raises(ValueError):
+            CountMinSketch(width=32, depth=3).load_state_dict(state)
+        with pytest.raises(ValueError):
+            CountMinSketch(width=64, depth=2).load_state_dict(state)
+
+    def test_rejects_wrong_schema_version(self):
+        state = CountMinSketch(width=8, depth=2).state_dict()
+        state["schema_version"] = 99
+        with pytest.raises(ValueError):
+            CountMinSketch(width=8, depth=2).load_state_dict(state)
+
+
+class TestDriftState:
+    def test_history_roundtrip(self, tiny_plan, tiny_log):
+        detector = DriftDetector(tiny_plan.bags, tiny_plan.hot_input_fraction)
+        for _ in range(4):
+            detector.check(tiny_log)
+        state = detector.state_dict()
+        fresh = DriftDetector(tiny_plan.bags, tiny_plan.hot_input_fraction)
+        fresh.load_state_dict(state)
+        assert fresh.history == detector.history
+        assert len(fresh.history) == 4
+
+    def test_rejects_wrong_schema_version(self, tiny_plan):
+        detector = DriftDetector(tiny_plan.bags, tiny_plan.hot_input_fraction)
+        state = detector.state_dict()
+        state["schema_version"] = 0
+        with pytest.raises(ValueError):
+            detector.load_state_dict(state)
+
+
+class TestCacheState:
+    def _warm_cache(self, tiny_schema, seed=5, rounds=6):
+        cache = EmbeddingHotCache.from_schema(
+            tiny_schema,
+            HotCacheConfig(budget_bytes=8 * 1024, rebalance_every=64, seed=2),
+            large_table_min_bytes=1024,
+        )
+        rng = np.random.default_rng(seed)
+        for _ in range(rounds):
+            cache.observe(_zipf_traffic(tiny_schema, rng))
+        cache.rebalance()
+        for _ in range(3):
+            cache.observe(_zipf_traffic(tiny_schema, rng))
+        return cache
+
+    def test_roundtrip_byte_equality(self, tiny_schema):
+        cache = self._warm_cache(tiny_schema)
+        fresh = EmbeddingHotCache.from_schema(
+            tiny_schema,
+            HotCacheConfig(budget_bytes=8 * 1024, rebalance_every=64, seed=2),
+            large_table_min_bytes=1024,
+        )
+        fresh.load_state_dict(cache.state_dict())
+        _assert_tree_equal(fresh.state_dict(), cache.state_dict())
+        assert fresh.stats() == cache.stats()
+
+    def test_restored_cache_continues_identically(self, tiny_schema):
+        cache = self._warm_cache(tiny_schema)
+        fresh = EmbeddingHotCache.from_schema(
+            tiny_schema,
+            HotCacheConfig(budget_bytes=8 * 1024, rebalance_every=64, seed=2),
+            large_table_min_bytes=1024,
+        )
+        fresh.load_state_dict(cache.state_dict())
+        # Replay identical traffic into both; every observation and the
+        # next turnover must agree byte-for-byte.
+        rng_a, rng_b = np.random.default_rng(8), np.random.default_rng(8)
+        for _ in range(4):
+            cache.observe(_zipf_traffic(tiny_schema, rng_a))
+            fresh.observe(_zipf_traffic(tiny_schema, rng_b))
+        delta_a = cache.rebalance()
+        delta_b = fresh.rebalance()
+        for name in set(delta_a.promoted) | set(delta_b.promoted):
+            np.testing.assert_array_equal(
+                delta_a.promoted.get(name), delta_b.promoted.get(name)
+            )
+            np.testing.assert_array_equal(
+                delta_a.demoted.get(name), delta_b.demoted.get(name)
+            )
+        _assert_tree_equal(fresh.state_dict(), cache.state_dict())
+
+    def test_plan_rebalance_is_pure(self, tiny_schema):
+        """plan_rebalance must not mutate — crash recovery re-plans."""
+        cache = self._warm_cache(tiny_schema)
+        before = cache.state_dict()
+        plan_a = cache.plan_rebalance()
+        plan_b = cache.plan_rebalance()
+        _assert_tree_equal(cache.state_dict(), before)
+        assert plan_a.tick == plan_b.tick
+        for name in set(plan_a.delta.promoted) | set(plan_b.delta.promoted):
+            np.testing.assert_array_equal(
+                plan_a.delta.promoted.get(name), plan_b.delta.promoted.get(name)
+            )
+
+    def test_apply_rejects_stale_plan(self, tiny_schema):
+        cache = self._warm_cache(tiny_schema)
+        plan = cache.plan_rebalance()
+        rng = np.random.default_rng(1)
+        cache.observe(_zipf_traffic(tiny_schema, rng))  # tick moves on
+        with pytest.raises(ValueError):
+            cache.apply_rebalance(plan)
+
+    def test_rejects_wrong_schema_version(self, tiny_schema):
+        cache = self._warm_cache(tiny_schema)
+        state = cache.state_dict()
+        state["schema_version"] = 42
+        with pytest.raises(ValueError):
+            cache.load_state_dict(state)
+
+
+class TestDatasetState:
+    def test_roundtrip_with_ragged_tail(self):
+        batches = [
+            np.arange(0, 64, dtype=np.int64),
+            np.arange(64, 128, dtype=np.int64),
+            np.arange(128, 150, dtype=np.int64),  # ragged tail
+        ]
+        dataset = FAEDataset(
+            hot_batches=batches,
+            cold_batches=[np.arange(150, 170, dtype=np.int64)],
+            hot_mask=np.arange(170) < 150,
+            batch_size=64,
+        )
+        rebuilt = FAEDataset.from_state_dict(dataset.state_dict())
+        assert rebuilt.batch_size == 64
+        assert len(rebuilt.hot_batches) == 3
+        for a, b in zip(dataset.hot_batches, rebuilt.hot_batches):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(dataset.cold_batches, rebuilt.cold_batches):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(dataset.hot_mask, rebuilt.hot_mask)
+
+    def test_empty_pools(self):
+        dataset = FAEDataset(
+            hot_batches=[],
+            cold_batches=[np.arange(5, dtype=np.int64)],
+            hot_mask=np.zeros(5, dtype=bool),
+            batch_size=4,
+        )
+        rebuilt = FAEDataset.from_state_dict(dataset.state_dict())
+        assert rebuilt.hot_batches == []
+        assert len(rebuilt.cold_batches) == 1
+
+
+# ----------------------------------------------------------------------
+# Checkpoint v2: nested state, back-compat, corrupt-newest fallback
+# ----------------------------------------------------------------------
+
+
+def _cache_checkpoint(tiny_schema, step=7):
+    model = small_dlrm(tiny_schema)
+    cache = EmbeddingHotCache.from_schema(
+        tiny_schema,
+        HotCacheConfig(budget_bytes=8 * 1024, rebalance_every=64, seed=2),
+        large_table_min_bytes=1024,
+    )
+    rng = np.random.default_rng(4)
+    for _ in range(5):
+        cache.observe(_zipf_traffic(tiny_schema, rng))
+    cache.rebalance()
+    dataset = FAEDataset(
+        hot_batches=[np.arange(10, dtype=np.int64)],
+        cold_batches=[np.arange(10, 30, dtype=np.int64)],
+        hot_mask=np.arange(30) < 10,
+        batch_size=10,
+    )
+    scheduler = ShuffleScheduler(num_hot_batches=1, num_cold_batches=1)
+    return cache, TrainerCheckpoint(
+        step=step,
+        epoch=0,
+        cursors={"hot": 0, "cold": 1},
+        scheduler_state=scheduler.state_dict(),
+        params=capture_training_state(model.dense_parameters(), model.tables),
+        cache_state=cache.state_dict(),
+        dataset_state=dataset.state_dict(),
+        drift_state={"schema_version": 1, "baseline": 0.5, "tolerance": 0.25, "history": []},
+    )
+
+
+class TestCheckpointV2:
+    def test_nested_state_roundtrip(self, tmp_path, tiny_schema):
+        cache, ckpt = _cache_checkpoint(tiny_schema)
+        path = save_checkpoint(tmp_path, ckpt)
+        loaded = load_checkpoint(path)
+        _assert_tree_equal(loaded.cache_state, ckpt.cache_state)
+        _assert_tree_equal(loaded.dataset_state, ckpt.dataset_state)
+        _assert_tree_equal(loaded.drift_state, ckpt.drift_state)
+        # The restored cache state is loadable and byte-faithful.
+        fresh = EmbeddingHotCache.from_schema(
+            tiny_schema,
+            HotCacheConfig(budget_bytes=8 * 1024, rebalance_every=64, seed=2),
+            large_table_min_bytes=1024,
+        )
+        fresh.load_state_dict(loaded.cache_state)
+        _assert_tree_equal(fresh.state_dict(), cache.state_dict())
+
+    def test_none_states_stay_none(self, tmp_path, tiny_schema):
+        model = small_dlrm(tiny_schema)
+        ckpt = TrainerCheckpoint(
+            step=1,
+            epoch=0,
+            cursors={},
+            scheduler_state=ShuffleScheduler(1, 1).state_dict(),
+            params=capture_training_state(model.dense_parameters(), model.tables),
+        )
+        loaded = load_checkpoint(save_checkpoint(tmp_path, ckpt))
+        assert loaded.cache_state is None
+        assert loaded.dataset_state is None
+        assert loaded.drift_state is None
+
+    def test_v1_archive_warns_and_cold_starts(self, tmp_path, tiny_schema, monkeypatch):
+        # A pre-durability archive: written under version 1, no state tree.
+        import repro.resilience.checkpoint as ckpt_mod
+
+        model = small_dlrm(tiny_schema)
+        v1 = TrainerCheckpoint(
+            step=3,
+            epoch=0,
+            cursors={},
+            scheduler_state=ShuffleScheduler(1, 1).state_dict(),
+            params=capture_training_state(model.dense_parameters(), model.tables),
+        )
+        monkeypatch.setattr(ckpt_mod, "CHECKPOINT_VERSION", 1)
+        path = save_checkpoint(tmp_path, v1)
+        monkeypatch.undo()
+
+        with pytest.warns(UserWarning, match="pre-durability"):
+            loaded = load_checkpoint(path)
+        assert loaded.cache_state is None
+
+    def test_trainer_warns_on_stateless_cache_resume(self, tiny_schema, tiny_plan):
+        model = small_dlrm(tiny_schema)
+        cache = EmbeddingHotCache(
+            tiny_plan.bags, HotCacheConfig(budget_bytes=8 * 1024, seed=2)
+        )
+        trainer = FAETrainer(model, tiny_plan, cache=cache)
+        stats_before = cache.stats()
+        ckpt = TrainerCheckpoint(
+            step=0,
+            epoch=0,
+            cursors={},
+            scheduler_state=ShuffleScheduler(1, 1).state_dict(),
+            params=capture_training_state(model.dense_parameters(), model.tables),
+        )
+        with pytest.warns(UserWarning, match="cold-start"):
+            trainer._restore_cache_state(ckpt)
+        assert cache.stats() == stats_before  # untouched: cold start
+
+    def test_latest_checkpoint_skips_corrupt_newest(self, tmp_path, tiny_schema):
+        _cache, older = _cache_checkpoint(tiny_schema, step=5)
+        _cache2, newer = _cache_checkpoint(tiny_schema, step=9)
+        old_path = save_checkpoint(tmp_path, older)
+        new_path = save_checkpoint(tmp_path, newer)
+        new_path.write_bytes(b"garbage" * 100)
+        assert latest_checkpoint(tmp_path) == old_path
+
+    def test_read_checkpoint_meta(self, tmp_path, tiny_schema):
+        _cache, ckpt = _cache_checkpoint(tiny_schema, step=11)
+        path = save_checkpoint(tmp_path, ckpt)
+        meta = read_checkpoint_meta(path)
+        assert meta["step"] == 11
+        assert meta["version"] == 2
+        assert meta["size_bytes"] == path.stat().st_size
+
+
+class TestAtomicFsync:
+    def test_temp_file_is_fsynced_before_rename(self, tmp_path, monkeypatch):
+        import os as os_mod
+
+        from repro.resilience import atomic as atomic_mod
+
+        synced = []
+        real_fsync = os_mod.fsync
+        monkeypatch.setattr(
+            atomic_mod.os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        )
+        target = tmp_path / "durable.txt"
+        with atomic_mod.atomic_write(target) as tmp:
+            tmp.write_text("payload")
+        assert target.read_text() == "payload"
+        # At least the temp file; the directory fsync is best-effort.
+        assert len(synced) >= 1
+
+
+# ----------------------------------------------------------------------
+# Refresh journal
+# ----------------------------------------------------------------------
+
+
+def _tiny_delta():
+    from repro.core.hotcache import CacheDelta
+
+    return CacheDelta(
+        promoted={"t": np.array([1, 5], dtype=np.int64)},
+        demoted={"t": np.array([9], dtype=np.int64)},
+    )
+
+
+class TestRefreshJournal:
+    def test_begin_commit_lifecycle(self, tmp_path):
+        journal = RefreshJournal(tmp_path)
+        assert journal.read() is None
+        assert journal.pending() is None
+
+        journal.begin(refresh_index=0, tick=12, generation=1, delta=_tiny_delta())
+        record = journal.pending()
+        assert record is not None
+        assert record["status"] == "intent"
+        assert record["tick"] == 12
+        assert record["delta"]["promoted"]["t"] == [1, 5]
+
+        journal.commit()
+        assert journal.pending() is None
+        assert journal.read()["status"] == "committed"
+
+    def test_commit_without_intent_raises(self, tmp_path):
+        journal = RefreshJournal(tmp_path)
+        with pytest.raises(JournalError):
+            journal.commit()
+        journal.begin(refresh_index=0, tick=1, generation=1, delta=_tiny_delta())
+        journal.commit()
+        with pytest.raises(JournalError):
+            journal.commit()  # already committed
+
+    def test_unreadable_record_raises(self, tmp_path):
+        journal = RefreshJournal(tmp_path)
+        journal.path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(JournalError):
+            journal.read()
+
+    def test_wrong_version_raises(self, tmp_path):
+        journal = RefreshJournal(tmp_path)
+        journal.path.write_text(json.dumps({"version": 99}), encoding="utf-8")
+        with pytest.raises(JournalError):
+            journal.read()
+
+    def test_rollforward_verifies_matching_intent(self, tmp_path):
+        journal = RefreshJournal(tmp_path)
+        journal.begin(refresh_index=2, tick=30, generation=3, delta=_tiny_delta())
+        before = get_registry().counter("resilience.journal.rollforwards").value
+        journal.verify_rollforward(tick=30, delta=_tiny_delta())
+        after = get_registry().counter("resilience.journal.rollforwards").value
+        assert after == before + 1
+
+    def test_rollforward_rejects_mismatched_delta(self, tmp_path):
+        from repro.core.hotcache import CacheDelta
+
+        journal = RefreshJournal(tmp_path)
+        journal.begin(refresh_index=2, tick=30, generation=3, delta=_tiny_delta())
+        other = CacheDelta(promoted={"t": np.array([2], dtype=np.int64)}, demoted={})
+        with pytest.raises(JournalError, match="nondeterministic"):
+            journal.verify_rollforward(tick=30, delta=other)
+
+    def test_rollforward_ignores_other_ticks(self, tmp_path):
+        from repro.core.hotcache import CacheDelta
+
+        journal = RefreshJournal(tmp_path)
+        journal.begin(refresh_index=2, tick=30, generation=3, delta=_tiny_delta())
+        # A different tick means the pending intent belongs to a refresh
+        # the replay has not reached yet: no verdict either way.
+        journal.verify_rollforward(
+            tick=8, delta=CacheDelta(promoted={}, demoted={})
+        )
+
+
+# ----------------------------------------------------------------------
+# Kill/resume exactness with the online cache (both trainers)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cache_fae_setup(request):
+    tiny_log = request.getfixturevalue("tiny_log")
+    config = request.getfixturevalue("tiny_fae_config")
+    train, test = train_test_split(tiny_log, 0.2, seed=4)
+    plan = fae_preprocess(train, config, batch_size=64, drop_last=True)
+    return tiny_log.schema, train, test, plan
+
+
+def _make_cache(plan):
+    # Budget below the plan's: the calibrated membership is over budget,
+    # so refresh 0 is guaranteed a non-empty delta (demotions at least)
+    # and the phase-complete kill points (replicas/repack/pools) fire.
+    return EmbeddingHotCache(
+        plan.bags,
+        HotCacheConfig(budget_bytes=8 * 1024, rebalance_every=256, seed=2),
+        profile=plan.calibration.profile,
+    )
+
+
+def _single_trainer(schema, plan, fault_plan=None, seed=21):
+    model = small_dlrm(schema, seed=seed)
+    return FAETrainer(
+        model, plan, lr=0.15, fault_plan=fault_plan, cache=_make_cache(plan)
+    )
+
+
+def _dist_trainer(schema, plan, fault_plan=None, seed=21):
+    replicas = [small_dlrm(schema, seed=seed) for _ in range(2)]
+    return DistributedFAETrainer(
+        replicas, plan, lr=0.15, fault_plan=fault_plan, cache=_make_cache(plan)
+    )
+
+
+def _final_params(trainer):
+    model = trainer.model if hasattr(trainer, "model") else trainer.replicas[0]
+    tables = model.tables if hasattr(trainer, "model") else trainer.master_tables
+    return (
+        [p.value.copy() for p in model.dense_parameters()],
+        {name: table.weight.value.copy() for name, table in tables.items()},
+    )
+
+
+def _assert_same_final_state(trainer_a, trainer_b, result_a, result_b):
+    dense_a, tables_a = _final_params(trainer_a)
+    dense_b, tables_b = _final_params(trainer_b)
+    for p, q in zip(dense_a, dense_b):
+        np.testing.assert_array_equal(p, q)
+    for name in tables_a:
+        np.testing.assert_array_equal(tables_a[name], tables_b[name])
+    assert result_a.final_test_accuracy == result_b.final_test_accuracy
+    assert result_a.final_train_accuracy == result_b.final_train_accuracy
+    assert trainer_a.cache.stats() == trainer_b.cache.stats()
+    _assert_tree_equal(trainer_a.cache.state_dict(), trainer_b.cache.state_dict())
+
+
+class _SimulatedKill(BaseException):
+    """Stands in for SIGKILL in-process (no handlers, not an Exception)."""
+
+
+@pytest.fixture()
+def simulated_sigkill(monkeypatch):
+    monkeypatch.setattr(
+        FaultPlan,
+        "_sigkill",
+        staticmethod(lambda: (_ for _ in ()).throw(_SimulatedKill())),
+    )
+
+
+def _kill_and_resume(make_trainer, schema, train, test, plan, tmp_path, faults):
+    """Crash a run at ``faults``, resume it, return (trainer, result)."""
+    crash_dir = tmp_path / "crash"
+    manager = CheckpointManager(crash_dir, every=1, keep=None)
+    killed = make_trainer(schema, plan, fault_plan=FaultPlan.parse(faults))
+    with pytest.raises(_SimulatedKill):
+        killed.train(train, test, epochs=1, checkpoint=manager)
+
+    resume_from = latest_checkpoint(crash_dir)
+    assert resume_from is not None, "kill fired before any checkpoint was saved"
+    resumed = make_trainer(schema, plan, seed=777)  # restore overwrites init
+    result = resumed.train(
+        train,
+        test,
+        epochs=1,
+        checkpoint=CheckpointManager(crash_dir, every=1, keep=None),
+        resume=resume_from,
+    )
+    return resumed, result, crash_dir
+
+
+@pytest.mark.parametrize("make_trainer", [_single_trainer, _dist_trainer], ids=["single", "dist"])
+class TestKillResumeExactness:
+    def test_mid_segment_kill_resumes_exactly(
+        self, tmp_path, cache_fae_setup, simulated_sigkill, make_trainer
+    ):
+        schema, train, test, plan = cache_fae_setup
+        reference = make_trainer(schema, plan)
+        ref_result = reference.train(
+            train,
+            test,
+            epochs=1,
+            checkpoint=CheckpointManager(tmp_path / "ref", every=1, keep=None),
+        )
+        assert reference.cache.rebalances >= 1
+
+        # Kill mid-segment, two-thirds into the run.
+        last_iteration = ref_result.history.points[-1].iteration
+        crash_step = max(1, (2 * last_iteration) // 3)
+        resumed, result, _ = _kill_and_resume(
+            make_trainer, schema, train, test, plan, tmp_path,
+            f"crash_step={crash_step}",
+        )
+        _assert_same_final_state(reference, resumed, ref_result, result)
+
+    @pytest.mark.parametrize("phase", ["intent", "apply", "repack", "pools"])
+    def test_mid_refresh_kill_rolls_forward(
+        self, tmp_path, cache_fae_setup, simulated_sigkill, make_trainer, phase
+    ):
+        schema, train, test, plan = cache_fae_setup
+        reference = make_trainer(schema, plan)
+        ref_result = reference.train(
+            train,
+            test,
+            epochs=1,
+            checkpoint=CheckpointManager(tmp_path / "ref", every=1, keep=None),
+        )
+        stats = reference.cache.stats()
+        assert stats["promotions"] + stats["demotions"] > 0, (
+            "fixture must produce a non-empty refresh for phase kills"
+        )
+
+        resumed, result, crash_dir = _kill_and_resume(
+            make_trainer, schema, train, test, plan, tmp_path,
+            f"crash_refresh=0@{phase}",
+        )
+        _assert_same_final_state(reference, resumed, ref_result, result)
+        # The journaled transaction the crash interrupted was rolled
+        # forward and committed by the resumed run.
+        assert RefreshJournal(crash_dir).read()["status"] == "committed"
+
+    def test_checkpoint_boundary_kill_resumes_exactly(
+        self, tmp_path, cache_fae_setup, simulated_sigkill, make_trainer
+    ):
+        schema, train, test, plan = cache_fae_setup
+        reference = make_trainer(schema, plan)
+        ref_result = reference.train(
+            train,
+            test,
+            epochs=1,
+            checkpoint=CheckpointManager(tmp_path / "ref", every=1, keep=None),
+        )
+        resumed, result, _ = _kill_and_resume(
+            make_trainer, schema, train, test, plan, tmp_path, "crash_checkpoint=1"
+        )
+        _assert_same_final_state(reference, resumed, ref_result, result)
+
+
+# ----------------------------------------------------------------------
+# Certification fingerprint + CLI surfaces
+# ----------------------------------------------------------------------
+
+
+class TestFinalStateFingerprint:
+    def test_deterministic_bytes(self, tmp_path, cache_fae_setup):
+        schema, train, test, plan = cache_fae_setup
+        trainer = _single_trainer(schema, plan)
+        result = trainer.train(train, test, epochs=1)
+        a = write_final_state(tmp_path / "a.json", trainer.model, result, trainer.cache)
+        b = write_final_state(tmp_path / "b.json", trainer.model, result, trainer.cache)
+        assert a.read_bytes() == b.read_bytes()
+        payload = json.loads(a.read_text())
+        assert payload["version"] == 1
+        assert payload["cache"]["stats"]["rebalances"] == trainer.cache.rebalances
+
+    def test_detects_param_drift(self, tmp_path, cache_fae_setup):
+        schema, train, test, plan = cache_fae_setup
+        trainer = _single_trainer(schema, plan)
+        result = trainer.train(train, test, epochs=1)
+        a = write_final_state(tmp_path / "a.json", trainer.model, result, trainer.cache)
+        trainer.model.dense_parameters()[0].value[0] += 1e-8
+        b = write_final_state(tmp_path / "b.json", trainer.model, result, trainer.cache)
+        assert a.read_bytes() != b.read_bytes()
+
+
+class TestCertifyConfig:
+    def test_kill_specs_cover_requested_matrix(self):
+        config = CertifyConfig(phases=("plan", "commit"), checkpoints=(0, 2), steps=(7,))
+        assert config.kill_specs() == [
+            "crash_refresh=0@plan",
+            "crash_refresh=0@commit",
+            "crash_checkpoint=0",
+            "crash_checkpoint=2",
+            "crash_step=7",
+        ]
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError):
+            CertifyConfig(phases=("warp",))
+
+    def test_default_phases_are_complete(self):
+        assert CertifyConfig().phases == REFRESH_PHASES
+
+
+class TestCheckpointCLI:
+    def test_ls_reports_and_verify_passes(self, tmp_path, tiny_schema, capsys):
+        from repro.cli import main
+
+        _cache, ckpt = _cache_checkpoint(tiny_schema, step=4)
+        save_checkpoint(tmp_path, ckpt)
+        assert main(["checkpoint", "ls", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ckpt-00000004.npz" in out
+        assert "ok" in out
+        assert main(["checkpoint", "verify", str(tmp_path)]) == 0
+
+    def test_corruption_exits_nonzero(self, tmp_path, tiny_schema, capsys):
+        from repro.cli import main
+
+        _cache, older = _cache_checkpoint(tiny_schema, step=4)
+        _cache2, newer = _cache_checkpoint(tiny_schema, step=8)
+        save_checkpoint(tmp_path, older)
+        newest = save_checkpoint(tmp_path, newer)
+        newest.write_bytes(b"x" * 64)
+        assert main(["checkpoint", "ls", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "corrupt" in out
+        assert main(["checkpoint", "verify", str(tmp_path)]) == 1
+        assert main(["checkpoint", "verify", str(tmp_path / "ckpt-00000004.npz")]) == 0
+
+    def test_missing_target_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["checkpoint", "ls", str(tmp_path / "nope")]) == 2
+
+
+class TestFaultPlanCrashSpecs:
+    def test_parse_crash_specs(self):
+        plan = FaultPlan.parse("crash_refresh=2@repack,crash_checkpoint=1,crash_step=9")
+        assert plan.crash_refresh == (2, "repack")
+        assert plan.crash_checkpoint == 1
+        assert plan.crash_step == 9
+
+    def test_rejects_bad_phase(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("crash_refresh=0@warp")
+
+    def test_crash_hooks_fire_only_on_target(self, simulated_sigkill):
+        plan = FaultPlan.parse("crash_refresh=1@apply")
+        plan.maybe_crash_refresh(0, "apply")
+        plan.maybe_crash_refresh(1, "plan")
+        with pytest.raises(_SimulatedKill):
+            plan.maybe_crash_refresh(1, "apply")
+
+    def test_crash_checkpoint_counts_saves(self, simulated_sigkill):
+        plan = FaultPlan.parse("crash_checkpoint=1")
+        plan.maybe_crash_checkpoint()  # save 0
+        with pytest.raises(_SimulatedKill):
+            plan.maybe_crash_checkpoint()  # save 1
